@@ -1,0 +1,20 @@
+"""Fig. 10 — distributed 2D heat on a 4-node cluster."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig10_heat import run_fig10
+
+
+def test_fig10(benchmark, settings):
+    result = run_once(benchmark, run_fig10, settings)
+    ratios = result.headline_ratios()
+    # Paper §5.4 shape: moldable dynamic schedulers dominate; DAM-C above
+    # both RWS (paper: +76%) and RWSM-C (paper: +17%).
+    assert ratios["dam-c/rws"] > 1.5
+    assert ratios["dam-c/rwsm-c"] >= 1.0
+    assert result.throughput["dam-p"] > result.throughput["rws"]
+    benchmark.extra_info["throughput"] = {
+        s: round(v, 1) for s, v in result.throughput.items()
+    }
+    benchmark.extra_info["headline"] = {k: round(v, 2) for k, v in ratios.items()}
+    print()
+    print(result.report())

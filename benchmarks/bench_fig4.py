@@ -1,0 +1,37 @@
+"""Fig. 4 — co-runner interference sweep (plus §5.1 headline ratios)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_corunner import run_fig4
+
+
+def test_fig4_matmul(benchmark, settings):
+    result = run_once(benchmark, run_fig4, settings, kernels=("matmul",))
+    data = result.throughput["matmul"]
+    ratios = result.headline_ratios("matmul")
+    # Paper §5.1 shape: dynamic schedulers dominate; RWS worst at P=2.
+    assert data["rws"][2] < data["fa"][2] < data["dam-c"][2]
+    assert ratios["dam-c/rws"] > 1.5
+    benchmark.extra_info["throughput"] = {
+        s: {p: round(v, 1) for p, v in by.items()} for s, by in data.items()
+    }
+    benchmark.extra_info["headline"] = {k: round(v, 2) for k, v in ratios.items()}
+    print()
+    print(result.report())
+
+
+def test_fig4_copy(benchmark, settings):
+    result = run_once(benchmark, run_fig4, settings, kernels=("copy",))
+    data = result.throughput["copy"]
+    assert data["dam-c"][2] > data["rws"][2]
+    benchmark.extra_info["throughput"] = {
+        s: {p: round(v, 1) for p, v in by.items()} for s, by in data.items()
+    }
+
+
+def test_fig4_stencil(benchmark, settings):
+    result = run_once(benchmark, run_fig4, settings, kernels=("stencil",))
+    data = result.throughput["stencil"]
+    assert data["dam-c"][2] > data["rws"][2]
+    benchmark.extra_info["throughput"] = {
+        s: {p: round(v, 1) for p, v in by.items()} for s, by in data.items()
+    }

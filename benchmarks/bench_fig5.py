@@ -1,0 +1,21 @@
+"""Fig. 5 — priority-task distribution over execution places."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_distribution import run_fig5
+
+
+def test_fig5(benchmark, settings):
+    result = run_once(benchmark, run_fig5, settings)
+    # Paper shape: FA splits 50/50 over the Denver cores (half on the
+    # interfered core); the dynamic schedulers keep priority tasks off
+    # the interfered core almost entirely; RWS scatters them.
+    assert abs(result.interfered_core_share("fa") - 0.5) < 0.05
+    for sched in ("da", "dam-c", "dam-p"):
+        assert result.interfered_core_share(sched) < 0.05
+    assert 0.10 < result.interfered_core_share("rws") < 0.45
+    benchmark.extra_info["interfered_core_share"] = {
+        s: round(result.interfered_core_share(s), 3)
+        for s in result.distribution
+    }
+    print()
+    print(result.report())

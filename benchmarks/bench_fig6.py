@@ -1,0 +1,20 @@
+"""Fig. 6 — per-core cumulative kernel work time."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_worktime import run_fig6
+
+
+def test_fig6(benchmark, settings):
+    result = run_once(benchmark, run_fig6, settings)
+    # Paper shape: FA (pinning criticals to the statically fast cores)
+    # loads interfered core 0 far more than the dynamic schedulers, which
+    # shift critical work to core 1 and finish faster overall.
+    for sched in ("da", "dam-c", "dam-p"):
+        assert result.work_time["fa"][0] > 1.5 * result.work_time[sched][0]
+    assert result.makespan["dam-c"] < result.makespan["fa"]
+    assert result.makespan["fa"] < result.makespan["rws"]
+    benchmark.extra_info["makespan"] = {
+        s: round(v, 4) for s, v in result.makespan.items()
+    }
+    print()
+    print(result.report())

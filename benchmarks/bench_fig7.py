@@ -1,0 +1,38 @@
+"""Fig. 7 — DVFS interference sweep (plus §5.2 headline ratios)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7_dvfs import run_fig7
+
+
+def test_fig7_copy(benchmark, settings):
+    result = run_once(benchmark, run_fig7, settings, kernels=("copy",))
+    data = result.throughput["copy"]
+    ratios = result.headline_ratios("copy")
+    # Paper §5.2 shape: dynamic schedulers beat RWS; DAM-P best at the
+    # lowest parallelism (it spends cores to speed the critical path).
+    assert ratios["dam-c/rws"] > 1.0
+    assert data["dam-p"][2] >= data["dam-c"][2]
+    benchmark.extra_info["headline"] = {k: round(v, 2) for k, v in ratios.items()}
+    benchmark.extra_info["throughput"] = {
+        s: {p: round(v, 1) for p, v in by.items()} for s, by in data.items()
+    }
+    print()
+    print(result.report())
+
+
+def test_fig7_matmul(benchmark, settings):
+    result = run_once(benchmark, run_fig7, settings, kernels=("matmul",))
+    data = result.throughput["matmul"]
+    assert data["dam-c"][2] > data["rws"][2]
+    benchmark.extra_info["throughput"] = {
+        s: {p: round(v, 1) for p, v in by.items()} for s, by in data.items()
+    }
+
+
+def test_fig7_stencil(benchmark, settings):
+    result = run_once(benchmark, run_fig7, settings, kernels=("stencil",))
+    data = result.throughput["stencil"]
+    assert data["dam-c"][2] > data["rws"][2]
+    benchmark.extra_info["throughput"] = {
+        s: {p: round(v, 1) for p, v in by.items()} for s, by in data.items()
+    }

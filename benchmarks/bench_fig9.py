@@ -1,0 +1,26 @@
+"""Fig. 9 — K-means under a socket-wide co-runner window."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9_kmeans import run_fig9
+
+
+def test_fig9(benchmark, settings):
+    result = run_once(benchmark, run_fig9, settings)
+    rws_in = result.mean_iteration_time("rws", inside_window=True)
+    damp_in = result.mean_iteration_time("dam-p", inside_window=True)
+    damc_in = result.mean_iteration_time("dam-c", inside_window=True)
+    rws_out = result.mean_iteration_time("rws", inside_window=False)
+    # Paper shape: interference inflates iteration times; the dynamic
+    # moldable schedulers absorb it far better than RWS.
+    assert rws_in > rws_out * 1.2
+    assert damp_in < rws_in
+    assert damc_in < rws_in
+    benchmark.extra_info["mean_iteration_s"] = {
+        s: {
+            "outside": round(result.mean_iteration_time(s, False), 3),
+            "inside": round(result.mean_iteration_time(s, True), 3),
+        }
+        for s in result.series
+    }
+    print()
+    print(result.report())

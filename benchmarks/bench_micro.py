@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the hot primitives.
+
+These are genuine pytest-benchmark measurements (many rounds) of the
+operations a simulation executes millions of times, useful for tracking
+performance regressions of the library itself.
+"""
+
+import numpy as np
+
+from repro.core.placement import global_search_cost, local_search_cost
+from repro.core.ptt import PerformanceTraceTable
+from repro.graph.generators import layered_synthetic_dag
+from repro.kernels.fixed import FixedWorkKernel
+from repro.kernels.matmul import MatMulKernel
+from repro.machine.presets import haswell_node, jetson_tx2
+from repro.machine.speed import SpeedModel
+from repro.machine.topology import ExecutionPlace
+from repro.session import run_graph
+from repro.sim.environment import Environment
+
+
+def test_ptt_update(benchmark):
+    machine = jetson_tx2()
+    ptt = PerformanceTraceTable(machine)
+    place = ExecutionPlace(0, 1)
+    benchmark(ptt.update, place, 1e-3)
+
+
+def test_global_search_tx2(benchmark):
+    machine = jetson_tx2()
+    ptt = PerformanceTraceTable(machine)
+    for i, place in enumerate(machine.places):
+        ptt.update(place, 1e-3 * (i + 1))
+    benchmark(global_search_cost, ptt, machine)
+
+
+def test_global_search_20core(benchmark):
+    """The paper flags global-search cost as a scaling concern (§4.1.1)."""
+    machine = haswell_node()
+    ptt = PerformanceTraceTable(machine)
+    for i, place in enumerate(machine.places):
+        ptt.update(place, 1e-3 * (i + 1))
+    benchmark(global_search_cost, ptt, machine)
+
+
+def test_local_search(benchmark):
+    machine = jetson_tx2()
+    ptt = PerformanceTraceTable(machine)
+    for place in machine.places:
+        ptt.update(place, 1e-3)
+    benchmark(local_search_cost, ptt, machine, 2)
+
+
+def test_sim_event_throughput(benchmark):
+    """Raw engine speed: timeout-chain of 10k events."""
+
+    def run_chain():
+        env = Environment()
+
+        def proc():
+            for _ in range(10_000):
+                yield env.timeout(1e-6)
+
+        env.process(proc())
+        env.run()
+
+    benchmark.pedantic(run_chain, rounds=3, iterations=1)
+
+
+def test_runtime_task_throughput(benchmark):
+    """End-to-end simulated tasks per wall second (1000-task DAG)."""
+
+    def run_dag():
+        graph = layered_synthetic_dag(MatMulKernel(), 4, 1000)
+        return run_graph(graph, jetson_tx2(), "dam-c")
+
+    result = benchmark.pedantic(run_dag, rounds=3, iterations=1)
+    assert result.tasks_completed == 1000
+
+
+def test_speed_model_retime(benchmark):
+    """Cost of a rate change with many in-flight work items."""
+    env = Environment()
+    machine = haswell_node()
+    speed = SpeedModel(env, machine)
+    for core in range(machine.num_cores):
+        speed.begin_work([core], work=1e9)
+
+    def toggle():
+        speed.set_cpu_share([0, 1, 2], 0.5)
+        speed.set_cpu_share([0, 1, 2], 1.0)
+
+    benchmark(toggle)

@@ -1,0 +1,10 @@
+"""Table 1 — scheduler feature matrix."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1_features import run_table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    assert len(result.rows) == 7
+    benchmark.extra_info["rows"] = [r[0] for r in result.rows]

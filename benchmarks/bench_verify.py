@@ -1,0 +1,17 @@
+"""The full reproduction scorecard as a single benchmark.
+
+Runs every harness and asserts that every qualitative claim of the
+paper's evaluation holds — the one-command reproduction check.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.verify import run_verify
+
+
+def test_verify_scorecard(benchmark, settings):
+    card = run_once(benchmark, run_verify, settings)
+    print()
+    print(card.report())
+    failed = [c for c in card.claims if not c.holds]
+    assert not failed, f"claims failed: {[c.text for c in failed]}"
+    benchmark.extra_info["claims"] = f"{card.passed}/{len(card.claims)}"

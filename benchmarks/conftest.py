@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Each ``bench_fig*.py`` regenerates one of the paper's artifacts through the
+corresponding harness in :mod:`repro.experiments` and records the headline
+numbers in ``extra_info`` so ``pytest benchmarks/ --benchmark-only`` doubles
+as the reproduction log.  ``--repro-scale`` (default 0.02) selects the
+fraction of the paper's task counts; pass 1.0 for paper-scale runs.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="0.02",
+        help="fraction of the paper's task counts used by the figure benches",
+    )
+
+
+@pytest.fixture(scope="session")
+def settings(request) -> ExperimentSettings:
+    scale = float(request.config.getoption("--repro-scale"))
+    return ExperimentSettings(scale=scale, seed=0)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-figure harness exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Distributed 2D heat: simulated MPI cluster + real Jacobi verification.
+
+Part 1 verifies the physics with the real NumPy Jacobi solver.  Part 2
+runs the paper's distributed heat workload on a simulated 4-node Haswell
+cluster connected by an InfiniBand-like fabric: boundary exchanges are
+high-priority communication tasks, compute strips are moldable, and a
+matmul co-runner occupies 5 cores of node 0's socket 0 — the Fig. 10
+scenario.
+
+Run:  python examples/distributed_heat.py
+"""
+
+import numpy as np
+
+from repro import haswell_node
+from repro.apps.heat import HeatConfig, build_heat_graph_builder, reference_heat
+from repro.distributed import DistributedRuntime
+from repro.interference.corunner import CorunnerInterference
+
+
+def real_jacobi_demo() -> None:
+    grid = np.zeros((64, 64))
+    out = reference_heat(grid, iterations=500, boundary=100.0)
+    print("Part 1 — real Jacobi diffusion on a 64x64 plate, 100C boundary:")
+    print(f"  center temperature after 500 sweeps: {out[32, 32]:.1f}C")
+    print(f"  quarter-point temperature:           {out[16, 16]:.1f}C")
+    print()
+
+
+def cluster_demo() -> None:
+    print("Part 2 — 4-node simulated cluster, interference on node 0:")
+    config = HeatConfig(iterations=30)
+    print(f"  grid {config.rows}x{config.cols} over {config.nodes} nodes, "
+          f"{config.partitions} strips/node, {config.iterations} iterations")
+    for scheduler in ("rws", "rwsm-c", "dam-c"):
+        runtime = DistributedRuntime(
+            [haswell_node() for _ in range(config.nodes)],
+            scheduler,
+            build_heat_graph_builder(config),
+            scenarios={
+                0: CorunnerInterference(
+                    cores=[0, 1, 2, 3, 4], cpu_share=0.5, memory_demand=2.0
+                )
+            },
+        )
+        result = runtime.run()
+        exchange_waits = []
+        for node in runtime.runtimes:
+            for record in node.collector.records:
+                if record.metadata.get("role") == "exchange":
+                    exchange_waits.append(record.wait_time)
+        print(f"  {scheduler.upper():7s} throughput = {result.throughput:7.0f} "
+              f"tasks/s over {result.messages} messages "
+              f"({result.bytes_moved / 1e6:.1f} MB moved), "
+              f"mean exchange wait {np.mean(exchange_waits) * 1e3:.2f} ms")
+    print()
+    print("Moldability (RWSM-C, DAM-C) pools cores so each strip's working")
+    print("set fits the shared cache; DAM-C additionally steers the")
+    print("critical boundary exchanges away from the perturbed cores.")
+
+
+def main() -> None:
+    real_jacobi_demo()
+    cluster_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""K-means: a real computation and its scheduled, interference-hit twin.
+
+Part 1 runs genuine NumPy K-means (Lloyd's algorithm) on synthetic blobs —
+the actual math the workload represents.  Part 2 executes the paper's
+dynamic K-means DAG (one moldable task per loop partition, the largest
+marked critical; each iteration spawned at runtime) on a simulated 16-core
+Haswell while a co-runner occupies socket 0 between iterations 20 and 70,
+and compares how RWS and DAM-P ride through the interference window
+(paper Fig. 9).
+
+Run:  python examples/kmeans_clustering.py
+"""
+
+import numpy as np
+
+from repro import haswell16, run_graph
+from repro.apps.kmeans import KMeansConfig, build_kmeans_graph, reference_kmeans
+from repro.interference.corunner import CorunnerInterference
+from repro.metrics import iteration_series
+
+
+def real_kmeans_demo() -> None:
+    rng = np.random.default_rng(0)
+    blobs = np.vstack([
+        rng.normal(center, 0.4, size=(400, 3))
+        for center in (0.0, 4.0, 9.0)
+    ])
+    centroids, labels, inertia = reference_kmeans(blobs, 3, iterations=15)
+    print("Part 1 — real NumPy K-means on 1200 points, 3 blobs:")
+    print(f"  centroid means: {np.sort(centroids.mean(axis=1)).round(2)}")
+    print(f"  inertia: {inertia:.1f}")
+    print(f"  cluster sizes: {np.bincount(labels).tolist()}")
+    print()
+
+
+def scheduled_kmeans_demo() -> None:
+    print("Part 2 — scheduled K-means DAG with an interference window")
+    print("(co-runner on socket 0, iterations 20-70):")
+    config = KMeansConfig(iterations=100)
+    window = (20, 70)
+    for scheduler in ("rws", "dam-p"):
+        machine = haswell16()
+        socket0 = list(machine.cluster("socket0").core_ids)
+        corunner = CorunnerInterference(
+            cores=socket0, cpu_share=0.5, memory_demand=1.5, start=None
+        )
+        hooks = {
+            window[0]: lambda _i: corunner.activate(),
+            window[1]: lambda _i: corunner.deactivate(),
+        }
+        graph = build_kmeans_graph(config, iteration_hooks=hooks)
+        result = run_graph(graph, machine, scheduler, scenario=corunner)
+        series = dict(iteration_series(result.collector.records))
+        before = np.mean([series[i] for i in range(0, window[0])])
+        inside = np.mean([series[i] for i in range(window[0] + 5, window[1] - 5)])
+        print(f"  {scheduler.upper():6s} mean iteration: "
+              f"{before:.2f}s before window, {inside:.2f}s inside "
+              f"({inside / before:.2f}x slowdown)")
+    print()
+    print("DAM-P molds the critical partition onto the clean socket, so its")
+    print("iterations barely feel the interference; RWS stalls on the")
+    print("perturbed cores.")
+
+
+def main() -> None:
+    real_kmeans_demo()
+    scheduled_kmeans_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a synthetic task DAG under interference.
+
+Builds the paper's NVIDIA Jetson TX2 model (2 fast Denver cores + 4 slower
+A57 cores), pins a compute-bound co-runner to Denver core 0, and executes
+the same matmul DAG under random work stealing (RWS) and the paper's
+dynamic asymmetry scheduler (DAM-C).  Prints throughput and where each
+scheduler placed the critical tasks.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CorunnerInterference, jetson_tx2, quick_run
+from repro.metrics import place_distribution
+
+
+def main() -> None:
+    machine = jetson_tx2()
+    print(f"Machine: {machine}")
+    print(f"Execution places: {', '.join(str(p) for p in machine.places)}")
+    print()
+
+    results = {}
+    for scheduler in ("rws", "fa", "dam-c"):
+        result = quick_run(
+            scheduler=scheduler,
+            kernel="matmul",
+            parallelism=2,
+            total_tasks=600,
+            machine=jetson_tx2(),
+            # A matmul chain time-shares Denver core 0 for the whole run.
+            scenario=CorunnerInterference.matmul_chain([0]),
+        )
+        results[scheduler] = result
+        dist = place_distribution(result.collector.records)
+        top = sorted(dist.items(), key=lambda kv: -kv[1])[:3]
+        placed = "  ".join(f"{p}:{v:.0%}" for p, v in top)
+        print(f"{scheduler.upper():7s} throughput = {result.throughput:7.0f} tasks/s"
+              f"   critical tasks at: {placed}")
+
+    speedup = results["dam-c"].throughput / results["rws"].throughput
+    print()
+    print(f"DAM-C speedup over RWS under interference: {speedup:.2f}x")
+    print("DAM-C detects the perturbed core through its Performance Trace")
+    print("Table and steers the critical path to the free fast core.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Advanced workflows: interference record/replay and host calibration.
+
+Part 1 records the exact interference trajectory of a composite scenario
+(DVFS square wave + a late-arriving co-runner), serializes it, and replays
+it bit-identically against a *different* scheduler — the clean way to
+compare policies under one perturbation.
+
+Part 2 times the real NumPy kernels on this host and fits the analytic
+cost-model constants, anchoring the simulator's time scale to your
+machine.
+
+Run:  python examples/record_replay_calibrate.py
+"""
+
+import json
+
+from repro import (
+    CompositeScenario,
+    CorunnerInterference,
+    DvfsInterference,
+    jetson_tx2,
+    quick_run,
+)
+from repro.interference.traces import InterferenceTrace, TraceRecorder, TraceScenario
+from repro.kernels.calibrate import calibrate, calibrated_kernels
+from repro.machine.dvfs import PeriodicSquareWave
+from repro.machine.speed import SpeedModel
+from repro.sim.environment import Environment
+
+
+def record_and_replay() -> None:
+    print("Part 1 — record a composite scenario, replay it elsewhere:")
+
+    def fresh_scenario():
+        return CompositeScenario([
+            DvfsInterference(wave=PeriodicSquareWave(half_period=0.2),
+                             until=1.2),
+            CorunnerInterference.copy_chain([0], start=0.4, end=1.0),
+        ])
+
+    # Capture the trajectory by driving a bare speed model.
+    env = Environment()
+    machine = jetson_tx2()
+    speed = SpeedModel(env, machine)
+    recorder = TraceRecorder()
+    recorder.attach(env, speed)
+    fresh_scenario().install(env, speed, machine)
+    env.run(until=1.5)
+    trace = recorder.trace()
+    payload = json.dumps(trace.to_dicts())
+    print(f"  recorded {len(trace)} platform actions "
+          f"({len(payload)} bytes of JSON)")
+
+    # Replay the identical perturbation under two schedulers.
+    rebuilt = InterferenceTrace.from_dicts(json.loads(payload))
+    for scheduler in ("rws", "dam-c"):
+        result = quick_run(
+            scheduler=scheduler, kernel="copy", parallelism=3,
+            total_tasks=900, machine=jetson_tx2(),
+            scenario=TraceScenario(rebuilt),
+        )
+        print(f"  {scheduler.upper():6s} under the replayed trace: "
+              f"{result.throughput:6.0f} tasks/s")
+    print()
+
+
+def host_calibration() -> None:
+    print("Part 2 — calibrate the cost models against this host:")
+    result = calibrate(matmul_tile=64, copy_tile=512, stencil_tile=512,
+                       repeats=3)
+    print(f"  measured: matmul64 {result.matmul_seconds * 1e3:.2f} ms, "
+          f"copy512 {result.copy_seconds * 1e3:.2f} ms, "
+          f"stencil512 {result.stencil_seconds * 1e3:.2f} ms")
+    kernels = calibrated_kernels(result)
+    machine = jetson_tx2()
+    place = machine.places[0]
+    for name, kernel in kernels.items():
+        profile = kernel.profile(machine, place)
+        print(f"  fitted {name:8s}: seq work {kernel.seq_work() * 1e3:.3f} ms "
+              f"-> {profile.work * 1e3:.3f} ms at {place}")
+    print()
+    print("Passing these kernels into layered_synthetic_dag() makes the")
+    print("simulated task granularities match your hardware's.")
+
+
+def main() -> None:
+    record_and_replay()
+    host_calibration()
+
+
+if __name__ == "__main__":
+    main()

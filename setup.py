@@ -1,0 +1,5 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so PEP 660
+editable installs are unavailable; this enables pip's legacy `develop` path."""
+from setuptools import setup
+
+setup()

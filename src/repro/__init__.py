@@ -1,0 +1,89 @@
+"""repro — Scheduling Task-parallel Applications in Dynamically Asymmetric Environments.
+
+A faithful, fully self-contained reproduction of Chen et al. (ICPP
+Workshops 2020): the Dynamic Asymmetry Scheduler family (RWS, RWSM-C, FA,
+FAM-C, DA, DAM-C, DAM-P) driven by an online Performance Trace Table, on a
+discrete-event simulation of the XiTAO moldable-task runtime, with
+co-runner and DVFS interference scenarios, shared-memory and distributed
+(simulated MPI) workloads, and one experiment harness per paper figure.
+
+Quick start::
+
+    from repro import quick_run
+
+    result = quick_run(scheduler="dam-c", kernel="matmul", parallelism=4)
+    print(result.throughput, "tasks/s")
+
+See ``README.md`` for the architecture overview and ``DESIGN.md`` for the
+paper-to-module map.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    PerformanceTraceTable,
+    PttStore,
+    SCHEDULER_NAMES,
+    make_scheduler,
+    scheduler_feature_rows,
+)
+from repro.graph import Priority, Task, TaskGraph, layered_synthetic_dag
+from repro.interference import (
+    CompositeScenario,
+    CorunnerInterference,
+    DvfsInterference,
+    NullScenario,
+)
+from repro.kernels import CopyKernel, FixedWorkKernel, MatMulKernel, StencilKernel
+from repro.machine import (
+    ExecutionPlace,
+    Machine,
+    SpeedModel,
+    haswell16,
+    haswell_node,
+    jetson_tx2,
+    symmetric_machine,
+)
+from repro.runtime import RunResult, RuntimeConfig, SimulatedRuntime
+from repro.sim import Environment
+from repro.session import run_graph, quick_run
+
+__all__ = [
+    "__version__",
+    # core contribution
+    "PerformanceTraceTable",
+    "PttStore",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "scheduler_feature_rows",
+    # graph
+    "Priority",
+    "Task",
+    "TaskGraph",
+    "layered_synthetic_dag",
+    # kernels
+    "MatMulKernel",
+    "CopyKernel",
+    "StencilKernel",
+    "FixedWorkKernel",
+    # machine
+    "Machine",
+    "ExecutionPlace",
+    "SpeedModel",
+    "jetson_tx2",
+    "haswell16",
+    "haswell_node",
+    "symmetric_machine",
+    # interference
+    "NullScenario",
+    "CorunnerInterference",
+    "DvfsInterference",
+    "CompositeScenario",
+    # runtime
+    "SimulatedRuntime",
+    "RuntimeConfig",
+    "RunResult",
+    "Environment",
+    # sessions
+    "run_graph",
+    "quick_run",
+]

@@ -1,0 +1,23 @@
+"""Applications (paper §4.2.2): synthetic DAGs, K-means, distributed 2D heat."""
+
+from repro.apps.synthetic import (
+    paper_copy_dag,
+    paper_matmul_dag,
+    paper_stencil_dag,
+    synthetic_workloads,
+)
+from repro.apps.kmeans import KMeansConfig, build_kmeans_graph, reference_kmeans
+from repro.apps.heat import HeatConfig, build_heat_graph_builder, reference_heat
+
+__all__ = [
+    "paper_matmul_dag",
+    "paper_copy_dag",
+    "paper_stencil_dag",
+    "synthetic_workloads",
+    "KMeansConfig",
+    "build_kmeans_graph",
+    "reference_kmeans",
+    "HeatConfig",
+    "build_heat_graph_builder",
+    "reference_heat",
+]

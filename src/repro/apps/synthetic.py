@@ -1,0 +1,74 @@
+"""The paper's synthetic DAG workloads (§4.2.2).
+
+Defaults follow the paper: matmul tiles of 64x64 with 32000 tasks, copy
+tiles of 1024x1024 with 10000 tasks, stencil tiles of 1024x1024 with 20000
+tasks.  ``scale`` shrinks the task count proportionally for quick runs
+(the simulated throughput — tasks/second — is insensitive to the total
+count once the PTT has trained, so scaled runs preserve the figures'
+shapes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.graph.dag import TaskGraph
+from repro.graph.generators import layered_synthetic_dag
+from repro.kernels.copy import CopyKernel
+from repro.kernels.matmul import MatMulKernel
+from repro.kernels.stencil import StencilKernel
+
+#: Paper §4.2.2 task counts per kernel class.
+PAPER_TASK_COUNTS: Dict[str, int] = {
+    "matmul": 32000,
+    "copy": 10000,
+    "stencil": 20000,
+}
+
+
+def _scaled(total: int, scale: float, parallelism: int) -> int:
+    if not (0 < scale <= 1.0):
+        raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+    return max(parallelism, int(total * scale))
+
+
+def paper_matmul_dag(
+    parallelism: int, scale: float = 1.0, tile: int = 64
+) -> TaskGraph:
+    """Matrix-multiplication synthetic DAG (compute-intensive)."""
+    return layered_synthetic_dag(
+        MatMulKernel(tile=tile),
+        parallelism,
+        _scaled(PAPER_TASK_COUNTS["matmul"], scale, parallelism),
+    )
+
+
+def paper_copy_dag(
+    parallelism: int, scale: float = 1.0, tile: int = 1024
+) -> TaskGraph:
+    """Copy synthetic DAG (memory-intensive)."""
+    return layered_synthetic_dag(
+        CopyKernel(tile=tile),
+        parallelism,
+        _scaled(PAPER_TASK_COUNTS["copy"], scale, parallelism),
+    )
+
+
+def paper_stencil_dag(
+    parallelism: int, scale: float = 1.0, tile: int = 1024
+) -> TaskGraph:
+    """Stencil synthetic DAG (cache-intensive)."""
+    return layered_synthetic_dag(
+        StencilKernel(tile=tile),
+        parallelism,
+        _scaled(PAPER_TASK_COUNTS["stencil"], scale, parallelism),
+    )
+
+
+#: Kernel-class name -> DAG factory, as iterated by the Fig. 4/7 harnesses.
+synthetic_workloads: Dict[str, Callable[..., TaskGraph]] = {
+    "matmul": paper_matmul_dag,
+    "copy": paper_copy_dag,
+    "stencil": paper_stencil_dag,
+}

@@ -1,0 +1,53 @@
+"""The paper's contribution: PTT-driven dynamic asymmetry scheduling.
+
+* :mod:`repro.core.ptt` — the Performance Trace Table (§4.1.1): one table
+  per task type, one entry per execution place, folded with a weighted
+  average so the model tracks dynamic asymmetry without overreacting to
+  isolated events.
+* :mod:`repro.core.placement` — Algorithm 1's *local search* (mold the
+  width, keep the core) and *global search* (sweep all places), minimizing
+  either parallel cost (time x width) or pure predicted time.
+* :mod:`repro.core.policies` — the seven scheduler configurations of
+  Table 1 plus a dHEFT reference.
+"""
+
+from repro.core.ptt import PerformanceTraceTable, PttStore
+from repro.core.placement import (
+    global_search_cost,
+    global_search_performance,
+    local_search_cost,
+)
+from repro.core.policies import (
+    DaScheduler,
+    DamCScheduler,
+    DamPScheduler,
+    DheftScheduler,
+    FaScheduler,
+    FamCScheduler,
+    RwsScheduler,
+    RwsmCScheduler,
+    SchedulerPolicy,
+    make_scheduler,
+    scheduler_feature_rows,
+    SCHEDULER_NAMES,
+)
+
+__all__ = [
+    "PerformanceTraceTable",
+    "PttStore",
+    "local_search_cost",
+    "global_search_cost",
+    "global_search_performance",
+    "SchedulerPolicy",
+    "RwsScheduler",
+    "RwsmCScheduler",
+    "FaScheduler",
+    "FamCScheduler",
+    "DaScheduler",
+    "DamCScheduler",
+    "DamPScheduler",
+    "DheftScheduler",
+    "make_scheduler",
+    "scheduler_feature_rows",
+    "SCHEDULER_NAMES",
+]

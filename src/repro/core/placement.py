@@ -1,0 +1,115 @@
+"""Algorithm 1's placement searches.
+
+* *Local search* — keep the task on its current core (and hence resource
+  partition), mold only the width: minimize ``PTT(core, w) * w`` over the
+  widths legal in the core's cluster.  Used for low-priority tasks to
+  preserve data reuse across dependent tasks.
+* *Global search (cost)* — sweep every execution place on the machine and
+  minimize the parallel cost ``PTT(c, w) * w`` (DAM-C).
+* *Global search (performance)* — sweep every place and minimize the pure
+  predicted time ``PTT(c, w)`` (DAM-P), which is more aggressive about
+  using wide places when parallelism is scarce.
+
+Zero entries (unexplored places) have cost 0 and therefore always win,
+which implements the paper's "every place is evaluated at least once".
+Ties are broken by place order ``(leader, width)`` for determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.core.ptt import PerformanceTraceTable
+from repro.errors import SchedulingError
+from repro.machine.topology import ExecutionPlace, Machine
+
+#: Places whose predicted value is within this relative tolerance of the
+#: minimum count as tied; ties break toward the least-loaded leader.
+TIE_TOLERANCE = 0.10
+
+Backlog = Callable[[int], float]
+
+
+def _argmin_place(
+    places: Iterable[ExecutionPlace],
+    key: Callable[[ExecutionPlace], float],
+    backlog: Optional[Backlog] = None,
+) -> ExecutionPlace:
+    """Place minimizing ``key``; near-ties resolved by leader backlog.
+
+    On a symmetric machine many places predict (almost) the same time, and
+    a pure first-wins argmin would pin every critical task to one core
+    regardless of its queue depth.  When ``backlog`` is given, candidates
+    within :data:`TIE_TOLERANCE` of the best value are re-ranked by the
+    leader's current backlog — the natural tie-break any real
+    implementation applies (the paper's PTT values dither enough to do
+    this implicitly).
+    """
+    candidates: List[ExecutionPlace] = []
+    best_value = float("inf")
+    for place in places:
+        value = key(place)
+        if value < best_value:
+            best_value = value
+            candidates = [place]
+        elif value == best_value:
+            candidates.append(place)
+    if not candidates:
+        raise SchedulingError("no candidate execution places")
+    winner = candidates[0]
+    if backlog is None:
+        return winner
+    # Scatter only across places of the winning width: the tie-break must
+    # never second-guess the molding decision itself, just avoid piling
+    # every critical task onto one equally-fast core.
+    threshold = best_value * (1.0 + TIE_TOLERANCE)
+    tied = [
+        p for p in places if p.width == winner.width and key(p) <= threshold
+    ]
+
+    def place_backlog(place: ExecutionPlace) -> float:
+        # A moldable assembly cannot start until *every* member is free,
+        # so the relevant load is the busiest member, not the leader.
+        return max(
+            backlog(core)
+            for core in range(place.leader, place.leader + place.width)
+        )
+
+    return min(tied, key=lambda p: (place_backlog(p), p))
+
+
+def local_search_cost(
+    ptt: PerformanceTraceTable, machine: Machine, core: int
+) -> ExecutionPlace:
+    """Best width at ``core``'s aligned places, minimizing time x width."""
+    candidates = [
+        machine.local_place_for(core, w) for w in machine.widths_at(core)
+    ]
+    return _argmin_place(candidates, lambda p: ptt.predict(p) * p.width)
+
+
+def global_search_cost(
+    ptt: PerformanceTraceTable,
+    machine: Machine,
+    places: Optional[Sequence[ExecutionPlace]] = None,
+    backlog: Optional[Backlog] = None,
+) -> ExecutionPlace:
+    """Best place machine-wide, minimizing parallel cost (DAM-C line 8)."""
+    pool = machine.places if places is None else places
+    return _argmin_place(pool, lambda p: ptt.predict(p) * p.width, backlog)
+
+
+def global_search_performance(
+    ptt: PerformanceTraceTable,
+    machine: Machine,
+    places: Optional[Sequence[ExecutionPlace]] = None,
+    backlog: Optional[Backlog] = None,
+) -> ExecutionPlace:
+    """Best place machine-wide, minimizing predicted time (DAM-P line 11)."""
+    pool = machine.places if places is None else places
+    return _argmin_place(pool, lambda p: ptt.predict(p), backlog)
+
+
+def width_one_places(machine: Machine) -> Sequence[ExecutionPlace]:
+    """All single-core places (the DA scheduler's search domain)."""
+    return [p for p in machine.places if p.width == 1]

@@ -1,0 +1,27 @@
+"""Scheduler configurations (paper Table 1) plus a dHEFT reference."""
+
+from repro.core.policies.base import SchedulerPolicy
+from repro.core.policies.rws import RwsScheduler, RwsmCScheduler
+from repro.core.policies.fa import FaScheduler, FamCScheduler
+from repro.core.policies.da import DaScheduler, DamCScheduler, DamPScheduler
+from repro.core.policies.heft import DheftScheduler
+from repro.core.policies.registry import (
+    SCHEDULER_NAMES,
+    make_scheduler,
+    scheduler_feature_rows,
+)
+
+__all__ = [
+    "SchedulerPolicy",
+    "RwsScheduler",
+    "RwsmCScheduler",
+    "FaScheduler",
+    "FamCScheduler",
+    "DaScheduler",
+    "DamCScheduler",
+    "DamPScheduler",
+    "DheftScheduler",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "scheduler_feature_rows",
+]

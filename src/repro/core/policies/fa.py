@@ -1,0 +1,81 @@
+"""Fixed-asymmetry criticality schedulers (Table 1 rows 3-4).
+
+FA mirrors prior work (Critical-Path-on-a-Processor, CATS): it assumes the
+platform's asymmetry is *static* and strictly maps high-priority tasks to
+the statically fastest cores — which is exactly what goes wrong when those
+cores suffer interference.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.placement import local_search_cost
+from repro.core.policies.base import SchedulerPolicy
+from repro.graph.task import Task
+from repro.machine.topology import ExecutionPlace, Machine
+from repro.util.rng import SeedLike
+
+
+class FaScheduler(SchedulerPolicy):
+    """FA — high-priority tasks pinned round-robin to the fastest cores."""
+
+    name = "FA"
+    asymmetry = "fixed"
+    moldability = False
+    priority_placement = "n/a"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._fast_cores: Tuple[int, ...] = ()
+        self._rr = 0
+
+    @property
+    def uses_ptt(self) -> bool:
+        return False
+
+    def bind(
+        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None
+    ) -> None:
+        super().bind(machine, rng, clock, backlog)
+        top = machine.max_base_speed()
+        self._fast_cores = tuple(
+            c.core_id for c in machine.cores if c.base_speed == top
+        )
+        self._rr = 0
+
+    def fast_cores(self) -> Tuple[int, ...]:
+        """The statically fastest cores (assignment targets)."""
+        return self._fast_cores
+
+    def on_ready(self, task: Task, waker_core: int) -> int:
+        if task.is_high_priority:
+            core = self._fast_cores[self._rr % len(self._fast_cores)]
+            self._rr += 1
+            return core
+        return waker_core
+
+    def choose_place(self, task: Task, core: int) -> ExecutionPlace:
+        self._require_bound()
+        return ExecutionPlace(core, 1)
+
+
+class FamCScheduler(FaScheduler):
+    """FAM-C — FA plus moldability targeting parallel cost.
+
+    High-priority tasks stay pinned to the fast cluster, but all tasks mold
+    their width through a PTT-backed local search.
+    """
+
+    name = "FAM-C"
+    asymmetry = "fixed"
+    moldability = True
+    priority_placement = "cost"
+
+    @property
+    def uses_ptt(self) -> bool:
+        return True
+
+    def choose_place(self, task: Task, core: int) -> ExecutionPlace:
+        machine = self._require_bound()
+        return local_search_cost(self.table(task), machine, core)

@@ -1,0 +1,89 @@
+"""dHEFT reference scheduler (related work, paper §6).
+
+dHEFT applies HEFT's earliest-finish-time rule but discovers task loads at
+runtime instead of knowing them upfront: it keeps a per-(type, core) mean
+of observed execution times and a per-core estimated-available-time, and
+maps every ready task — regardless of priority — to the single core with
+the earliest estimated finish.  Unknown (type, core) pairs are explored
+first.  Tasks are not stealable (dHEFT performs full mapping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.policies.base import SchedulerPolicy
+from repro.graph.task import Task
+from repro.machine.topology import ExecutionPlace, Machine
+from repro.util.rng import SeedLike
+
+
+class DheftScheduler(SchedulerPolicy):
+    """dHEFT — dynamic earliest-finish-time mapping to single cores."""
+
+    name = "dHEFT"
+    asymmetry = "dynamic"
+    moldability = False
+    priority_placement = "n/a"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        #: (type, core) -> (mean observed time, samples)
+        self._profile: Dict[Tuple[str, int], Tuple[float, int]] = {}
+        self._available: List[float] = []
+
+    @property
+    def uses_ptt(self) -> bool:
+        # dHEFT keeps its own mean-based model, not a PTT.
+        return False
+
+    def bind(
+        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None
+    ) -> None:
+        super().bind(machine, rng, clock, backlog)
+        self._profile = {}
+        self._available = [0.0] * machine.num_cores
+
+    def _estimate(self, type_name: str, core: int) -> Tuple[float, bool]:
+        """(estimated seconds, known?) for a task type on a core."""
+        entry = self._profile.get((type_name, core))
+        if entry is None:
+            return 0.0, False
+        return entry[0], True
+
+    def _pick_core(self, task: Task) -> int:
+        machine = self._require_bound()
+        now = self._clock()
+        best_core = 0
+        best_finish = float("inf")
+        for core in range(machine.num_cores):
+            estimate, known = self._estimate(task.type_name, core)
+            if not known:
+                # Unexplored pair: treat as immediately attractive so every
+                # core gets sampled, preferring the least-loaded one.
+                finish = max(now, self._available[core])
+            else:
+                finish = max(now, self._available[core]) + estimate
+            if finish < best_finish:
+                best_finish = finish
+                best_core = core
+        estimate, known = self._estimate(task.type_name, best_core)
+        self._available[best_core] = max(now, self._available[best_core]) + (
+            estimate if known else 0.0
+        )
+        return best_core
+
+    def on_ready(self, task: Task, waker_core: int) -> int:
+        return self._pick_core(task)
+
+    def choose_place(self, task: Task, core: int) -> ExecutionPlace:
+        self._require_bound()
+        return ExecutionPlace(core, 1)
+
+    def allow_steal(self, task: Task) -> bool:
+        return False
+
+    def on_complete(self, task: Task, place: ExecutionPlace, observed: float) -> None:
+        key = (task.type_name, place.leader)
+        mean, n = self._profile.get(key, (0.0, 0))
+        self._profile[key] = ((mean * n + observed) / (n + 1), n + 1)

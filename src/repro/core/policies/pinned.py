@@ -1,0 +1,47 @@
+"""A pin-everything scheduler, used to model co-runner applications.
+
+Places every task rigidly on one fixed core — the shape of the paper's
+co-running application, "a single chain of tasks ... on core 0".
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import SchedulerPolicy
+from repro.errors import ConfigurationError
+from repro.graph.task import Task
+from repro.machine.topology import ExecutionPlace, Machine
+from repro.util.rng import SeedLike
+
+
+class PinnedScheduler(SchedulerPolicy):
+    """Every task runs at ``(core, 1)``; nothing is stealable."""
+
+    name = "Pinned"
+    asymmetry = "n/a"
+    moldability = False
+    priority_placement = "n/a"
+
+    def __init__(self, core: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if core < 0:
+            raise ConfigurationError(f"core must be >= 0, got {core}")
+        self.core = int(core)
+
+    @property
+    def uses_ptt(self) -> bool:
+        return False
+
+    def bind(self, machine: Machine, rng: SeedLike = 0, clock=None,
+             backlog=None) -> None:
+        super().bind(machine, rng, clock, backlog)
+        machine._check_core(self.core)
+
+    def on_ready(self, task: Task, waker_core: int) -> int:
+        return self.core
+
+    def choose_place(self, task: Task, core: int) -> ExecutionPlace:
+        self._require_bound()
+        return ExecutionPlace(self.core, 1)
+
+    def allow_steal(self, task: Task) -> bool:
+        return False

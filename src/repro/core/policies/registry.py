@@ -1,0 +1,54 @@
+"""Scheduler registry and the Table 1 feature matrix."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.core.policies.base import SchedulerPolicy
+from repro.core.policies.da import DaScheduler, DamCScheduler, DamPScheduler
+from repro.core.policies.fa import FaScheduler, FamCScheduler
+from repro.core.policies.heft import DheftScheduler
+from repro.core.policies.rws import RwsScheduler, RwsmCScheduler
+from repro.errors import ConfigurationError
+
+_REGISTRY: Dict[str, Type[SchedulerPolicy]] = {
+    "rws": RwsScheduler,
+    "rwsm-c": RwsmCScheduler,
+    "fa": FaScheduler,
+    "fam-c": FamCScheduler,
+    "da": DaScheduler,
+    "dam-c": DamCScheduler,
+    "dam-p": DamPScheduler,
+    "dheft": DheftScheduler,
+}
+
+#: Canonical evaluation order (paper Table 1).
+SCHEDULER_NAMES: Tuple[str, ...] = (
+    "rws",
+    "rwsm-c",
+    "fa",
+    "fam-c",
+    "da",
+    "dam-c",
+    "dam-p",
+)
+
+
+def make_scheduler(name: str, **kwargs) -> SchedulerPolicy:
+    """Instantiate a scheduler by its Table 1 name (case-insensitive).
+
+    Extra keyword arguments are forwarded to the policy constructor
+    (e.g. ``ptt_new_weight``/``ptt_total_weight`` for the §5.3 sweep).
+    """
+    key = name.strip().lower()
+    cls = _REGISTRY.get(key)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; choose from {sorted(_REGISTRY)}"
+        )
+    return cls(**kwargs)
+
+
+def scheduler_feature_rows() -> List[tuple]:
+    """Rows of the Table 1 feature matrix, in paper order."""
+    return [make_scheduler(name).feature_row() for name in SCHEDULER_NAMES]

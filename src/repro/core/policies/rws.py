@@ -1,0 +1,55 @@
+"""Random work stealing, with and without moldability (Table 1 rows 1-2)."""
+
+from __future__ import annotations
+
+from repro.core.placement import local_search_cost
+from repro.core.policies.base import SchedulerPolicy
+from repro.graph.task import Task
+from repro.machine.topology import ExecutionPlace
+
+
+class RwsScheduler(SchedulerPolicy):
+    """RWS — decentralized greedy work stealing.
+
+    Child tasks are pushed to the local queue irrespective of priority, all
+    tasks may be stolen, every task runs rigidly on a single core.  No
+    performance model is maintained.
+    """
+
+    name = "RWS"
+    asymmetry = "n/a"
+    moldability = False
+    priority_placement = "n/a"
+
+    @property
+    def uses_ptt(self) -> bool:
+        return False
+
+    def choose_place(self, task: Task, core: int) -> ExecutionPlace:
+        self._require_bound()
+        return ExecutionPlace(core, 1)
+
+    def allow_steal(self, task: Task) -> bool:
+        # RWS has no notion of priority: everything is stealable.
+        return True
+
+
+class RwsmCScheduler(SchedulerPolicy):
+    """RWSM-C — random work stealing plus moldability targeting cost.
+
+    Like RWS, but a PTT is maintained and every dequeued task performs a
+    local width search minimizing parallel cost (time x width).  Priority
+    is still ignored, so tasks remain stealable.
+    """
+
+    name = "RWSM-C"
+    asymmetry = "n/a"
+    moldability = True
+    priority_placement = "cost"
+
+    def choose_place(self, task: Task, core: int) -> ExecutionPlace:
+        machine = self._require_bound()
+        return local_search_cost(self.table(task), machine, core)
+
+    def allow_steal(self, task: Task) -> bool:
+        return True

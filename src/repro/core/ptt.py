@@ -1,0 +1,139 @@
+"""Performance Trace Table (paper §4.1.1).
+
+One PTT exists per *task type*.  It holds one entry per execution place
+``(leader core, resource width)``, each tracking the execution time of that
+task type at that place as observed by the leader core.  Entries start at
+zero, which guarantees every place is evaluated at least once (a zero
+predicted cost always wins the minimization).  Updates fold new samples with
+a weighted average — by default ``updated = (4*old + new) / 5`` — so at
+least three consistent measurements are needed before the table accepts a
+new performance regime, making the model resilient to short isolated
+events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.topology import ExecutionPlace, Machine
+
+
+class PerformanceTraceTable:
+    """The per-task-type trace table.
+
+    Parameters
+    ----------
+    machine:
+        Supplies the legal execution places (the table's index space).
+    new_weight / total_weight:
+        The folding ratio: ``updated = ((total-new)*old + new*sample) /
+        total``.  The paper's default is 1:4, i.e. ``new_weight=1,
+        total_weight=5`` (written "1/5" in Fig. 8).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        new_weight: int = 1,
+        total_weight: int = 5,
+    ) -> None:
+        if not (0 < new_weight <= total_weight):
+            raise ConfigurationError(
+                f"need 0 < new_weight <= total_weight, got "
+                f"{new_weight}/{total_weight}"
+            )
+        self.machine = machine
+        self.new_weight = int(new_weight)
+        self.total_weight = int(total_weight)
+        self._index: Dict[ExecutionPlace, int] = {
+            place: i for i, place in enumerate(machine.places)
+        }
+        self._values = np.zeros(len(machine.places), dtype=np.float64)
+        self._samples = np.zeros(len(machine.places), dtype=np.int64)
+
+    def _slot(self, place: ExecutionPlace) -> int:
+        try:
+            return self._index[place]
+        except KeyError:
+            raise ConfigurationError(
+                f"{place} is not a legal execution place on "
+                f"{self.machine.name}"
+            ) from None
+
+    def predict(self, place: ExecutionPlace) -> float:
+        """Predicted execution time at ``place`` (0 = not yet explored)."""
+        return float(self._values[self._slot(place)])
+
+    def samples(self, place: ExecutionPlace) -> int:
+        """Number of observations folded into ``place``'s entry."""
+        return int(self._samples[self._slot(place)])
+
+    def update(self, place: ExecutionPlace, observed: float) -> float:
+        """Fold one observed execution time; returns the new entry value.
+
+        The first sample replaces the zero initializer directly (a weighted
+        average with the 0 sentinel would under-predict and freeze
+        exploration prematurely).
+        """
+        if observed < 0:
+            raise ConfigurationError(f"observed time must be >= 0, got {observed}")
+        slot = self._slot(place)
+        if self._samples[slot] == 0:
+            value = float(observed)
+        else:
+            old = self._values[slot]
+            w_new = self.new_weight
+            w_old = self.total_weight - w_new
+            value = (w_old * old + w_new * observed) / self.total_weight
+        self._values[slot] = value
+        self._samples[slot] += 1
+        return value
+
+    def entries(self) -> Iterator[Tuple[ExecutionPlace, float]]:
+        """Iterate ``(place, predicted time)`` in place order."""
+        for place, i in self._index.items():
+            yield place, float(self._values[i])
+
+    def explored_fraction(self) -> float:
+        """Fraction of places with at least one sample."""
+        return float(np.count_nonzero(self._samples)) / len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PTT places={len(self._values)} "
+            f"explored={self.explored_fraction():.0%}>"
+        )
+
+
+class PttStore:
+    """The collection of PTTs, one per task type, sharing one fold ratio."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        new_weight: int = 1,
+        total_weight: int = 5,
+    ) -> None:
+        self.machine = machine
+        self.new_weight = int(new_weight)
+        self.total_weight = int(total_weight)
+        self._tables: Dict[str, PerformanceTraceTable] = {}
+
+    def table(self, type_name: str) -> PerformanceTraceTable:
+        """Get (or lazily create) the PTT for ``type_name``."""
+        table = self._tables.get(type_name)
+        if table is None:
+            table = PerformanceTraceTable(
+                self.machine, self.new_weight, self.total_weight
+            )
+            self._tables[type_name] = table
+        return table
+
+    def known_types(self) -> Tuple[str, ...]:
+        return tuple(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)

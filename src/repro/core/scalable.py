@@ -1,0 +1,115 @@
+"""Scalable placement search (the paper's §4.1.1 future-work item).
+
+The paper notes that sweeping the whole PTT "may result in non negligible
+overheads when scaling to platforms with large amounts of execution places
+and cores" and leaves scalable prediction models for future work.  This
+module provides one: a :class:`ScalableSearchIndex` that maintains, per
+cluster, the best-known entry under both Algorithm 1 objectives (parallel
+cost and plain time), updated incrementally as PTT samples arrive.
+
+A global search then touches only ``O(#clusters + places-in-one-cluster)``
+entries instead of every place on the machine: stage 1 picks the winning
+cluster from the per-cluster minima, stage 2 re-ranks inside that cluster
+(applying the usual backlog tie-break).  Because the per-cluster minima
+are maintained exactly, the two-stage search returns a true argmin — the
+decisions are identical to the flat sweep, only cheaper.  This is asserted
+by a property test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.placement import _argmin_place, Backlog
+from repro.core.ptt import PerformanceTraceTable
+from repro.errors import ConfigurationError
+from repro.machine.topology import ExecutionPlace, Machine
+
+
+class ScalableSearchIndex:
+    """Per-cluster minima over a PTT, maintained incrementally.
+
+    Attach with :meth:`observe`; every ``table.update`` then refreshes the
+    owning cluster's summary in ``O(places in that cluster)``.
+    """
+
+    def __init__(self, machine: Machine, table: PerformanceTraceTable) -> None:
+        if table.machine is not machine:
+            raise ConfigurationError("index machine must match the table's")
+        self.machine = machine
+        self.table = table
+        self._cluster_places: Dict[str, List[ExecutionPlace]] = {
+            cluster.name: [] for cluster in machine.clusters
+        }
+        for place in machine.places:
+            cluster = machine.cluster_of(place.leader)
+            self._cluster_places[cluster.name].append(place)
+        #: cluster name -> (min cost, min time)
+        self._minima: Dict[str, Tuple[float, float]] = {}
+        for name in self._cluster_places:
+            self._refresh(name)
+        self._wrapped = False
+
+    # -- maintenance -----------------------------------------------------
+    def _refresh(self, cluster_name: str) -> None:
+        places = self._cluster_places[cluster_name]
+        best_cost = min(self.table.predict(p) * p.width for p in places)
+        best_time = min(self.table.predict(p) for p in places)
+        self._minima[cluster_name] = (best_cost, best_time)
+
+    def observe(self) -> None:
+        """Wrap the table's ``update`` so summaries stay current."""
+        if self._wrapped:
+            return
+        self._wrapped = True
+        original = self.table.update
+
+        def updating(place: ExecutionPlace, observed: float) -> float:
+            value = original(place, observed)
+            cluster = self.machine.cluster_of(place.leader)
+            self._refresh(cluster.name)
+            return value
+
+        self.table.update = updating  # type: ignore[method-assign]
+
+    def cluster_minima(self) -> Dict[str, Tuple[float, float]]:
+        """Copy of the per-cluster (min cost, min time) summaries."""
+        return dict(self._minima)
+
+    # -- two-stage searches ------------------------------------------------
+    def _search(
+        self,
+        metric: Callable[[ExecutionPlace], float],
+        summary_slot: int,
+        backlog: Optional[Backlog],
+    ) -> ExecutionPlace:
+        from repro.core.placement import TIE_TOLERANCE
+
+        best_value = min(m[summary_slot] for m in self._minima.values())
+        # Keep every cluster whose best entry could participate in the
+        # flat search's tie-break, so decisions match the flat sweep
+        # exactly (normally just one cluster; a few under symmetric load).
+        threshold = best_value * (1.0 + TIE_TOLERANCE)
+        pool: List[ExecutionPlace] = []
+        for name, minima in self._minima.items():
+            if minima[summary_slot] <= threshold:
+                pool.extend(self._cluster_places[name])
+        return _argmin_place(pool, metric, backlog)
+
+    def search_cost(self, backlog: Optional[Backlog] = None) -> ExecutionPlace:
+        """Two-stage argmin of ``predicted time x width`` (DAM-C)."""
+        return self._search(
+            lambda p: self.table.predict(p) * p.width, 0, backlog
+        )
+
+    def search_performance(
+        self, backlog: Optional[Backlog] = None
+    ) -> ExecutionPlace:
+        """Two-stage argmin of ``predicted time`` (DAM-P)."""
+        return self._search(lambda p: self.table.predict(p), 1, backlog)
+
+    def entries_touched_per_search(self) -> int:
+        """Upper bound on entries a two-stage search inspects."""
+        return len(self._minima) + max(
+            len(places) for places in self._cluster_places.values()
+        )

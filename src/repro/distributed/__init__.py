@@ -1,0 +1,26 @@
+"""Distributed-memory substrate: simulated fabric, MPI layer, multi-node runtime.
+
+The paper's second platform is a 4-node Infiniband Haswell cluster running
+an MPI + XiTAO hybrid (distributed 2D heat, §4.2.2/§5.4).  Here each node
+is a full :class:`~repro.runtime.executor.SimulatedRuntime` with its own
+machine, speed model, scheduler and PTT, all sharing one simulation clock;
+inter-node messages travel a latency/bandwidth fabric with per-link
+serialization.  MPI operations appear in node DAGs as *communication
+tasks* (high priority, per the paper) that occupy one core for the
+protocol work plus the transfer/wait time — so interference on a core
+slows communication there and the PTT learns to steer exchanges away.
+"""
+
+from repro.distributed.message import Message
+from repro.distributed.network import Fabric
+from repro.distributed.mpi import CommTaskBuilder, SimMpi
+from repro.distributed.cluster_runtime import DistributedRuntime, NodeHandle
+
+__all__ = [
+    "Message",
+    "Fabric",
+    "SimMpi",
+    "CommTaskBuilder",
+    "DistributedRuntime",
+    "NodeHandle",
+]

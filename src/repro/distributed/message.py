@@ -1,0 +1,29 @@
+"""Inter-node messages."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message between ranks.
+
+    ``payload`` is opaque to the fabric (applications may attach real data,
+    e.g. boundary rows); only ``size_bytes`` affects timing.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    size_bytes: float
+    payload: Any = None
+    msg_id: int = field(default_factory=itertools.count().__next__)
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("ranks must be >= 0")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")

@@ -1,0 +1,183 @@
+"""Simulated MPI layer and communication-task factories.
+
+:class:`SimMpi` is the per-rank facade over the fabric (send/recv with
+tags).  :class:`CommTaskBuilder` packages MPI operations as *communication
+ops* for the task runtime: a comm op occupies its core for the protocol
+work (marshalling, progress — executed through the speed model, so core
+interference slows it), then performs the wire transfer and/or blocks for
+the matching inbound message.  This mirrors the paper's encapsulation of
+MPI calls into dedicated high-priority TAOs (§4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.distributed.message import Message
+from repro.distributed.network import Fabric
+from repro.errors import CommunicationError
+from repro.kernels.fixed import FixedWorkKernel
+from repro.machine.speed import SpeedModel
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+
+class SimMpi:
+    """Rank-scoped message passing over a :class:`Fabric`."""
+
+    def __init__(self, fabric: Fabric, rank: int) -> None:
+        fabric._check_rank(rank)
+        self.fabric = fabric
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.fabric.num_ranks
+
+    def isend(
+        self, dst: int, tag: int, size_bytes: float, payload: Any = None
+    ) -> Event:
+        """Non-blocking send; the event fires at delivery."""
+        return self.fabric.send(
+            Message(self.rank, dst, tag, size_bytes, payload)
+        )
+
+    def irecv(self, src: int, tag: int) -> Event:
+        """Non-blocking receive; the event yields the matching message."""
+        return self.fabric.recv(self.rank, src, tag)
+
+
+class CommTaskBuilder:
+    """Builds ``comm_op`` callables and kernels for communication tasks.
+
+    Parameters
+    ----------
+    env, speed, mpi:
+        The owning node's simulation wiring.
+    base_cpu_work / per_byte_cpu_work:
+        Protocol-processing cost charged to the task's core:
+        ``base + bytes * per_byte`` work units.  This is the part of MPI
+        time that is sensitive to core interference and cache contention
+        (Pellegrini et al., cited by the paper as [25]).
+    memory_intensity:
+        Bandwidth-bound fraction of the protocol work.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        speed: SpeedModel,
+        mpi: SimMpi,
+        base_cpu_work: float = 3.0e-5,
+        per_byte_cpu_work: float = 5.0e-10,
+        memory_intensity: float = 0.3,
+    ) -> None:
+        if base_cpu_work < 0 or per_byte_cpu_work < 0:
+            raise CommunicationError("protocol costs must be >= 0")
+        self.env = env
+        self.speed = speed
+        self.mpi = mpi
+        self.base_cpu_work = base_cpu_work
+        self.per_byte_cpu_work = per_byte_cpu_work
+        self.memory_intensity = memory_intensity
+
+    def comm_kernel(self, name: str, size_bytes: float) -> FixedWorkKernel:
+        """The task-type kernel for a comm task of ``size_bytes``.
+
+        ``parallel_fraction=0``: message passing is inherently single-core
+        ("communication tasks utilize a single core at a time", §5.4), so
+        any width search resolves to width 1.
+        """
+        return FixedWorkKernel(
+            name,
+            work=self._protocol_work(size_bytes),
+            parallel_fraction=0.0,
+            memory_intensity=self.memory_intensity,
+        )
+
+    def _protocol_work(self, size_bytes: float) -> float:
+        return self.base_cpu_work + size_bytes * self.per_byte_cpu_work
+
+    def _protocol_phase(self, assembly, size_bytes: float) -> Event:
+        work = self.speed.begin_work(
+            assembly.cores,
+            self._protocol_work(size_bytes),
+            memory_intensity=self.memory_intensity,
+        )
+        return work.done
+
+    def exchange_op(
+        self,
+        peer: int,
+        send_tag: int,
+        recv_tag: int,
+        size_bytes: float,
+        payload: Any = None,
+    ) -> Callable:
+        """A boundary exchange: protocol work, then isend + blocking recv.
+
+        Returns a ``comm_op`` suitable for ``task.metadata["comm_op"]``;
+        the op's completion event fires when both the outbound message has
+        been injected and the inbound one received.
+        """
+
+        def _op(assembly) -> Event:
+            done = Event(self.env)
+
+            def _run():
+                start = self.env.now
+                yield self._protocol_phase(assembly, size_bytes)
+                self.mpi.isend(peer, send_tag, size_bytes, payload)
+                # Billable time = local protocol + wire; the wait for the
+                # peer (skew) is excluded from the value so the PTT learns
+                # this core's communication speed, not the neighbour's lag.
+                billable = (self.env.now - start) + (
+                    self.fabric_transfer_time(size_bytes)
+                )
+                yield self.mpi.irecv(peer, recv_tag)
+                done.succeed(billable)
+
+            self.env.process(_run(), name=f"exchange-r{self.mpi.rank}-p{peer}")
+            return done
+
+        return _op
+
+    def fabric_transfer_time(self, size_bytes: float) -> float:
+        """Uncontended wire time of one message."""
+        return self.mpi.fabric.interconnect.transfer_time(size_bytes)
+
+    def send_op(
+        self, dst: int, tag: int, size_bytes: float, payload: Any = None
+    ) -> Callable:
+        """A one-way send comm op (protocol work + injection)."""
+
+        def _op(assembly) -> Event:
+            done = Event(self.env)
+
+            def _run():
+                start = self.env.now
+                yield self._protocol_phase(assembly, size_bytes)
+                self.mpi.isend(dst, tag, size_bytes, payload)
+                done.succeed(self.env.now - start)
+
+            self.env.process(_run(), name=f"send-r{self.mpi.rank}-d{dst}")
+            return done
+
+        return _op
+
+    def recv_op(self, src: int, tag: int, size_bytes: float) -> Callable:
+        """A blocking receive comm op (wait + protocol work)."""
+
+        def _op(assembly) -> Event:
+            done = Event(self.env)
+
+            def _run():
+                yield self.mpi.irecv(src, tag)
+                start = self.env.now
+                yield self._protocol_phase(assembly, size_bytes)
+                done.succeed(self.env.now - start)
+
+            self.env.process(_run(), name=f"recv-r{self.mpi.rank}-s{src}")
+            return done
+
+        return _op

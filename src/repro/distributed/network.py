@@ -1,0 +1,97 @@
+"""The simulated interconnect fabric.
+
+Point-to-point semantics: a message sent from rank ``s`` to rank ``d``
+occupies the directed link ``(s, d)`` for its wire time (latency +
+bytes/bandwidth); messages on the same link serialize FIFO, other links
+proceed independently — a reasonable model of a non-blocking switched
+fabric such as the paper's FDR InfiniBand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import CommunicationError
+from repro.distributed.message import Message
+from repro.machine.interconnect import Interconnect
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+
+class Fabric:
+    """Message transport between ``num_ranks`` nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_ranks: int,
+        interconnect: Interconnect = Interconnect(),
+    ) -> None:
+        if num_ranks <= 0:
+            raise CommunicationError(f"num_ranks must be positive, got {num_ranks}")
+        self.env = env
+        self.num_ranks = num_ranks
+        self.interconnect = interconnect
+        #: Mailboxes keyed by (dst, src, tag).
+        self._boxes: Dict[Tuple[int, int, int], Store] = {}
+        #: Next-free time of each directed link.
+        self._link_free: Dict[Tuple[int, int], float] = {}
+        self.messages_delivered = 0
+        self.bytes_delivered = 0.0
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.num_ranks):
+            raise CommunicationError(
+                f"rank {rank} out of range [0, {self.num_ranks})"
+            )
+
+    def _box(self, dst: int, src: int, tag: int) -> Store:
+        key = (dst, src, tag)
+        box = self._boxes.get(key)
+        if box is None:
+            box = Store(self.env)
+            self._boxes[key] = box
+        return box
+
+    def send(self, message: Message) -> Event:
+        """Inject ``message``; the event fires when it is delivered.
+
+        Local (same-rank) messages are delivered immediately; remote ones
+        after the link's queue drains plus the wire time.
+        """
+        self._check_rank(message.src)
+        self._check_rank(message.dst)
+        done = Event(self.env)
+        if message.src == message.dst:
+            self._deliver(message)
+            done.succeed(message)
+            return done
+        link = (message.src, message.dst)
+        now = self.env.now
+        start = max(now, self._link_free.get(link, now))
+        wire = self.interconnect.transfer_time(message.size_bytes)
+        finish = start + wire
+        self._link_free[link] = finish
+
+        def _arrive(_event: Event, message=message, done=done) -> None:
+            self._deliver(message)
+            done.succeed(message)
+
+        marker = Event(self.env)
+        marker._ok = True
+        marker._value = None
+        marker.callbacks.append(_arrive)
+        self.env._queue.push(finish, 1, marker)
+        return done
+
+    def _deliver(self, message: Message) -> None:
+        self.messages_delivered += 1
+        self.bytes_delivered += message.size_bytes
+        self._box(message.dst, message.src, message.tag).put(message)
+
+    def recv(self, dst: int, src: int, tag: int) -> Event:
+        """Event yielding the next matching message (FIFO per (src, tag))."""
+        self._check_rank(dst)
+        self._check_rank(src)
+        return self._box(dst, src, tag).get()

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or wired with invalid parameters."""
+
+
+class TopologyError(ConfigurationError):
+    """Invalid machine topology or execution place."""
+
+
+class GraphError(ReproError):
+    """Invalid task-graph structure (cycles, unknown tasks, bad edges)."""
+
+
+class RuntimeStateError(ReproError):
+    """The simulated runtime was driven through an illegal state change."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy produced an unusable decision."""
+
+
+class CommunicationError(ReproError):
+    """Invalid use of the simulated MPI layer."""

@@ -1,0 +1,38 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every harness returns a structured result object and can print a
+paper-style report.  Run them from the command line::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig4 --scale 0.05
+    python -m repro.experiments all
+
+Scaling: the paper's runs use 10000-32000 tasks and 5 s DVFS half-periods;
+the harness defaults shrink both proportionally (fewer tasks, shorter
+periods) so a full figure regenerates in seconds.  Throughput — tasks per
+second of *simulated* time — is insensitive to the total task count once
+the PTT has trained, so scaled runs preserve the figures' shapes; pass
+``--scale 1.0`` for paper-scale runs.
+"""
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.table1_features import run_table1
+from repro.experiments.fig4_corunner import run_fig4
+from repro.experiments.fig5_distribution import run_fig5
+from repro.experiments.fig6_worktime import run_fig6
+from repro.experiments.fig7_dvfs import run_fig7
+from repro.experiments.fig8_sensitivity import run_fig8
+from repro.experiments.fig9_kmeans import run_fig9
+from repro.experiments.fig10_heat import run_fig10
+
+__all__ = [
+    "ExperimentSettings",
+    "run_table1",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+]

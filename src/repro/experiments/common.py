@@ -1,0 +1,125 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.policies.base import SchedulerPolicy
+from repro.core.policies.registry import make_scheduler
+from repro.errors import ConfigurationError
+from repro.graph.dag import TaskGraph
+from repro.interference.base import InterferenceScenario
+from repro.interference.corunner import CorunnerInterference
+from repro.interference.dvfs_events import DvfsInterference
+from repro.machine.dvfs import PeriodicSquareWave
+from repro.machine.topology import Machine
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.executor import RunResult, SimulatedRuntime
+from repro.machine.speed import SpeedModel
+from repro.sim.environment import Environment
+
+#: The paper's Table 1 evaluation order on the TX2.
+TX2_SCHEDULERS: Tuple[str, ...] = (
+    "rws", "rwsm-c", "fa", "fam-c", "da", "dam-c", "dam-p",
+)
+
+#: Schedulers evaluated on the symmetric Haswell platforms (§5.4 drops the
+#: fixed-asymmetry pair because there is no static asymmetry to exploit).
+HASWELL_SCHEDULERS: Tuple[str, ...] = (
+    "rws", "rwsm-c", "da", "dam-c", "dam-p",
+)
+
+#: DAG parallelism sweep of Figs. 4 and 7.
+PARALLELISMS: Tuple[int, ...] = (2, 3, 4, 5, 6)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Global scaling knobs shared by the harnesses.
+
+    ``scale`` multiplies the paper's task counts / iteration counts;
+    DVFS periods shrink by the same factor so every run still covers
+    several full cycles.  ``seed`` feeds all stochastic elements.
+    """
+
+    scale: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.scale <= 1.0):
+            raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
+
+    def task_count(self, paper_total: int, parallelism: int) -> int:
+        return max(parallelism * 10, int(paper_total * self.scale))
+
+    def dvfs_wave(self) -> PeriodicSquareWave:
+        """The §5.2 square wave, period scaled with the workload.
+
+        The half-period never drops below 0.5 s: each phase must stay long
+        relative to task durations (milliseconds) and the PTT's adaptation
+        horizon (a handful of samples), as in the paper's 5 s phases.
+        """
+        return PeriodicSquareWave(
+            high_scale=1.0,
+            low_scale=345.0 / 2035.0,
+            half_period=max(0.5, 5.0 * self.scale),
+        )
+
+    def dvfs_task_count(self, kernel: str, parallelism: int) -> int:
+        """Task count for the DVFS sweep: scaled, but floored so the run
+        spans at least ~2 full DVFS periods at typical throughputs."""
+        floors = {"matmul": 6000, "copy": 3000, "stencil": 2000}
+        from repro.apps.synthetic import PAPER_TASK_COUNTS
+
+        return max(
+            floors.get(kernel, 3000),
+            self.task_count(PAPER_TASK_COUNTS[kernel], parallelism),
+        )
+
+    def iterations(self, paper_iterations: int) -> int:
+        return max(10, int(paper_iterations * max(self.scale, 10 / paper_iterations)))
+
+
+def run_one(
+    graph: TaskGraph,
+    machine: Machine,
+    scheduler: str | SchedulerPolicy,
+    scenario: Optional[InterferenceScenario] = None,
+    config: Optional[RuntimeConfig] = None,
+    seed: int = 0,
+    scheduler_kwargs: Optional[Dict] = None,
+) -> RunResult:
+    """Wire and execute a single simulation run."""
+    if isinstance(scheduler, str):
+        scheduler = make_scheduler(scheduler, **(scheduler_kwargs or {}))
+    env = Environment()
+    speed = SpeedModel(env, machine)
+    if scenario is not None:
+        scenario.install(env, speed, machine)
+    runtime = SimulatedRuntime(
+        env, machine, graph, scheduler, config=config, speed=speed, seed=seed
+    )
+    result = runtime.run()
+    result.extra["scheduler"] = scheduler
+    return result
+
+
+def tx2_corunner(kernel_name: str) -> CorunnerInterference:
+    """The §5.1 co-runner on Denver core 0: CPU-interfering matmul chain
+    for matmul/stencil DAGs, memory-interfering copy chain for copy."""
+    if kernel_name == "copy":
+        return CorunnerInterference.copy_chain([0])
+    return CorunnerInterference.matmul_chain([0])
+
+
+def tx2_dvfs(settings: ExperimentSettings) -> DvfsInterference:
+    """The §5.2 DVFS scenario on the Denver cluster."""
+    return DvfsInterference(cores=(0, 1), wave=settings.dvfs_wave())
+
+
+def speedup(numerator: float, denominator: float) -> float:
+    """Throughput ratio with a guard against non-positive baselines."""
+    if denominator <= 0:
+        raise ConfigurationError("cannot compute speedup over non-positive base")
+    return numerator / denominator

@@ -1,0 +1,79 @@
+"""Fig. 10 — distributed 2D heat on a 4-node Haswell cluster (§5.4).
+
+Each node is a dual-socket 10-core Haswell; the interfering matmul kernel
+occupies 5 cores of node 0's socket 0 for the whole run.  MPI boundary
+exchanges are high-priority communication tasks.  Reports throughput per
+scheduler and the §5.4 headline ratios (DAM-C vs RWS and RWSM-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.apps.heat import HeatConfig, build_heat_graph_builder
+from repro.distributed.cluster_runtime import DistributedRuntime
+from repro.experiments.common import ExperimentSettings, HASWELL_SCHEDULERS, speedup
+from repro.interference.corunner import CorunnerInterference
+from repro.machine.presets import haswell_node
+
+
+@dataclass
+class Fig10Result:
+    """throughput[scheduler] in tasks/s over the whole cluster."""
+
+    throughput: Dict[str, float] = field(default_factory=dict)
+
+    def headline_ratios(self) -> Dict[str, float]:
+        return {
+            "dam-c/rws": speedup(self.throughput["dam-c"], self.throughput["rws"]),
+            "dam-c/rwsm-c": speedup(
+                self.throughput["dam-c"], self.throughput["rwsm-c"]
+            ),
+        }
+
+    def report(self) -> str:
+        from repro.util.charts import bar_chart
+
+        chart = bar_chart(
+            [s.upper() for s in self.throughput],
+            list(self.throughput.values()),
+            title="Fig 10: distributed 2D heat throughput [tasks/s], "
+            "4 Haswell nodes, interference on 5 cores of node 0 socket 0",
+        )
+        ratios = self.headline_ratios()
+        return (
+            chart
+            + "\nHeadline: "
+            + "  ".join(f"{k}={v:.2f}x" for k, v in ratios.items())
+            + "   [paper: dam-c/rws=1.76x, dam-c/rwsm-c=1.17x]"
+        )
+
+
+def run_fig10(
+    settings: ExperimentSettings = ExperimentSettings(),
+    schedulers: Sequence[str] = HASWELL_SCHEDULERS,
+    nodes: int = 4,
+    iterations: int = 30,
+) -> Fig10Result:
+    """Regenerate Fig. 10."""
+    result = Fig10Result()
+    config = HeatConfig(nodes=nodes, iterations=iterations)
+    for sched in schedulers:
+        runtime = DistributedRuntime(
+            [haswell_node() for _ in range(nodes)],
+            sched,
+            build_heat_graph_builder(config),
+            scenarios={
+                0: CorunnerInterference(
+                    cores=[0, 1, 2, 3, 4], cpu_share=0.5, memory_demand=2.0
+                )
+            },
+            seed=settings.seed,
+        )
+        result.throughput[sched] = runtime.run().throughput
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig10().report())

@@ -1,0 +1,133 @@
+"""Fig. 4 — throughput under co-running interference (paper §5.1).
+
+For each synthetic kernel (matmul, copy, stencil) and each DAG parallelism
+in 2..6, run all seven schedulers on the TX2 model with the co-runner
+pinned to Denver core 0 for the whole execution, and report throughput in
+tasks/second.  Also derives the §5.1 headline ratios (DAM-C vs RWS / FA /
+FAM-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.synthetic import PAPER_TASK_COUNTS, synthetic_workloads
+from repro.experiments.common import (
+    ExperimentSettings,
+    PARALLELISMS,
+    TX2_SCHEDULERS,
+    run_one,
+    speedup,
+    tx2_corunner,
+)
+from repro.machine.presets import jetson_tx2
+from repro.util.tables import format_table
+
+
+@dataclass
+class Fig4Result:
+    """throughput[kernel][scheduler][parallelism] in tasks/s."""
+
+    throughput: Dict[str, Dict[str, Dict[int, float]]] = field(default_factory=dict)
+    parallelisms: Tuple[int, ...] = PARALLELISMS
+    schedulers: Tuple[str, ...] = TX2_SCHEDULERS
+
+    def headline_ratios(self, kernel: str = "matmul") -> Dict[str, float]:
+        """Max over parallelism of DAM-C throughput ratios (paper §5.1).
+
+        Bases that were not part of the run are skipped.
+        """
+        data = self.throughput[kernel]
+        out: Dict[str, float] = {}
+        if "dam-c" not in data:
+            return out
+        for base in ("rws", "fa", "fam-c"):
+            if base in data:
+                out[f"dam-c/{base}"] = max(
+                    speedup(data["dam-c"][p], data[base][p])
+                    for p in self.parallelisms
+                )
+        return out
+
+    def report(self) -> str:
+        blocks: List[str] = []
+        for kernel, by_sched in self.throughput.items():
+            rows = []
+            for sched in self.schedulers:
+                rows.append(
+                    [sched.upper()]
+                    + [by_sched[sched][p] for p in self.parallelisms]
+                )
+            blocks.append(
+                format_table(
+                    ["Scheduler"] + [f"P={p}" for p in self.parallelisms],
+                    rows,
+                    title=f"Fig 4 ({kernel}): throughput [tasks/s] under "
+                    "co-runner on Denver core 0",
+                )
+            )
+        ratios = self.headline_ratios()
+        blocks.append(
+            "Headline (matmul): "
+            + "  ".join(f"{k}={v:.2f}x" for k, v in ratios.items())
+            + "   [paper: dam-c/rws<=3.5x, dam-c/fa<=1.90x, dam-c/fam-c<=1.85x]"
+        )
+        return "\n\n".join(blocks)
+
+
+def _fig4_scenario(kernel: str, live: bool):
+    if not live:
+        return tx2_corunner(kernel)
+    # A genuinely executing co-runner chain (see repro.interference.live):
+    # a matmul chain for CPU interference, a copy chain for memory
+    # interference — exactly the paper's §5.1 setup.
+    from repro.interference.live import LiveCorunner
+    from repro.kernels.copy import CopyKernel
+    from repro.kernels.matmul import MatMulKernel
+
+    chain_kernel = CopyKernel() if kernel == "copy" else MatMulKernel()
+    return LiveCorunner(core=0, kernel=chain_kernel)
+
+
+def run_fig4(
+    settings: ExperimentSettings = ExperimentSettings(),
+    kernels: Sequence[str] = ("matmul", "copy", "stencil"),
+    parallelisms: Sequence[int] = PARALLELISMS,
+    schedulers: Sequence[str] = TX2_SCHEDULERS,
+    live_corunner: bool = False,
+) -> Fig4Result:
+    """Regenerate Fig. 4(a-c).
+
+    ``live_corunner=True`` replaces the modelled co-runner with an actual
+    second application (a pinned task chain) executing through the shared
+    speed model.
+    """
+    result = Fig4Result(
+        throughput={},
+        parallelisms=tuple(parallelisms),
+        schedulers=tuple(schedulers),
+    )
+    for kernel in kernels:
+        dag_factory = synthetic_workloads[kernel]
+        per_sched: Dict[str, Dict[int, float]] = {s: {} for s in schedulers}
+        for parallelism in parallelisms:
+            total = settings.task_count(PAPER_TASK_COUNTS[kernel], parallelism)
+            for sched in schedulers:
+                graph = dag_factory(
+                    parallelism, scale=total / PAPER_TASK_COUNTS[kernel]
+                )
+                run = run_one(
+                    graph,
+                    jetson_tx2(),
+                    sched,
+                    scenario=_fig4_scenario(kernel, live_corunner),
+                    seed=settings.seed,
+                )
+                per_sched[sched][parallelism] = run.throughput
+        result.throughput[kernel] = per_sched
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig4().report())

@@ -1,0 +1,86 @@
+"""Fig. 5 — distribution of priority tasks over execution places (§5.1).
+
+Matmul synthetic DAG, DAG parallelism 2, co-runner on Denver core 0: for
+each scheduler, the fraction of high-priority tasks executed at each
+execution place — the pie charts of Fig. 5 as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.apps.synthetic import PAPER_TASK_COUNTS, paper_matmul_dag
+from repro.experiments.common import (
+    ExperimentSettings,
+    TX2_SCHEDULERS,
+    run_one,
+    tx2_corunner,
+)
+from repro.machine.presets import jetson_tx2
+from repro.machine.topology import ExecutionPlace
+from repro.metrics.analysis import place_distribution
+from repro.util.tables import format_table
+
+
+@dataclass
+class Fig5Result:
+    """distribution[scheduler][place] -> fraction of priority tasks."""
+
+    distribution: Dict[str, Dict[ExecutionPlace, float]] = field(default_factory=dict)
+
+    def interfered_core_share(self, scheduler: str, core: int = 0) -> float:
+        """Fraction of priority tasks whose place includes ``core``."""
+        total = 0.0
+        for place, fraction in self.distribution[scheduler].items():
+            if place.leader <= core < place.leader + place.width:
+                total += fraction
+        return total
+
+    def report(self) -> str:
+        rows: List[list] = []
+        for sched, dist in self.distribution.items():
+            top = sorted(dist.items(), key=lambda kv: -kv[1])[:4]
+            rows.append(
+                [
+                    sched.upper(),
+                    "  ".join(f"{p}:{v:.1%}" for p, v in top),
+                    f"{self.interfered_core_share(sched):.1%}",
+                ]
+            )
+        return format_table(
+            ["Scheduler", "Top execution places (share of priority tasks)",
+             "On interfered core 0"],
+            rows,
+            title="Fig 5: priority-task distribution, matmul P=2, "
+            "co-runner on Denver core 0",
+        )
+
+
+def run_fig5(
+    settings: ExperimentSettings = ExperimentSettings(),
+    schedulers: Sequence[str] = TX2_SCHEDULERS,
+    parallelism: int = 2,
+) -> Fig5Result:
+    """Regenerate Fig. 5(a-g)."""
+    result = Fig5Result()
+    total = settings.task_count(PAPER_TASK_COUNTS["matmul"], parallelism)
+    for sched in schedulers:
+        graph = paper_matmul_dag(
+            parallelism, scale=total / PAPER_TASK_COUNTS["matmul"]
+        )
+        run = run_one(
+            graph,
+            jetson_tx2(),
+            sched,
+            scenario=tx2_corunner("matmul"),
+            seed=settings.seed,
+        )
+        result.distribution[sched] = place_distribution(
+            run.collector.records, high_priority_only=True
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig5().report())

@@ -1,0 +1,77 @@
+"""Fig. 6 — cumulative per-core kernel work time (§5.1).
+
+Same run as Fig. 5: for each scheduler, the seconds each core spent inside
+kernels (excluding runtime activity and idleness), plus the total.
+FA should show the largest time on interfered core 0 ("the highest
+execution time on core 0"); dynamic schedulers shift work to core 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.apps.synthetic import PAPER_TASK_COUNTS, paper_matmul_dag
+from repro.experiments.common import (
+    ExperimentSettings,
+    TX2_SCHEDULERS,
+    run_one,
+    tx2_corunner,
+)
+from repro.machine.presets import jetson_tx2
+from repro.util.tables import format_table
+
+
+@dataclass
+class Fig6Result:
+    """work_time[scheduler][core] -> seconds; makespan[scheduler]."""
+
+    work_time: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    makespan: Dict[str, float] = field(default_factory=dict)
+
+    def total(self, scheduler: str) -> float:
+        return sum(self.work_time[scheduler].values())
+
+    def report(self) -> str:
+        cores = sorted(next(iter(self.work_time.values())).keys())
+        rows: List[list] = []
+        for sched, by_core in self.work_time.items():
+            rows.append(
+                [sched.upper()]
+                + [by_core[c] for c in cores]
+                + [self.total(sched), self.makespan[sched]]
+            )
+        return format_table(
+            ["Scheduler"] + [f"Core {c}" for c in cores] + ["Total", "Makespan"],
+            rows,
+            title="Fig 6: per-core kernel work time [s], matmul P=2, "
+            "co-runner on Denver core 0",
+        )
+
+
+def run_fig6(
+    settings: ExperimentSettings = ExperimentSettings(),
+    schedulers: Sequence[str] = TX2_SCHEDULERS,
+    parallelism: int = 2,
+) -> Fig6Result:
+    """Regenerate Fig. 6."""
+    result = Fig6Result()
+    total = settings.task_count(PAPER_TASK_COUNTS["matmul"], parallelism)
+    for sched in schedulers:
+        graph = paper_matmul_dag(
+            parallelism, scale=total / PAPER_TASK_COUNTS["matmul"]
+        )
+        run = run_one(
+            graph,
+            jetson_tx2(),
+            sched,
+            scenario=tx2_corunner("matmul"),
+            seed=settings.seed,
+        )
+        result.work_time[sched] = dict(run.collector.core_busy)
+        result.makespan[sched] = run.makespan
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig6().report())

@@ -1,0 +1,115 @@
+"""Fig. 7 — throughput under DVFS interference (§5.2).
+
+The Denver cluster alternates between its highest and lowest frequency
+(square wave; the paper uses 5 s + 5 s, scaled here with the workload so
+every run covers several full cycles).  Derives the §5.2 headline numbers:
+DAM-C vs RWS / RWSM-C / FA / FAM-C averaged over parallelism for the copy
+kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.synthetic import PAPER_TASK_COUNTS, synthetic_workloads
+from repro.experiments.common import (
+    ExperimentSettings,
+    PARALLELISMS,
+    TX2_SCHEDULERS,
+    run_one,
+    speedup,
+    tx2_dvfs,
+)
+from repro.machine.presets import jetson_tx2
+from repro.util.stats import geometric_mean
+from repro.util.tables import format_table
+
+
+@dataclass
+class Fig7Result:
+    """throughput[kernel][scheduler][parallelism] under DVFS."""
+
+    throughput: Dict[str, Dict[str, Dict[int, float]]] = field(default_factory=dict)
+    parallelisms: Tuple[int, ...] = PARALLELISMS
+    schedulers: Tuple[str, ...] = TX2_SCHEDULERS
+
+    def headline_ratios(self, kernel: str = "copy") -> Dict[str, float]:
+        """Geomean over parallelism of DAM-C throughput ratios (paper §5.2).
+
+        Bases that were not part of the run are skipped.
+        """
+        data = self.throughput.get(kernel, {})
+        out: Dict[str, float] = {}
+        if "dam-c" not in data:
+            return out
+        for base in ("rws", "rwsm-c", "fa", "fam-c"):
+            if base in data:
+                out[f"dam-c/{base}"] = geometric_mean(
+                    [
+                        speedup(data["dam-c"][p], data[base][p])
+                        for p in self.parallelisms
+                    ]
+                )
+        return out
+
+    def report(self) -> str:
+        blocks: List[str] = []
+        for kernel, by_sched in self.throughput.items():
+            rows = [
+                [s.upper()] + [by_sched[s][p] for p in self.parallelisms]
+                for s in self.schedulers
+            ]
+            blocks.append(
+                format_table(
+                    ["Scheduler"] + [f"P={p}" for p in self.parallelisms],
+                    rows,
+                    title=f"Fig 7 ({kernel}): throughput [tasks/s] under "
+                    "Denver DVFS square wave",
+                )
+            )
+        ratios = self.headline_ratios()
+        blocks.append(
+            "Headline (copy, geomean over P): "
+            + "  ".join(f"{k}={v:.2f}x" for k, v in ratios.items())
+            + "   [paper: dam-c/rws~2.2x, dam-c/rwsm-c~1.9x, "
+            "dam-c/fa~1.17x, dam-c/fam-c~1.12x]"
+        )
+        return "\n\n".join(blocks)
+
+
+def run_fig7(
+    settings: ExperimentSettings = ExperimentSettings(),
+    kernels: Sequence[str] = ("matmul", "copy", "stencil"),
+    parallelisms: Sequence[int] = PARALLELISMS,
+    schedulers: Sequence[str] = TX2_SCHEDULERS,
+) -> Fig7Result:
+    """Regenerate Fig. 7(a-c)."""
+    result = Fig7Result(
+        throughput={},
+        parallelisms=tuple(parallelisms),
+        schedulers=tuple(schedulers),
+    )
+    for kernel in kernels:
+        dag_factory = synthetic_workloads[kernel]
+        per_sched: Dict[str, Dict[int, float]] = {s: {} for s in schedulers}
+        for parallelism in parallelisms:
+            total = settings.dvfs_task_count(kernel, parallelism)
+            for sched in schedulers:
+                graph = dag_factory(
+                    parallelism, scale=total / PAPER_TASK_COUNTS[kernel]
+                )
+                run = run_one(
+                    graph,
+                    jetson_tx2(),
+                    sched,
+                    scenario=tx2_dvfs(settings),
+                    seed=settings.seed,
+                )
+                per_sched[sched][parallelism] = run.throughput
+        result.throughput[kernel] = per_sched
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig7().report())

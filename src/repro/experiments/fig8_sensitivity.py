@@ -1,0 +1,95 @@
+"""Fig. 8 — PTT weight-ratio x matmul tile-size sensitivity (§5.3).
+
+Sweeps the PTT folding weight (1/5 .. 5/5, where k/5 means the new sample
+gets weight k out of 5) against matmul tile sizes 32/64/80/96 under the
+co-runner scenario, running DAM-C.  Execution-time observations carry a
+clock-granularity noise term, which is what makes heavy new-sample weights
+hurt for very short tasks (tile 32) while larger tiles stay insensitive —
+the paper's stated reason for adopting the 1:4 rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import ExperimentSettings, run_one, tx2_corunner
+from repro.graph.generators import layered_synthetic_dag
+from repro.kernels.matmul import MatMulKernel
+from repro.machine.presets import jetson_tx2
+from repro.runtime.config import RuntimeConfig
+from repro.util.tables import format_table
+
+#: Paper sweep values.
+TILE_SIZES: Tuple[int, ...] = (32, 64, 80, 96)
+NEW_WEIGHTS: Tuple[int, ...] = (1, 2, 3, 4, 5)
+
+
+@dataclass
+class Fig8Result:
+    """throughput[tile][new_weight] for DAM-C (weights are k of 5)."""
+
+    throughput: Dict[int, Dict[int, float]] = field(default_factory=dict)
+
+    def spread(self, tile: int) -> float:
+        """(best - worst) / best across weight ratios at a tile size."""
+        values = list(self.throughput[tile].values())
+        return (max(values) - min(values)) / max(values)
+
+    def best_weight(self, tile: int) -> int:
+        by_weight = self.throughput[tile]
+        return max(by_weight, key=lambda w: by_weight[w])
+
+    def report(self) -> str:
+        weights = sorted(next(iter(self.throughput.values())))
+        rows: List[list] = []
+        for tile, by_weight in self.throughput.items():
+            rows.append(
+                [tile]
+                + [by_weight[w] for w in weights]
+                + [f"{self.spread(tile):.1%}", f"{self.best_weight(tile)}/5"]
+            )
+        return format_table(
+            ["Tile"] + [f"{w}/5" for w in weights] + ["Spread", "Best"],
+            rows,
+            title="Fig 8: DAM-C throughput [tasks/s] vs PTT weight ratio "
+            "and matmul tile size (co-runner on core 0)",
+        )
+
+
+def run_fig8(
+    settings: ExperimentSettings = ExperimentSettings(),
+    tiles: Sequence[int] = TILE_SIZES,
+    new_weights: Sequence[int] = NEW_WEIGHTS,
+    parallelism: int = 4,
+    measurement_noise: float = 1.5e-4,
+) -> Fig8Result:
+    """Regenerate Fig. 8."""
+    result = Fig8Result()
+    config = RuntimeConfig(measurement_noise=measurement_noise)
+    total = settings.task_count(32000, parallelism)
+    for tile in tiles:
+        by_weight: Dict[int, float] = {}
+        for weight in new_weights:
+            graph = layered_synthetic_dag(
+                MatMulKernel(tile=tile), parallelism, total
+            )
+            run = run_one(
+                graph,
+                jetson_tx2(),
+                "dam-c",
+                scenario=tx2_corunner("matmul"),
+                config=config,
+                seed=settings.seed,
+                scheduler_kwargs={
+                    "ptt_new_weight": weight,
+                    "ptt_total_weight": 5,
+                },
+            )
+            by_weight[weight] = run.throughput
+        result.throughput[tile] = by_weight
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig8().report())

@@ -1,0 +1,125 @@
+"""Fig. 9 — K-means under co-runner interference on a 16-core Haswell (§5.4).
+
+RWS, DAM-C and DAM-P run the dynamic K-means DAG for 100 iterations; a
+co-runner occupies socket 0 between iterations 20 and 70 (activated /
+deactivated by iteration hooks, mirroring the paper's "starts a few
+iterations after the start ... window for training").  Reports
+per-iteration times (Fig. 9a) and cumulative execution-place counts inside
+the window for RWS and DAM-P (Fig. 9b-c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.kmeans import KMeansConfig, build_kmeans_graph
+from repro.experiments.common import ExperimentSettings, run_one
+from repro.interference.corunner import CorunnerInterference
+from repro.machine.presets import haswell16
+from repro.machine.topology import ExecutionPlace
+from repro.metrics.analysis import iteration_series, place_distribution_counts
+from repro.util.tables import format_table
+
+FIG9_SCHEDULERS: Tuple[str, ...] = ("rws", "dam-c", "dam-p")
+
+
+@dataclass
+class Fig9Result:
+    """Per-scheduler iteration series and in-window place counts."""
+
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    window: Tuple[int, int] = (20, 70)
+    place_counts: Dict[str, Dict[ExecutionPlace, int]] = field(default_factory=dict)
+
+    def mean_iteration_time(
+        self, scheduler: str, inside_window: bool
+    ) -> float:
+        """Mean per-iteration time inside the (trimmed) interference
+        window, or before it starts."""
+        lo, hi = self.window
+        if inside_window:
+            keep = lambda it: lo + 5 <= it < hi - 5
+        else:
+            keep = lambda it: it < lo
+        values = [t for it, t in self.series[scheduler] if keep(it)]
+        return sum(values) / len(values)
+
+    def report(self) -> str:
+        rows = []
+        for sched in self.series:
+            rows.append(
+                [
+                    sched.upper(),
+                    self.mean_iteration_time(sched, inside_window=False),
+                    self.mean_iteration_time(sched, inside_window=True),
+                ]
+            )
+        table = format_table(
+            ["Scheduler", "Mean iter time before window [s]",
+             "Mean iter time inside window [s]"],
+            rows,
+            title=f"Fig 9a: K-means iteration time, co-runner on socket 0 "
+            f"during iterations {self.window[0]}-{self.window[1]}",
+        )
+        from repro.util.charts import series_panel
+
+        panel = series_panel(
+            {
+                sched.upper(): [t for _i, t in sorted(series)]
+                for sched, series in self.series.items()
+            },
+            title="Per-iteration times (sparkline over iterations):",
+        )
+        blocks = [table, panel]
+        for sched in ("rws", "dam-p"):
+            if sched not in self.place_counts:
+                continue
+            top = sorted(
+                self.place_counts[sched].items(), key=lambda kv: -kv[1]
+            )[:6]
+            blocks.append(
+                f"Fig 9{'b' if sched == 'rws' else 'c'} ({sched.upper()}): "
+                "in-window task counts by place: "
+                + "  ".join(f"{p}:{n}" for p, n in top)
+            )
+        return "\n\n".join(blocks)
+
+
+def run_fig9(
+    settings: ExperimentSettings = ExperimentSettings(),
+    schedulers: Sequence[str] = FIG9_SCHEDULERS,
+    iterations: int = 100,
+    window: Tuple[int, int] = (20, 70),
+) -> Fig9Result:
+    """Regenerate Fig. 9(a-c)."""
+    result = Fig9Result(window=window)
+    config = KMeansConfig(iterations=iterations)
+    for sched in schedulers:
+        machine = haswell16()
+        socket0 = list(machine.cluster("socket0").core_ids)
+        corunner = CorunnerInterference(
+            cores=socket0, cpu_share=0.5, memory_demand=1.5, start=None
+        )
+        hooks = {
+            window[0]: lambda _i: corunner.activate(),
+            window[1]: lambda _i: corunner.deactivate(),
+        }
+        graph = build_kmeans_graph(config, iteration_hooks=hooks)
+        run = run_one(
+            graph, machine, sched, scenario=corunner, seed=settings.seed
+        )
+        result.series[sched] = iteration_series(run.collector.records)
+        in_window = [
+            r
+            for r in run.collector.records
+            if window[0] <= r.metadata.get("iteration", -1) < window[1]
+        ]
+        result.place_counts[sched] = place_distribution_counts(
+            in_window, high_priority_only=False
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig9().report())

@@ -1,0 +1,81 @@
+"""Command-line entry point for the experiment harnesses.
+
+Examples::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig4 --scale 0.05 --seed 1
+    python -m repro.experiments all --scale 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig4_corunner import run_fig4
+from repro.experiments.fig5_distribution import run_fig5
+from repro.experiments.fig6_worktime import run_fig6
+from repro.experiments.fig7_dvfs import run_fig7
+from repro.experiments.fig8_sensitivity import run_fig8
+from repro.experiments.fig9_kmeans import run_fig9
+from repro.experiments.fig10_heat import run_fig10
+from repro.experiments.seeds import run_seeds
+from repro.experiments.table1_features import run_table1
+from repro.experiments.verify import run_verify
+
+_HARNESSES: Dict[str, Callable] = {
+    "table1": lambda settings: run_table1(),
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "seeds": run_seeds,
+    "verify": run_verify,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point: parse arguments, run harnesses, print reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_HARNESSES) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="fraction of the paper's task/iteration counts (default 0.05; "
+        "1.0 = paper scale)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    args = parser.parse_args(argv)
+
+    settings = ExperimentSettings(scale=args.scale, seed=args.seed)
+    if args.experiment == "all":
+        # "verify" re-runs every harness; keep it a separate command.
+        names = sorted(n for n in _HARNESSES if n != "verify")
+    else:
+        names = [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        result = _HARNESSES[name](settings)
+        elapsed = time.perf_counter() - start
+        print(result.report())
+        print(f"[{name} regenerated in {elapsed:.1f}s wall]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

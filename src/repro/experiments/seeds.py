@@ -1,0 +1,98 @@
+"""Seed-robustness check: is the scheduler ranking stable across seeds?
+
+The paper reports single runs; a reproduction should show its conclusions
+do not hinge on one random-stealing trajectory.  This harness re-runs the
+Fig. 4 matmul row (parallelism 2, the most contended configuration) under
+several seeds and reports the per-seed ranking plus the worst-case
+DAM-C/RWS ratio.
+
+    python -m repro.experiments seeds [--scale 0.02]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.synthetic import PAPER_TASK_COUNTS, paper_matmul_dag
+from repro.experiments.common import (
+    ExperimentSettings,
+    run_one,
+    speedup,
+    tx2_corunner,
+)
+from repro.machine.presets import jetson_tx2
+from repro.util.tables import format_table
+
+DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2, 3, 4)
+SCHEDULERS: Tuple[str, ...] = ("rws", "fa", "dam-c")
+
+
+@dataclass
+class SeedSweepResult:
+    """throughput[seed][scheduler] for the fixed configuration."""
+
+    throughput: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    def ranking(self, seed: int) -> Tuple[str, ...]:
+        by_seed = self.throughput[seed]
+        return tuple(sorted(by_seed, key=by_seed.get))
+
+    def ranking_stable(self) -> bool:
+        rankings = {self.ranking(seed) for seed in self.throughput}
+        return len(rankings) == 1
+
+    def worst_ratio(self, top: str = "dam-c", base: str = "rws") -> float:
+        return min(
+            speedup(by_seed[top], by_seed[base])
+            for by_seed in self.throughput.values()
+        )
+
+    def report(self) -> str:
+        rows: List[list] = []
+        for seed, by_seed in self.throughput.items():
+            rows.append(
+                [seed]
+                + [by_seed[s] for s in SCHEDULERS]
+                + [" < ".join(r.upper() for r in self.ranking(seed))]
+            )
+        table = format_table(
+            ["Seed"] + [s.upper() for s in SCHEDULERS] + ["Ranking"],
+            rows,
+            title="Seed robustness: matmul P=2 under co-runner on core 0",
+        )
+        return (
+            table
+            + f"\nRanking stable across seeds: {self.ranking_stable()}"
+            + f"\nWorst-case dam-c/rws: {self.worst_ratio():.2f}x"
+        )
+
+
+def run_seeds(
+    settings: ExperimentSettings = ExperimentSettings(),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    parallelism: int = 2,
+) -> SeedSweepResult:
+    """Run the seed sweep."""
+    result = SeedSweepResult()
+    total = settings.task_count(PAPER_TASK_COUNTS["matmul"], parallelism)
+    for seed in seeds:
+        by_seed: Dict[str, float] = {}
+        for sched in SCHEDULERS:
+            graph = paper_matmul_dag(
+                parallelism, scale=total / PAPER_TASK_COUNTS["matmul"]
+            )
+            run = run_one(
+                graph,
+                jetson_tx2(),
+                sched,
+                scenario=tx2_corunner("matmul"),
+                seed=seed,
+            )
+            by_seed[sched] = run.throughput
+        result.throughput[seed] = by_seed
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_seeds().report())

@@ -1,0 +1,31 @@
+"""Task and DAG model (paper §2).
+
+Tasks carry a kernel (their *task type* — the PTT key), a priority (high =
+critical, low = the rest), and dependencies.  :class:`TaskGraph` supports
+both static DAGs (fully built before execution) and dynamic DAGs (tasks
+conditionally inserted at runtime through spawn hooks), and computes the
+structural measures the paper uses: DAG parallelism and critical-path
+length.
+"""
+
+from repro.graph.task import Priority, Task, TaskState
+from repro.graph.dag import TaskGraph
+from repro.graph.generators import (
+    chain_dag,
+    diamond_dag,
+    fork_join_dag,
+    layered_synthetic_dag,
+    random_layered_dag,
+)
+
+__all__ = [
+    "Priority",
+    "Task",
+    "TaskState",
+    "TaskGraph",
+    "chain_dag",
+    "diamond_dag",
+    "fork_join_dag",
+    "layered_synthetic_dag",
+    "random_layered_dag",
+]

@@ -1,0 +1,206 @@
+"""The task graph: static and dynamic DAGs of moldable tasks."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graph.task import Priority, SpawnHook, Task, TaskState
+from repro.kernels.base import KernelModel
+
+
+class TaskGraph:
+    """A DAG of tasks with runtime-safe dynamic insertion.
+
+    Acyclicity is guaranteed by construction: a task's dependencies must
+    already exist when the task is added, so every edge points from an
+    earlier to a later insertion.  Completed dependencies count as
+    satisfied, which is what makes insertion during execution (dynamic
+    DAGs) well-defined.
+
+    The graph is the single source of truth for dependency state; the
+    runtime drives it through :meth:`complete` and receives newly released
+    tasks back.
+    """
+
+    def __init__(self, name: str = "dag") -> None:
+        self.name = name
+        self._tasks: Dict[int, Task] = {}
+        self._next_id = 0
+        self._completed = 0
+        #: Tasks released (deps satisfied) but not yet handed to the runtime.
+        self._fresh_ready: List[Task] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(
+        self,
+        kernel: KernelModel,
+        deps: Sequence[Task] = (),
+        priority: Priority = Priority.LOW,
+        label: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        spawn: Optional[SpawnHook] = None,
+    ) -> Task:
+        """Create a task depending on ``deps`` (which must belong to this graph).
+
+        May be called before execution (static DAG) or from a ``spawn``
+        hook while the runtime is executing (dynamic DAG).
+        """
+        task = Task(
+            self._next_id,
+            kernel,
+            priority=priority,
+            label=label,
+            metadata=metadata,
+            spawn=spawn,
+        )
+        self._next_id += 1
+
+        pending = 0
+        seen = set()
+        for dep in deps:
+            if dep.task_id not in self._tasks or self._tasks[dep.task_id] is not dep:
+                raise GraphError(
+                    f"dependency {dep!r} does not belong to graph {self.name!r}"
+                )
+            if dep.task_id in seen:
+                continue  # duplicate dependency edges collapse
+            seen.add(dep.task_id)
+            if dep.state is not TaskState.DONE:
+                dep._dependents.append(task)
+                pending += 1
+        task._pending_deps = pending
+        self._tasks[task.task_id] = task
+        if pending == 0:
+            task.state = TaskState.READY
+            self._fresh_ready.append(task)
+        return task
+
+    # ------------------------------------------------------------------
+    # execution-side protocol
+    # ------------------------------------------------------------------
+    def drain_ready(self) -> List[Task]:
+        """Return and clear the tasks released since the last drain.
+
+        The runtime calls this at start-up (initial roots) and after every
+        :meth:`complete` (which may both release dependents and, through
+        spawn hooks, insert new root tasks).
+        """
+        out, self._fresh_ready = self._fresh_ready, []
+        return out
+
+    def complete(self, task: Task) -> List[Task]:
+        """Mark ``task`` done; run its spawn hook; return newly ready tasks."""
+        if self._tasks.get(task.task_id) is not task:
+            raise GraphError(f"{task!r} does not belong to graph {self.name!r}")
+        if task.state is not TaskState.READY:
+            raise GraphError(
+                f"cannot complete {task!r} in state {task.state.value!r}"
+            )
+        task.state = TaskState.DONE
+        self._completed += 1
+        for child in task._dependents:
+            child._pending_deps -= 1
+            if child._pending_deps < 0:
+                raise GraphError(f"dependency underflow on {child!r}")
+            if child._pending_deps == 0 and child.state is TaskState.WAITING:
+                child.state = TaskState.READY
+                self._fresh_ready.append(child)
+        if task.spawn is not None:
+            task.spawn(self, task)
+        return self.drain_ready()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def total_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def completed_tasks(self) -> int:
+        return self._completed
+
+    @property
+    def is_finished(self) -> bool:
+        """All currently known tasks are done and none are pending release."""
+        return self._completed == len(self._tasks) and not self._fresh_ready
+
+    def tasks(self) -> Iterable[Task]:
+        """All tasks in insertion (topological) order."""
+        return self._tasks.values()
+
+    def task(self, task_id: int) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise GraphError(f"no task {task_id} in graph {self.name!r}") from None
+
+    # ------------------------------------------------------------------
+    # structural measures (paper §2)
+    # ------------------------------------------------------------------
+    def longest_path(
+        self, weight: Callable[[Task], float] = lambda _t: 1.0
+    ) -> float:
+        """Longest weighted path over the *current* task set.
+
+        Insertion order is a topological order (edges point forward), so a
+        single forward sweep suffices.  With the default unit weight this
+        is the longest path in task counts.
+        """
+        if not self._tasks:
+            return 0.0
+        dist: Dict[int, float] = {}
+        best = 0.0
+        for task in self._tasks.values():
+            d = dist.get(task.task_id, 0.0) + weight(task)
+            best = max(best, d)
+            for child in task._dependents:
+                if dist.get(child.task_id, 0.0) < d:
+                    dist[child.task_id] = d
+        return best
+
+    def dag_parallelism(self) -> float:
+        """Total tasks divided by the longest path length (paper §2)."""
+        path = self.longest_path()
+        if path == 0:
+            return 0.0
+        return self.total_tasks / path
+
+    def critical_path_work(self) -> float:
+        """Longest path weighted by sequential kernel work.
+
+        A lower bound on makespan for a machine whose fastest core has
+        speed ``s`` is ``critical_path_work() / s`` (ignoring cache
+        penalties, which only add work).
+        """
+        return self.longest_path(weight=lambda t: t.kernel.seq_work())
+
+    def total_work(self) -> float:
+        """Sum of sequential work over all tasks (area lower bound)."""
+        return sum(t.kernel.seq_work() for t in self._tasks.values())
+
+    def validate(self) -> None:
+        """Check internal invariants; raises :class:`GraphError` on breakage."""
+        for task in self._tasks.values():
+            live = sum(
+                1
+                for other in self._tasks.values()
+                for child in other._dependents
+                if child is task and other.state is not TaskState.DONE
+            )
+            if task.state is TaskState.WAITING and task._pending_deps == 0:
+                raise GraphError(f"{task!r} waiting with zero pending deps")
+            if task._pending_deps > live:
+                raise GraphError(
+                    f"{task!r} pending count {task._pending_deps} exceeds "
+                    f"live in-edges {live}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TaskGraph {self.name!r} tasks={len(self._tasks)} "
+            f"done={self._completed}>"
+        )

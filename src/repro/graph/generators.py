@@ -1,0 +1,168 @@
+"""DAG generators: the paper's synthetic workload plus common test shapes."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.graph.dag import TaskGraph
+from repro.graph.task import Priority, Task
+from repro.kernels.base import KernelModel
+from repro.util.rng import SeedLike, make_rng
+
+
+def layered_synthetic_dag(
+    kernel: KernelModel,
+    parallelism: int,
+    total_tasks: int,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """The paper's synthetic DAG (§4.2.2).
+
+    Each layer holds ``parallelism`` tasks of the same type; exactly one
+    task per layer is marked high-priority (critical), and completing it
+    releases the entire next layer.  The DAG parallelism therefore equals
+    ``parallelism`` and the critical tasks form the longest path.
+
+    ``total_tasks`` is rounded down to a whole number of layers.
+    """
+    if parallelism <= 0:
+        raise ConfigurationError(f"parallelism must be positive, got {parallelism}")
+    if total_tasks < parallelism:
+        raise ConfigurationError(
+            f"total_tasks ({total_tasks}) must be >= parallelism ({parallelism})"
+        )
+    layers = total_tasks // parallelism
+    graph = TaskGraph(name or f"synthetic-{kernel.name}-p{parallelism}")
+    previous_critical: Optional[Task] = None
+    for layer in range(layers):
+        deps = [previous_critical] if previous_critical is not None else []
+        critical = graph.add_task(
+            kernel,
+            deps=deps,
+            priority=Priority.HIGH,
+            metadata={"layer": layer, "critical": True},
+        )
+        for i in range(parallelism - 1):
+            graph.add_task(
+                kernel,
+                deps=deps,
+                priority=Priority.LOW,
+                metadata={"layer": layer, "critical": False},
+            )
+        previous_critical = critical
+    return graph
+
+
+def chain_dag(
+    kernel: KernelModel,
+    length: int,
+    priority: Priority = Priority.LOW,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """A single chain of ``length`` tasks (the paper's co-runner app shape)."""
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length}")
+    graph = TaskGraph(name or f"chain-{kernel.name}")
+    prev: Optional[Task] = None
+    for i in range(length):
+        prev = graph.add_task(
+            kernel,
+            deps=[prev] if prev is not None else [],
+            priority=priority,
+            metadata={"position": i},
+        )
+    return graph
+
+
+def fork_join_dag(
+    kernel: KernelModel,
+    fan_out: int,
+    stages: int = 1,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """``stages`` rounds of fork(fan_out)/join; joins are high priority."""
+    if fan_out <= 0 or stages <= 0:
+        raise ConfigurationError("fan_out and stages must be positive")
+    graph = TaskGraph(name or f"forkjoin-{kernel.name}")
+    source = graph.add_task(kernel, priority=Priority.HIGH, metadata={"role": "source"})
+    frontier = [source]
+    for stage in range(stages):
+        forks = [
+            graph.add_task(
+                kernel,
+                deps=frontier,
+                metadata={"role": "fork", "stage": stage},
+            )
+            for _ in range(fan_out)
+        ]
+        join = graph.add_task(
+            kernel,
+            deps=forks,
+            priority=Priority.HIGH,
+            metadata={"role": "join", "stage": stage},
+        )
+        frontier = [join]
+    return graph
+
+
+def diamond_dag(kernel: KernelModel, name: Optional[str] = None) -> TaskGraph:
+    """The four-task diamond (source, two branches, sink) used in tests."""
+    graph = TaskGraph(name or "diamond")
+    top = graph.add_task(kernel, priority=Priority.HIGH, metadata={"role": "top"})
+    left = graph.add_task(kernel, deps=[top], metadata={"role": "left"})
+    right = graph.add_task(kernel, deps=[top], metadata={"role": "right"})
+    graph.add_task(
+        kernel, deps=[left, right], priority=Priority.HIGH, metadata={"role": "bottom"}
+    )
+    return graph
+
+
+def random_layered_dag(
+    kernels: Sequence[KernelModel],
+    layers: int,
+    max_width: int,
+    seed: SeedLike = 0,
+    edge_probability: float = 0.5,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """A random layered DAG for stress tests.
+
+    Each layer has 1..``max_width`` tasks with random kernels; every task
+    depends on each task of the previous layer independently with
+    ``edge_probability`` (at least one edge is forced so layers stay
+    ordered).  The widest task of each layer is marked high priority.
+    """
+    if layers <= 0 or max_width <= 0:
+        raise ConfigurationError("layers and max_width must be positive")
+    if not kernels:
+        raise ConfigurationError("need at least one kernel")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ConfigurationError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    rng = make_rng(seed)
+    graph = TaskGraph(name or "random-layered")
+    previous: List[Task] = []
+    for layer in range(layers):
+        width = int(rng.integers(1, max_width + 1))
+        current: List[Task] = []
+        for i in range(width):
+            kernel = kernels[int(rng.integers(0, len(kernels)))]
+            if previous:
+                mask = rng.random(len(previous)) < edge_probability
+                deps = [t for t, keep in zip(previous, mask) if keep]
+                if not deps:
+                    deps = [previous[int(rng.integers(0, len(previous)))]]
+            else:
+                deps = []
+            current.append(
+                graph.add_task(
+                    kernel,
+                    deps=deps,
+                    priority=Priority.HIGH if i == 0 else Priority.LOW,
+                    metadata={"layer": layer},
+                )
+            )
+        previous = current
+    return graph

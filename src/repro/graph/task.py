@@ -1,0 +1,104 @@
+"""Task objects."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.kernels.base import KernelModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.dag import TaskGraph
+
+
+class Priority(enum.IntEnum):
+    """Task criticality (paper §2): high-priority tasks release large
+    amounts of dependent work or lie on the critical path."""
+
+    LOW = 0
+    HIGH = 1
+
+
+class TaskState(enum.Enum):
+    """Graph-level lifecycle of a task."""
+
+    WAITING = "waiting"    # has unsatisfied dependencies
+    READY = "ready"        # released, owned by the runtime
+    DONE = "done"          # committed
+
+
+SpawnHook = Callable[["TaskGraph", "Task"], None]
+
+
+class Task:
+    """One node of the DAG.
+
+    Attributes
+    ----------
+    kernel:
+        The task's :class:`KernelModel`; ``kernel.name`` is the task *type*
+        used to index the Performance Trace Table.
+    priority:
+        :class:`Priority` — high-priority tasks get criticality-aware
+        placement and are exempt from stealing.
+    spawn:
+        Optional hook invoked (by the graph) when the task completes,
+        allowing dynamic DAGs to insert successor tasks (paper §2,
+        "irregular computations ... conditionally insert new tasks").
+    metadata:
+        Free-form labels (iteration number, layer index, ...) used by
+        metrics and applications.
+    """
+
+    __slots__ = (
+        "task_id",
+        "kernel",
+        "priority",
+        "label",
+        "metadata",
+        "spawn",
+        "state",
+        "_pending_deps",
+        "_dependents",
+    )
+
+    def __init__(
+        self,
+        task_id: int,
+        kernel: KernelModel,
+        priority: Priority = Priority.LOW,
+        label: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        spawn: Optional[SpawnHook] = None,
+    ) -> None:
+        self.task_id = task_id
+        self.kernel = kernel
+        self.priority = Priority(priority)
+        self.label = label or f"{kernel.name}#{task_id}"
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        self.spawn = spawn
+        self.state = TaskState.WAITING
+        self._pending_deps = 0
+        self._dependents: List["Task"] = []
+
+    @property
+    def type_name(self) -> str:
+        """The PTT key for this task."""
+        return self.kernel.name
+
+    @property
+    def is_high_priority(self) -> bool:
+        return self.priority is Priority.HIGH
+
+    @property
+    def dependents(self) -> List["Task"]:
+        """Tasks waiting on this one (read-only view by convention)."""
+        return self._dependents
+
+    @property
+    def pending_dependencies(self) -> int:
+        return self._pending_deps
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = "H" if self.is_high_priority else "L"
+        return f"<Task {self.task_id} {self.label} [{flag}] {self.state.value}>"

@@ -1,0 +1,37 @@
+"""Interference scenarios (paper §5): the dynamic-asymmetry sources.
+
+A scenario is installed onto a (environment, speed model) pair and then
+manipulates per-core CPU shares, frequency scales and memory-bandwidth
+demand over simulated time.  The runtime is never notified — exactly as in
+the paper, it can only observe the consequences through task elapsed
+times.
+"""
+
+from repro.interference.base import InterferenceScenario, NullScenario
+from repro.interference.corunner import CorunnerInterference
+from repro.interference.dvfs_events import DvfsInterference
+from repro.interference.composite import CompositeScenario
+from repro.interference.live import LiveCorunner
+from repro.interference.traces import (
+    AddDemand,
+    InterferenceTrace,
+    SetFreqScale,
+    SetCpuShare,
+    TraceRecorder,
+    TraceScenario,
+)
+
+__all__ = [
+    "InterferenceScenario",
+    "NullScenario",
+    "CorunnerInterference",
+    "DvfsInterference",
+    "CompositeScenario",
+    "LiveCorunner",
+    "InterferenceTrace",
+    "TraceRecorder",
+    "TraceScenario",
+    "SetCpuShare",
+    "SetFreqScale",
+    "AddDemand",
+]

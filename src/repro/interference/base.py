@@ -1,0 +1,28 @@
+"""Interference scenario interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.machine.speed import SpeedModel
+from repro.machine.topology import Machine
+from repro.sim.environment import Environment
+
+
+class InterferenceScenario(abc.ABC):
+    """Something that perturbs the platform's performance over time."""
+
+    @abc.abstractmethod
+    def install(
+        self, env: Environment, speed: SpeedModel, machine: Machine
+    ) -> None:
+        """Attach the scenario's processes/effects to a simulation."""
+
+
+class NullScenario(InterferenceScenario):
+    """No interference — the baseline environment."""
+
+    def install(
+        self, env: Environment, speed: SpeedModel, machine: Machine
+    ) -> None:
+        return None

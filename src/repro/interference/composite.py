@@ -1,0 +1,23 @@
+"""Composition of interference scenarios."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.interference.base import InterferenceScenario
+from repro.machine.speed import SpeedModel
+from repro.machine.topology import Machine
+from repro.sim.environment import Environment
+
+
+class CompositeScenario(InterferenceScenario):
+    """Installs several scenarios together (e.g. DVFS plus a co-runner)."""
+
+    def __init__(self, scenarios: Sequence[InterferenceScenario]) -> None:
+        self.scenarios: Tuple[InterferenceScenario, ...] = tuple(scenarios)
+
+    def install(
+        self, env: Environment, speed: SpeedModel, machine: Machine
+    ) -> None:
+        for scenario in self.scenarios:
+            scenario.install(env, speed, machine)

@@ -1,0 +1,137 @@
+"""Co-running application interference (paper §5.1).
+
+The paper's co-runner is a single chain of kernel tasks pinned to one or a
+few cores.  Its observable effects on the foreground runtime are (a) the
+OS time-slices the pinned cores between the two applications, roughly
+halving the runtime's share there, and (b) the co-runner's memory traffic
+consumes bandwidth on its socket's domain.  ``CorunnerInterference`` models
+exactly those two effects over a time window; factory helpers configure it
+like the paper's matmul (CPU-interference) and copy (memory-interference)
+chains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, RuntimeStateError
+from repro.interference.base import InterferenceScenario
+from repro.machine.speed import SpeedModel
+from repro.machine.topology import Machine
+from repro.sim.environment import Environment
+
+
+class CorunnerInterference(InterferenceScenario):
+    """A co-running application occupying cores over ``[start, end)``.
+
+    Parameters
+    ----------
+    cores:
+        Cores the co-runner is pinned to.
+    cpu_share:
+        The share *left to the runtime* on those cores while the co-runner
+        is active (0.5 = fair time-slicing with one competing thread).
+    memory_demand:
+        Bandwidth demand units the co-runner adds to each affected memory
+        domain (0 for a compute-bound co-runner, large for a streaming
+        one).
+    start / end:
+        Activation window in simulated seconds; ``end=None`` means "for
+        the rest of the run".  Use :meth:`activate`/:meth:`deactivate`
+        for event-driven control instead (pass ``start=None``).
+    """
+
+    def __init__(
+        self,
+        cores: Sequence[int],
+        cpu_share: float = 0.5,
+        memory_demand: float = 0.0,
+        start: Optional[float] = 0.0,
+        end: Optional[float] = None,
+    ) -> None:
+        if not cores:
+            raise ConfigurationError("co-runner needs at least one core")
+        if not (0 < cpu_share <= 1.0):
+            raise ConfigurationError(
+                f"cpu_share must be in (0, 1], got {cpu_share}"
+            )
+        if memory_demand < 0:
+            raise ConfigurationError("memory_demand must be >= 0")
+        if start is not None and start < 0:
+            raise ConfigurationError("start must be >= 0")
+        if end is not None and (start is None or end < start):
+            raise ConfigurationError("need start <= end")
+        self.cores: Tuple[int, ...] = tuple(cores)
+        self.cpu_share = float(cpu_share)
+        self.memory_demand = float(memory_demand)
+        self.start = start
+        self.end = end
+        self._speed: Optional[SpeedModel] = None
+        self._domains: Tuple[str, ...] = ()
+        self._active = False
+
+    def install(
+        self, env: Environment, speed: SpeedModel, machine: Machine
+    ) -> None:
+        self._speed = speed
+        self._domains = tuple(sorted({machine.domain_of(c) for c in self.cores}))
+        if self.start is not None:
+            env.process(self._window(env), name="corunner")
+
+    def _window(self, env: Environment):
+        if self.start > 0:
+            yield env.timeout(self.start)
+        self.activate()
+        if self.end is not None:
+            yield env.timeout(self.end - self.start)
+            self.deactivate()
+
+    # -- event-driven control -------------------------------------------
+    def activate(self) -> None:
+        """Apply the co-runner's effects now."""
+        if self._speed is None:
+            raise RuntimeStateError("scenario not installed")
+        if self._active:
+            return
+        self._active = True
+        self._speed.set_cpu_share(self.cores, self.cpu_share)
+        if self.memory_demand > 0:
+            for domain in self._domains:
+                self._speed.add_external_demand(domain, self.memory_demand)
+
+    def deactivate(self) -> None:
+        """Remove the co-runner's effects now."""
+        if self._speed is None:
+            raise RuntimeStateError("scenario not installed")
+        if not self._active:
+            return
+        self._active = False
+        self._speed.set_cpu_share(self.cores, 1.0)
+        if self.memory_demand > 0:
+            for domain in self._domains:
+                self._speed.remove_external_demand(domain, self.memory_demand)
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    # -- paper-configured factories ----------------------------------------
+    @classmethod
+    def matmul_chain(
+        cls,
+        cores: Sequence[int],
+        start: Optional[float] = 0.0,
+        end: Optional[float] = None,
+    ) -> "CorunnerInterference":
+        """A compute-bound co-runner (chain of matmul tasks): CPU interference."""
+        return cls(cores, cpu_share=0.5, memory_demand=0.3, start=start, end=end)
+
+    @classmethod
+    def copy_chain(
+        cls,
+        cores: Sequence[int],
+        start: Optional[float] = 0.0,
+        end: Optional[float] = None,
+    ) -> "CorunnerInterference":
+        """A streaming co-runner (chain of copy tasks): memory interference."""
+        return cls(cores, cpu_share=0.5, memory_demand=3.0, start=start, end=end)

@@ -1,0 +1,50 @@
+"""DVFS interference scenario (paper §5.2)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.interference.base import InterferenceScenario
+from repro.machine.dvfs import DvfsGovernor, PeriodicSquareWave
+from repro.machine.speed import SpeedModel
+from repro.machine.topology import Machine
+from repro.sim.environment import Environment
+
+
+class DvfsInterference(InterferenceScenario):
+    """Periodic frequency toggling on a set of cores.
+
+    Defaults reproduce §5.2: the fast (Denver) cluster alternates between
+    its highest and lowest frequency (2035 MHz / 345 MHz) with a 10 s full
+    period.  When ``cores`` is None the statically fastest cluster is
+    targeted, matching the paper's setup on any machine preset.
+    """
+
+    def __init__(
+        self,
+        cores: Optional[Sequence[int]] = None,
+        wave: PeriodicSquareWave = PeriodicSquareWave(),
+        until: Optional[float] = None,
+    ) -> None:
+        if cores is not None and not cores:
+            raise ConfigurationError("cores must be None or non-empty")
+        self.cores: Optional[Tuple[int, ...]] = (
+            tuple(cores) if cores is not None else None
+        )
+        self.wave = wave
+        self.until = until
+        self.governor: Optional[DvfsGovernor] = None
+
+    def install(
+        self, env: Environment, speed: SpeedModel, machine: Machine
+    ) -> None:
+        cores = self.cores
+        if cores is None:
+            top = machine.max_base_speed()
+            cores = tuple(
+                c.core_id for c in machine.cores if c.base_speed == top
+            )
+        self.governor = DvfsGovernor(
+            env, speed, cores, wave=self.wave, until=self.until
+        )

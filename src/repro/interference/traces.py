@@ -1,0 +1,208 @@
+"""Record/replay of interference traces.
+
+An :class:`InterferenceTrace` is an ordered list of timed platform actions
+(share changes, frequency changes, demand changes).  Traces serialize to
+plain dictionaries so custom scenarios can be stored with experiment
+results and replayed bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.interference.base import InterferenceScenario
+from repro.machine.speed import SpeedModel
+from repro.machine.topology import Machine
+from repro.sim.environment import Environment
+
+
+@dataclass(frozen=True)
+class SetCpuShare:
+    """At ``time``, set the runtime's CPU share on ``cores`` to ``share``."""
+
+    time: float
+    cores: Tuple[int, ...]
+    share: float
+
+    def apply(self, speed: SpeedModel) -> None:
+        speed.set_cpu_share(self.cores, self.share)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "cpu_share",
+            "time": self.time,
+            "cores": list(self.cores),
+            "share": self.share,
+        }
+
+
+@dataclass(frozen=True)
+class SetFreqScale:
+    """At ``time``, set the DVFS frequency scale on ``cores``."""
+
+    time: float
+    cores: Tuple[int, ...]
+    scale: float
+
+    def apply(self, speed: SpeedModel) -> None:
+        speed.set_freq_scale(self.cores, self.scale)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "freq_scale",
+            "time": self.time,
+            "cores": list(self.cores),
+            "scale": self.scale,
+        }
+
+
+@dataclass(frozen=True)
+class AddDemand:
+    """At ``time``, add (or with negative ``amount``, remove) bandwidth demand."""
+
+    time: float
+    domain: str
+    amount: float
+
+    def apply(self, speed: SpeedModel) -> None:
+        if self.amount >= 0:
+            speed.add_external_demand(self.domain, self.amount)
+        else:
+            speed.remove_external_demand(self.domain, -self.amount)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "demand",
+            "time": self.time,
+            "domain": self.domain,
+            "amount": self.amount,
+        }
+
+
+Action = Union[SetCpuShare, SetFreqScale, AddDemand]
+
+
+class InterferenceTrace:
+    """A time-ordered list of platform actions."""
+
+    def __init__(self, actions: Sequence[Action] = ()) -> None:
+        self.actions: List[Action] = sorted(actions, key=lambda a: a.time)
+        for action in self.actions:
+            if action.time < 0:
+                raise ConfigurationError(
+                    f"action time must be >= 0, got {action.time}"
+                )
+
+    def append(self, action: Action) -> None:
+        if self.actions and action.time < self.actions[-1].time:
+            raise ConfigurationError(
+                "appended action is earlier than the trace tail; "
+                "construct the trace from the full list instead"
+            )
+        self.actions.append(action)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Serialize to a list of plain dictionaries (JSON-friendly)."""
+        return [a.to_dict() for a in self.actions]
+
+    @classmethod
+    def from_dicts(cls, items: Sequence[Dict[str, Any]]) -> "InterferenceTrace":
+        """Rebuild a trace from :meth:`to_dicts` output."""
+        actions: List[Action] = []
+        for item in items:
+            kind = item.get("kind")
+            if kind == "cpu_share":
+                actions.append(
+                    SetCpuShare(item["time"], tuple(item["cores"]), item["share"])
+                )
+            elif kind == "freq_scale":
+                actions.append(
+                    SetFreqScale(item["time"], tuple(item["cores"]), item["scale"])
+                )
+            elif kind == "demand":
+                actions.append(
+                    AddDemand(item["time"], item["domain"], item["amount"])
+                )
+            else:
+                raise ConfigurationError(f"unknown action kind {kind!r}")
+        return cls(actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+class TraceRecorder:
+    """Records every platform action applied to a speed model.
+
+    Attach before installing scenarios; afterwards :meth:`trace` returns an
+    :class:`InterferenceTrace` that replays the captured interference
+    bit-identically (e.g. to re-run a different scheduler under the exact
+    same perturbation, or to persist a scenario with experiment results).
+    """
+
+    def __init__(self) -> None:
+        self._actions: List[Action] = []
+        self._attached = False
+
+    def attach(self, env: Environment, speed: SpeedModel) -> None:
+        """Wrap ``speed``'s mutators so every call is logged with its time."""
+        if self._attached:
+            raise ConfigurationError("recorder already attached")
+        self._attached = True
+        orig_share = speed.set_cpu_share
+        orig_freq = speed.set_freq_scale
+        orig_add = speed.add_external_demand
+        orig_remove = speed.remove_external_demand
+
+        def share(cores, value):
+            self._actions.append(SetCpuShare(env.now, tuple(cores), value))
+            orig_share(cores, value)
+
+        def freq(cores, value):
+            self._actions.append(SetFreqScale(env.now, tuple(cores), value))
+            orig_freq(cores, value)
+
+        def add(domain, amount):
+            self._actions.append(AddDemand(env.now, domain, amount))
+            orig_add(domain, amount)
+
+        def remove(domain, amount):
+            self._actions.append(AddDemand(env.now, domain, -amount))
+            orig_remove(domain, amount)
+
+        speed.set_cpu_share = share  # type: ignore[method-assign]
+        speed.set_freq_scale = freq  # type: ignore[method-assign]
+        speed.add_external_demand = add  # type: ignore[method-assign]
+        speed.remove_external_demand = remove  # type: ignore[method-assign]
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def trace(self) -> InterferenceTrace:
+        """The recorded actions as a replayable trace."""
+        return InterferenceTrace(list(self._actions))
+
+
+class TraceScenario(InterferenceScenario):
+    """Replays an :class:`InterferenceTrace` against a simulation."""
+
+    def __init__(self, trace: InterferenceTrace) -> None:
+        self.trace = trace
+
+    def install(
+        self, env: Environment, speed: SpeedModel, machine: Machine
+    ) -> None:
+        if not self.trace.actions:
+            return
+
+        def _replay():
+            elapsed = 0.0
+            for action in self.trace.actions:
+                if action.time > elapsed:
+                    yield env.timeout(action.time - elapsed)
+                    elapsed = action.time
+                action.apply(speed)
+
+        env.process(_replay(), name="trace-replay")

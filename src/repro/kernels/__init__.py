@@ -1,0 +1,33 @@
+"""Kernel models: the three synthetic kernel classes of the paper (§4.2.2).
+
+Each kernel provides an analytic *cost model* used by the simulated runtime:
+given an execution place, it yields the effective work units, the memory
+intensity (how bandwidth-bound the kernel is), and the bandwidth demand.
+The models encode the mechanisms the paper's evaluation leans on:
+
+* ``MatMulKernel`` — compute-intensive; scales with core speed; tile-size
+  dependent L1/L2 cache fit (drives the §5.3 sensitivity study).
+* ``CopyKernel`` — memory-intensive streaming; throughput limited by the
+  memory domain's bandwidth, so it suffers from memory interference and
+  gains little from wide molding once bandwidth saturates.
+* ``StencilKernel`` — cache-intensive; in between the two.
+
+:mod:`repro.kernels.real` contains genuine NumPy implementations of the same
+kernels, used by the examples and by :mod:`repro.kernels.calibrate` to fit
+the analytic constants on the host machine.
+"""
+
+from repro.kernels.base import KernelModel, WorkProfile
+from repro.kernels.matmul import MatMulKernel
+from repro.kernels.copy import CopyKernel
+from repro.kernels.stencil import StencilKernel
+from repro.kernels.fixed import FixedWorkKernel
+
+__all__ = [
+    "KernelModel",
+    "WorkProfile",
+    "MatMulKernel",
+    "CopyKernel",
+    "StencilKernel",
+    "FixedWorkKernel",
+]

@@ -1,0 +1,129 @@
+"""Kernel cost-model interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.topology import ExecutionPlace, Machine
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """What executing one task of a kernel at a given place costs.
+
+    Attributes
+    ----------
+    work:
+        Effective work units handed to the speed model.  The assembly
+        advances at the slowest member core's rate, so the *duration* on an
+        uncontended place is ``work / min(core rates)``.
+    memory_intensity:
+        Fraction in [0, 1] of the work that is memory-bandwidth bound and
+        therefore subject to domain contention.
+    demand:
+        Bandwidth demand units registered on the place's memory domain
+        while the task runs.
+    """
+
+    work: float
+    memory_intensity: float
+    demand: float
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ConfigurationError(f"work must be >= 0, got {self.work}")
+        if not (0.0 <= self.memory_intensity <= 1.0):
+            raise ConfigurationError(
+                f"memory_intensity must be in [0, 1], got {self.memory_intensity}"
+            )
+        if self.demand < 0:
+            raise ConfigurationError(f"demand must be >= 0, got {self.demand}")
+
+
+class KernelModel(abc.ABC):
+    """Analytic cost model of one task kernel.
+
+    Subclasses define sequential work, a parallel-efficiency law for
+    moldable widths, and cache/bandwidth behaviour.
+    """
+
+    #: Display / PTT-type name; subclasses override.
+    name: str = "kernel"
+
+    #: Per-extra-core molding overhead (fraction of sequential work added
+    #: per additional core: synchronization, partitioning).
+    molding_overhead: float = 0.03
+
+    @abc.abstractmethod
+    def seq_work(self) -> float:
+        """Sequential work units on a speed-1 core with perfect cache fit."""
+
+    @abc.abstractmethod
+    def parallel_fraction(self) -> float:
+        """Amdahl parallel fraction of the kernel in [0, 1]."""
+
+    @abc.abstractmethod
+    def memory_intensity(self, machine: Machine, place: ExecutionPlace) -> float:
+        """Bandwidth-bound fraction at ``place``."""
+
+    def working_set_bytes(self) -> float:
+        """Total bytes touched repeatedly by one task (0 = cache-oblivious)."""
+        return 0.0
+
+    def cache_penalty(self, machine: Machine, place: ExecutionPlace) -> float:
+        """Work multiplier from cache fit at ``place`` (>= 1).
+
+        The per-core slice of the working set is compared against the L1 of
+        the member cores and the (shared) L2 of the cluster.  Fitting L1 is
+        the baseline; spilling adds work.
+        """
+        ws = self.working_set_bytes()
+        if ws <= 0:
+            return 1.0
+        cluster = machine.cluster_of(place.leader)
+        per_core = ws / place.width
+        l1_bytes = min(
+            machine.cores[c].l1_kib for c in machine.place_cores(place)
+        ) * 1024.0
+        l2_share = cluster.l2_kib * 1024.0 * place.width / cluster.num_cores
+        # Strict inequality: a working set exactly the cache's size still
+        # conflict-misses (matches the paper's "tile 64 only fits the
+        # 64 KiB Denver L1", where one 64x64 tile is exactly 32 KiB).
+        if per_core < l1_bytes:
+            return 1.0
+        if per_core < l2_share:
+            return self.l2_penalty
+        return self.dram_penalty
+
+    #: Work multipliers for L2-resident / DRAM-resident working sets.
+    l2_penalty: float = 1.35
+    dram_penalty: float = 1.9
+
+    def bandwidth_demand(self, machine: Machine, place: ExecutionPlace) -> float:
+        """Demand units while running: memory intensity times width."""
+        return self.memory_intensity(machine, place) * place.width
+
+    def profile(self, machine: Machine, place: ExecutionPlace) -> WorkProfile:
+        """Full cost profile of one task of this kernel at ``place``.
+
+        Combines Amdahl scaling, per-core molding overhead and cache fit:
+
+        ``work(w) = seq_work * penalty(place) * ((1-f) + f/w)
+        * (1 + overhead*(w-1))``
+        """
+        machine.validate_place(place)
+        w = place.width
+        f = self.parallel_fraction()
+        scaling = (1.0 - f) + f / w
+        overhead = 1.0 + self.molding_overhead * (w - 1)
+        work = self.seq_work() * self.cache_penalty(machine, place) * scaling * overhead
+        return WorkProfile(
+            work=work,
+            memory_intensity=self.memory_intensity(machine, place),
+            demand=self.bandwidth_demand(machine, place),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

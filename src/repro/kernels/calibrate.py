@@ -1,0 +1,71 @@
+"""Fit analytic kernel-cost constants from real NumPy timings.
+
+The simulation's absolute time scale is arbitrary; what matters for the
+reproduction is the *relative* structure (compute vs memory bound, cache
+cliffs).  This module lets a user anchor the scale to their own host: it
+times the real kernels and returns analytic models whose sequential work
+matches the measured single-core durations, treating the host as a speed-1
+core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.kernels.copy import CopyKernel
+from repro.kernels.matmul import MatMulKernel
+from repro.kernels.real import time_kernel
+from repro.kernels.stencil import StencilKernel
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured single-core seconds per task and the fitted constants."""
+
+    matmul_seconds: float
+    copy_seconds: float
+    stencil_seconds: float
+    flop_cost: float
+    byte_cost: float
+    point_cost: float
+
+
+def calibrate(
+    matmul_tile: int = 64,
+    copy_tile: int = 1024,
+    stencil_tile: int = 1024,
+    stencil_sweeps: int = 4,
+    repeats: int = 5,
+) -> CalibrationResult:
+    """Time the real kernels and fit per-unit cost constants.
+
+    The fitted constants can be passed straight into the analytic kernels::
+
+        res = calibrate()
+        kernel = MatMulKernel(tile=64, flop_cost=res.flop_cost)
+    """
+    mm_t, _ = time_kernel("matmul", matmul_tile, repeats=repeats)
+    cp_t, _ = time_kernel("copy", copy_tile, repeats=repeats)
+    st_t, _ = time_kernel("stencil", stencil_tile, repeats=repeats, sweeps=stencil_sweeps)
+
+    flop_cost = mm_t / float(matmul_tile) ** 3
+    byte_cost = cp_t / (2.0 * copy_tile * copy_tile * 8.0)
+    point_cost = st_t / (stencil_sweeps * float(stencil_tile) ** 2)
+    return CalibrationResult(
+        matmul_seconds=mm_t,
+        copy_seconds=cp_t,
+        stencil_seconds=st_t,
+        flop_cost=flop_cost,
+        byte_cost=byte_cost,
+        point_cost=point_cost,
+    )
+
+
+def calibrated_kernels(result: CalibrationResult) -> Dict[str, object]:
+    """Build the three analytic kernels from a calibration result."""
+    return {
+        "matmul": MatMulKernel(flop_cost=result.flop_cost),
+        "copy": CopyKernel(byte_cost=result.byte_cost),
+        "stencil": StencilKernel(point_cost=result.point_cost),
+    }

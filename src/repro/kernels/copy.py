@@ -1,0 +1,54 @@
+"""Copy kernel: the memory-intensive streaming class (§4.2.2)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernels.base import KernelModel
+from repro.machine.topology import ExecutionPlace, Machine
+
+
+class CopyKernel(KernelModel):
+    """Stream a ``tile x tile`` double matrix from and back to memory.
+
+    Streaming traffic never fits a cache, so there is no cache penalty;
+    instead nearly all the work is bandwidth-bound and registers a large
+    demand on the memory domain.  Wide molding helps only until the domain
+    saturates — which is exactly why memory interference (a co-running copy
+    chain) hits this kernel hardest in the paper's Fig. 4(b).
+
+    Parameters
+    ----------
+    tile:
+        Matrix edge length (paper default 1024).
+    byte_cost:
+        Work units per byte moved (default gives a ~2.8 ms task at
+        tile 1024 on a speed-1 core).
+    """
+
+    name = "copy"
+
+    def __init__(self, tile: int = 1024, byte_cost: float = 1.7e-10) -> None:
+        if tile <= 0:
+            raise ConfigurationError(f"tile must be positive, got {tile}")
+        if byte_cost <= 0:
+            raise ConfigurationError(f"byte_cost must be positive, got {byte_cost}")
+        self.tile = int(tile)
+        self.byte_cost = float(byte_cost)
+        self.name = f"copy{self.tile}"
+
+    def bytes_moved(self) -> float:
+        """Read + write traffic of one task."""
+        return 2.0 * self.tile * self.tile * 8.0
+
+    def seq_work(self) -> float:
+        return self.byte_cost * self.bytes_moved()
+
+    def parallel_fraction(self) -> float:
+        return 0.90
+
+    def working_set_bytes(self) -> float:
+        # Streaming: no reuse, cache fit is irrelevant.
+        return 0.0
+
+    def memory_intensity(self, machine: Machine, place: ExecutionPlace) -> float:
+        return 0.9

@@ -1,0 +1,85 @@
+"""A kernel with directly specified cost — used by applications and tests.
+
+Application DAGs (K-means partitions, heat blocks, MPI exchanges) know their
+own work; :class:`FixedWorkKernel` lets them state it without inventing an
+analytic model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernels.base import KernelModel
+from repro.machine.topology import ExecutionPlace, Machine
+
+
+class FixedWorkKernel(KernelModel):
+    """A kernel described by explicit (work, parallel fraction, intensity).
+
+    Parameters
+    ----------
+    name:
+        Task-type name (the PTT key).
+    work:
+        Sequential work units.
+    parallel_fraction:
+        Amdahl fraction in [0, 1]; 0 makes the task effectively rigid
+        (molding never helps).
+    memory_intensity:
+        Constant bandwidth-bound fraction in [0, 1].
+    working_set:
+        Optional working-set bytes for cache-fit modelling.
+    molding_overhead:
+        Per-extra-core overhead fraction (see :class:`KernelModel`).
+    l2_penalty / dram_penalty:
+        Work multipliers when the per-core working-set slice spills to the
+        L2 share / to DRAM (cache-sensitive kernels have steep cliffs).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        work: float,
+        parallel_fraction: float = 0.9,
+        memory_intensity: float = 0.1,
+        working_set: float = 0.0,
+        molding_overhead: float = 0.03,
+        l2_penalty: float = 1.35,
+        dram_penalty: float = 1.9,
+    ) -> None:
+        if work < 0:
+            raise ConfigurationError(f"work must be >= 0, got {work}")
+        if not (0.0 <= parallel_fraction <= 1.0):
+            raise ConfigurationError(
+                f"parallel_fraction must be in [0, 1], got {parallel_fraction}"
+            )
+        if not (0.0 <= memory_intensity <= 1.0):
+            raise ConfigurationError(
+                f"memory_intensity must be in [0, 1], got {memory_intensity}"
+            )
+        if working_set < 0:
+            raise ConfigurationError(f"working_set must be >= 0, got {working_set}")
+        self.name = str(name)
+        self._work = float(work)
+        self._fraction = float(parallel_fraction)
+        self._intensity = float(memory_intensity)
+        self._working_set = float(working_set)
+        self.molding_overhead = float(molding_overhead)
+        if l2_penalty < 1.0 or dram_penalty < l2_penalty:
+            raise ConfigurationError(
+                "need 1 <= l2_penalty <= dram_penalty, got "
+                f"{l2_penalty}/{dram_penalty}"
+            )
+        self.l2_penalty = float(l2_penalty)
+        self.dram_penalty = float(dram_penalty)
+
+    def seq_work(self) -> float:
+        return self._work
+
+    def parallel_fraction(self) -> float:
+        return self._fraction
+
+    def working_set_bytes(self) -> float:
+        return self._working_set
+
+    def memory_intensity(self, machine: Machine, place: ExecutionPlace) -> float:
+        return self._intensity

@@ -1,0 +1,63 @@
+"""Matrix-multiplication kernel: the compute-intensive class (§4.2.2)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernels.base import KernelModel
+from repro.machine.topology import ExecutionPlace, Machine
+
+
+class MatMulKernel(KernelModel):
+    """GEMM on a square tile of ``tile x tile`` doubles.
+
+    Work scales with ``tile**3``.  The working set is the three tiles
+    (A, B, C); whether it fits the L1 of the executing cores is what the
+    paper's §5.3 tile-size sensitivity probes (32 KiB A57 L1 vs 64 KiB
+    Denver L1; a tile of 32 fits both, 64/80 only Denver, 96 spills to L2).
+
+    Parameters
+    ----------
+    tile:
+        Tile edge length N (paper default 64).
+    flop_cost:
+        Work units per ``N^3`` (sets the absolute task granularity; the
+        default gives a ~1.6 ms task at tile 64 on a speed-1 core).
+    """
+
+    name = "matmul"
+
+    def __init__(self, tile: int = 64, flop_cost: float = 6.0e-9) -> None:
+        if tile <= 0:
+            raise ConfigurationError(f"tile must be positive, got {tile}")
+        if flop_cost <= 0:
+            raise ConfigurationError(f"flop_cost must be positive, got {flop_cost}")
+        self.tile = int(tile)
+        self.flop_cost = float(flop_cost)
+        self.name = f"matmul{self.tile}"
+
+    #: Small-tile GEMMs mold poorly: partitioning a ~64x64 product over
+    #: several cores costs synchronization comparable to the work saved.
+    molding_overhead = 0.10
+
+    def seq_work(self) -> float:
+        return self.flop_cost * float(self.tile) ** 3
+
+    def parallel_fraction(self) -> float:
+        return 0.75
+
+    def working_set_bytes(self) -> float:
+        # The inner-loop-resident tile of doubles (B is streamed, C
+        # accumulates in registers); this reproduces the paper's §5.3 L1
+        # classification on the TX2 (32 fits both L1s, 64/80 only the
+        # 64 KiB Denver L1, 96 spills to L2).
+        return self.tile * self.tile * 8.0
+
+    def memory_intensity(self, machine: Machine, place: ExecutionPlace) -> float:
+        """Mostly compute-bound; slightly bandwidth-sensitive when the
+        working set spills past the L2 share."""
+        penalty = self.cache_penalty(machine, place)
+        if penalty >= self.dram_penalty:
+            return 0.35
+        if penalty > 1.0:
+            return 0.15
+        return 0.05

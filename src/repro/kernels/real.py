@@ -1,0 +1,90 @@
+"""Real NumPy implementations of the three kernels.
+
+These execute the genuine computations (GEMM, streaming copy, 5-point
+stencil) on the host.  They back the runnable examples and the cost-model
+calibration in :mod:`repro.kernels.calibrate`; the simulation itself uses
+the analytic models.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import SeedLike, make_rng
+
+
+def run_matmul(tile: int, rng: SeedLike = 0) -> np.ndarray:
+    """Multiply two ``tile x tile`` random matrices; returns the product."""
+    if tile <= 0:
+        raise ConfigurationError(f"tile must be positive, got {tile}")
+    gen = make_rng(rng)
+    a = gen.random((tile, tile))
+    b = gen.random((tile, tile))
+    return a @ b
+
+
+def run_copy(tile: int, rng: SeedLike = 0) -> np.ndarray:
+    """Stream-copy a ``tile x tile`` matrix; returns the copy."""
+    if tile <= 0:
+        raise ConfigurationError(f"tile must be positive, got {tile}")
+    gen = make_rng(rng)
+    src = gen.random((tile, tile))
+    dst = np.empty_like(src)
+    np.copyto(dst, src)
+    return dst
+
+
+def run_stencil(tile: int, sweeps: int = 4, rng: SeedLike = 0) -> np.ndarray:
+    """Apply ``sweeps`` 5-point averaging updates to a random grid."""
+    if tile <= 2:
+        raise ConfigurationError(f"tile must be > 2, got {tile}")
+    if sweeps <= 0:
+        raise ConfigurationError(f"sweeps must be positive, got {sweeps}")
+    gen = make_rng(rng)
+    grid = gen.random((tile, tile))
+    out = grid.copy()
+    for _ in range(sweeps):
+        out[1:-1, 1:-1] = 0.2 * (
+            grid[1:-1, 1:-1]
+            + grid[:-2, 1:-1]
+            + grid[2:, 1:-1]
+            + grid[1:-1, :-2]
+            + grid[1:-1, 2:]
+        )
+        grid, out = out, grid
+    return grid
+
+
+#: Registry used by calibration and examples.
+REAL_KERNELS: Dict[str, Callable[..., np.ndarray]] = {
+    "matmul": run_matmul,
+    "copy": run_copy,
+    "stencil": run_stencil,
+}
+
+
+def time_kernel(kind: str, tile: int, repeats: int = 5, **kwargs) -> Tuple[float, float]:
+    """Median and minimum wall time of ``repeats`` runs of a real kernel.
+
+    Returns ``(median_seconds, min_seconds)``.  One warm-up run is discarded
+    so allocation and BLAS thread spin-up do not pollute the measurement.
+    """
+    if kind not in REAL_KERNELS:
+        raise ConfigurationError(
+            f"unknown kernel {kind!r}; choose from {sorted(REAL_KERNELS)}"
+        )
+    if repeats <= 0:
+        raise ConfigurationError(f"repeats must be positive, got {repeats}")
+    fn = REAL_KERNELS[kind]
+    fn(tile, **kwargs)  # warm-up
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(tile, **kwargs)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2], samples[0]

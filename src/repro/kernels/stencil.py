@@ -1,0 +1,59 @@
+"""Stencil kernel: the cache-intensive class (§4.2.2)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernels.base import KernelModel
+from repro.machine.topology import ExecutionPlace, Machine
+
+
+class StencilKernel(KernelModel):
+    """Repeated 5-point updates over a ``tile x tile`` grid.
+
+    Neighbour reuse makes the kernel cache-intensive: per-core slices that
+    fit the L2 run well, spills are both slower and noticeably
+    bandwidth-bound.
+
+    Parameters
+    ----------
+    tile:
+        Grid edge length (paper default 1024).
+    sweeps:
+        Number of update sweeps per task.
+    point_cost:
+        Work units per grid-point update.
+    """
+
+    name = "stencil"
+
+    def __init__(
+        self, tile: int = 1024, sweeps: int = 4, point_cost: float = 1.1e-9
+    ) -> None:
+        if tile <= 0:
+            raise ConfigurationError(f"tile must be positive, got {tile}")
+        if sweeps <= 0:
+            raise ConfigurationError(f"sweeps must be positive, got {sweeps}")
+        if point_cost <= 0:
+            raise ConfigurationError(f"point_cost must be positive, got {point_cost}")
+        self.tile = int(tile)
+        self.sweeps = int(sweeps)
+        self.point_cost = float(point_cost)
+        self.name = f"stencil{self.tile}"
+
+    def seq_work(self) -> float:
+        return self.point_cost * self.sweeps * float(self.tile) ** 2
+
+    def parallel_fraction(self) -> float:
+        return 0.92
+
+    def working_set_bytes(self) -> float:
+        # Two grids (read + write) of doubles.
+        return 2.0 * self.tile * self.tile * 8.0
+
+    def memory_intensity(self, machine: Machine, place: ExecutionPlace) -> float:
+        penalty = self.cache_penalty(machine, place)
+        if penalty >= self.dram_penalty:
+            return 0.6
+        if penalty > 1.0:
+            return 0.35
+        return 0.2

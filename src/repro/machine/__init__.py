@@ -1,0 +1,43 @@
+"""Machine model: cores, clusters, execution places, time-varying speeds.
+
+The platform model of the paper (§2): multiple execution resources grouped
+into *resource partitions* (clusters) that share caches and memory channels.
+Per-core performance is a product of static factors (base speed of the core)
+and dynamic factors (DVFS frequency scaling, time-sharing with co-running
+processes), plus memory-bandwidth contention on shared domains.
+
+The central object is :class:`~repro.machine.topology.Machine`, which
+enumerates the legal execution places ``(leader core, resource width)``, and
+:class:`~repro.machine.speed.SpeedModel`, which integrates work over the
+piecewise-constant per-core rates so that task durations respond to
+interference exactly when it happens.
+"""
+
+from repro.machine.core import CoreSpec
+from repro.machine.cluster import ClusterSpec
+from repro.machine.topology import ExecutionPlace, Machine
+from repro.machine.speed import ActiveWork, SpeedModel
+from repro.machine.dvfs import DvfsGovernor, PeriodicSquareWave
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import (
+    haswell16,
+    haswell_node,
+    jetson_tx2,
+    symmetric_machine,
+)
+
+__all__ = [
+    "CoreSpec",
+    "ClusterSpec",
+    "ExecutionPlace",
+    "Machine",
+    "ActiveWork",
+    "SpeedModel",
+    "DvfsGovernor",
+    "PeriodicSquareWave",
+    "Interconnect",
+    "jetson_tx2",
+    "haswell16",
+    "haswell_node",
+    "symmetric_machine",
+]

@@ -1,0 +1,74 @@
+"""Resource partitions (core clusters sharing a cache level)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.validation import require_positive
+
+
+def divisor_widths(n: int) -> Tuple[int, ...]:
+    """All divisors of ``n`` — the legal resource widths within a cluster.
+
+    A width is legal when assemblies of that width tile the cluster exactly
+    (XiTAO's aligned elastic places).  E.g. a 4-core cluster supports widths
+    (1, 2, 4); a 10-core socket supports (1, 2, 5, 10).
+    """
+    if n <= 0:
+        raise ValueError(f"cluster size must be positive, got {n}")
+    return tuple(w for w in range(1, n + 1) if n % w == 0)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A set of cores sharing an L2 cache and a memory domain.
+
+    Attributes
+    ----------
+    name:
+        Unique cluster name (e.g. ``"denver"``, ``"a57"``, ``"socket0"``).
+    first_core / num_cores:
+        The contiguous global core-id range ``[first_core, first_core +
+        num_cores)``.
+    l2_kib:
+        Shared L2 capacity in KiB.
+    memory_domain:
+        Name of the bandwidth domain the cluster's memory traffic uses.
+        Clusters may share a domain (TX2: one DRAM) or own one each
+        (dual-socket Haswell).
+    """
+
+    name: str
+    first_core: int
+    num_cores: int
+    l2_kib: float
+    memory_domain: str
+
+    def __post_init__(self) -> None:
+        if self.first_core < 0:
+            raise ValueError(f"first_core must be >= 0, got {self.first_core}")
+        require_positive(self.num_cores, "num_cores")
+        require_positive(self.l2_kib, "l2_kib")
+
+    @property
+    def core_ids(self) -> Tuple[int, ...]:
+        """Global ids of this cluster's cores."""
+        return tuple(range(self.first_core, self.first_core + self.num_cores))
+
+    @property
+    def widths(self) -> Tuple[int, ...]:
+        """Legal resource widths inside this cluster."""
+        return divisor_widths(self.num_cores)
+
+    def leaders_for_width(self, width: int) -> Tuple[int, ...]:
+        """Leader core ids of the aligned places of ``width`` in this cluster."""
+        if width not in self.widths:
+            raise ValueError(
+                f"width {width} not supported by cluster {self.name!r} "
+                f"(valid: {self.widths})"
+            )
+        return tuple(
+            self.first_core + offset
+            for offset in range(0, self.num_cores, width)
+        )

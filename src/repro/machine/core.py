@@ -1,0 +1,37 @@
+"""Per-core static description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Static description of one core.
+
+    Attributes
+    ----------
+    core_id:
+        Global index, dense from 0 across the whole machine.
+    cluster:
+        Name of the resource partition this core belongs to.
+    base_speed:
+        Work units per second at maximum frequency with no interference.
+        This encodes *fixed* asymmetry (e.g. Denver vs A57).
+    l1_kib:
+        Private L1 data cache capacity in KiB (drives the tile-size
+        sensitivity of cache-aware kernels, paper §5.3).
+    """
+
+    core_id: int
+    cluster: str
+    base_speed: float
+    l1_kib: float
+
+    def __post_init__(self) -> None:
+        if self.core_id < 0:
+            raise ValueError(f"core_id must be >= 0, got {self.core_id}")
+        require_positive(self.base_speed, "base_speed")
+        require_positive(self.l1_kib, "l1_kib")

@@ -1,0 +1,34 @@
+"""Point-to-point interconnect model for multi-node machines.
+
+A simple LogP-flavoured model: transferring ``n`` bytes between two nodes
+takes ``latency + n / bandwidth``; the fabric layer
+(:mod:`repro.distributed.network`) adds per-link FIFO queuing on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Latency/bandwidth description of the inter-node network.
+
+    Defaults approximate FDR InfiniBand (the paper's Haswell cluster):
+    ~1 microsecond latency, ~6 GB/s effective point-to-point bandwidth.
+    """
+
+    latency_s: float = 1.0e-6
+    bandwidth_bytes_per_s: float = 6.0e9
+
+    def __post_init__(self) -> None:
+        require_positive(self.latency_s, "latency_s")
+        require_positive(self.bandwidth_bytes_per_s, "bandwidth_bytes_per_s")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Wire time to move ``num_bytes`` point-to-point."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s

@@ -1,0 +1,81 @@
+"""Machine presets mirroring the paper's evaluation platforms (§4.2.1)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.machine.cluster import ClusterSpec
+from repro.machine.core import CoreSpec
+from repro.machine.topology import Machine
+
+
+def jetson_tx2(denver_speed: float = 2.0, a57_speed: float = 1.0) -> Machine:
+    """NVIDIA Jetson TX2 model: 2 Denver + 4 A57 cores.
+
+    Cores 0-1 form the Denver cluster (fast, 64 KiB L1D), cores 2-5 the A57
+    cluster (slow, 32 KiB L1D); each cluster has a 2 MiB shared L2 and both
+    share one DRAM domain.  ``denver_speed``/``a57_speed`` set the static
+    asymmetry ratio (Denver ≈ 2x A57 for the paper's kernels).
+    """
+    clusters = [
+        ClusterSpec("denver", 0, 2, l2_kib=2048.0, memory_domain="dram"),
+        ClusterSpec("a57", 2, 4, l2_kib=2048.0, memory_domain="dram"),
+    ]
+    cores: List[CoreSpec] = []
+    for cid in range(2):
+        cores.append(CoreSpec(cid, "denver", denver_speed, l1_kib=64.0))
+    for cid in range(2, 6):
+        cores.append(CoreSpec(cid, "a57", a57_speed, l1_kib=32.0))
+    return Machine(clusters, cores, memory_bandwidth={"dram": 4.0}, name="jetson-tx2")
+
+
+def haswell16(core_speed: float = 1.5) -> Machine:
+    """Symmetric 16-core dual-socket Haswell (paper Fig. 9): 2 sockets x 8.
+
+    Each socket owns its memory domain; 32 KiB L1D, 20 MiB LLC modelled as
+    per-socket L2 capacity.
+    """
+    return symmetric_machine(
+        sockets=2,
+        cores_per_socket=8,
+        core_speed=core_speed,
+        name="haswell-16",
+    )
+
+
+def haswell_node(core_speed: float = 1.5) -> Machine:
+    """One dual-socket 10-core Haswell node (paper §4.2.1, Fig. 10)."""
+    return symmetric_machine(
+        sockets=2,
+        cores_per_socket=10,
+        core_speed=core_speed,
+        name="haswell-node",
+    )
+
+
+def symmetric_machine(
+    sockets: int,
+    cores_per_socket: int,
+    core_speed: float = 1.0,
+    l1_kib: float = 32.0,
+    l2_kib: float = 20480.0,
+    bandwidth_per_socket: float = 8.0,
+    name: str = "symmetric",
+) -> Machine:
+    """A statically symmetric machine of ``sockets`` x ``cores_per_socket``."""
+    if sockets <= 0 or cores_per_socket <= 0:
+        raise ValueError("sockets and cores_per_socket must be positive")
+    clusters = []
+    cores: List[CoreSpec] = []
+    bandwidth = {}
+    for s in range(sockets):
+        cname = f"socket{s}"
+        first = s * cores_per_socket
+        clusters.append(
+            ClusterSpec(cname, first, cores_per_socket, l2_kib=l2_kib,
+                        memory_domain=f"mem{s}")
+        )
+        bandwidth[f"mem{s}"] = bandwidth_per_socket
+        for cid in range(first, first + cores_per_socket):
+            cores.append(CoreSpec(cid, cname, core_speed, l1_kib=l1_kib))
+    return Machine(clusters, cores, memory_bandwidth=bandwidth, name=name)

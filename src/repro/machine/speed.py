@@ -1,0 +1,321 @@
+"""Time-varying core speeds and exact work integration.
+
+Dynamic asymmetry enters the simulation here.  Each core's effective rate is
+
+``rate(c, t) = base_speed(c) * freq_scale(c, t) * cpu_share(c, t)``
+
+where ``freq_scale`` models DVFS and ``cpu_share`` models time-sharing with
+co-running processes.  Rates are piecewise constant: they change only at
+discrete events (a governor toggling frequency, a co-runner arriving or
+leaving).
+
+Work executes through :meth:`SpeedModel.begin_work`: an *assembly* spanning a
+set of cores advances at the rate of its slowest member (members synchronize
+like an SPMD region — the paper's moldable tasks), further scaled by memory
+bandwidth contention on the assembly's domain.  Whenever any rate or demand
+changes, all in-flight work is re-timed: remaining work is advanced under the
+old rate and the completion is re-scheduled under the new one.  Task
+durations therefore respond to interference exactly when it happens, which
+is what the runtime's Performance Trace Table observes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, RuntimeStateError
+from repro.machine.topology import Machine
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+_EPS = 1e-9
+
+
+class ActiveWork:
+    """A unit of in-flight work registered with the :class:`SpeedModel`.
+
+    Attributes
+    ----------
+    done:
+        Event succeeding (with the elapsed wall time) when the work
+        completes.
+    cores:
+        Member core ids; the work advances at the slowest member's rate.
+    remaining:
+        Work units still to execute (updated lazily at re-time points).
+    memory_intensity:
+        Fraction in [0, 1] of the work that is memory-bandwidth bound.
+    demand:
+        Bandwidth demand registered on the domain while running.
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "work_id",
+        "cores",
+        "remaining",
+        "memory_intensity",
+        "demand",
+        "domain",
+        "done",
+        "started_at",
+        "_rate",
+        "_version",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        cores: Tuple[int, ...],
+        work: float,
+        memory_intensity: float,
+        demand: float,
+        domain: str,
+    ) -> None:
+        self.work_id = next(ActiveWork._ids)
+        self.cores = cores
+        self.remaining = work
+        self.memory_intensity = memory_intensity
+        self.demand = demand
+        self.domain = domain
+        self.done: Event = Event(env)
+        self.started_at = env.now
+        self._rate = 0.0
+        self._version = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ActiveWork #{self.work_id} cores={self.cores} "
+            f"remaining={self.remaining:.3g} rate={self._rate:.3g}>"
+        )
+
+
+class SpeedModel:
+    """Tracks dynamic core rates and integrates work over them."""
+
+    def __init__(self, env: Environment, machine: Machine) -> None:
+        self.env = env
+        self.machine = machine
+        n = machine.num_cores
+        self._freq_scale: List[float] = [1.0] * n
+        self._cpu_share: List[float] = [1.0] * n
+        #: Persistent bandwidth demand per domain from interference sources.
+        self._external_demand: Dict[str, float] = {
+            d: 0.0 for d in machine.memory_bandwidth
+        }
+        self._active: Dict[int, ActiveWork] = {}
+        #: Number of in-flight work items per core.  One runtime never
+        #: oversubscribes a core (a worker runs one assembly at a time),
+        #: but two runtimes sharing this model — a live co-runner — do;
+        #: the OS then time-slices, giving each work 1/k of the core.
+        self._active_per_core: List[int] = [0] * n
+        self._last_update = env.now
+
+    # ------------------------------------------------------------------
+    # dynamic state
+    # ------------------------------------------------------------------
+    def core_rate(self, core_id: int) -> float:
+        """Effective rate of ``core_id`` for one work item (work units/s).
+
+        Includes OS time-slicing when several in-flight work items share
+        the core (live co-runners).
+        """
+        spec = self.machine.cores[core_id]
+        timeshare = 1.0 / max(1, self._active_per_core[core_id])
+        return (
+            spec.base_speed
+            * self._freq_scale[core_id]
+            * self._cpu_share[core_id]
+            * timeshare
+        )
+
+    def active_on_core(self, core_id: int) -> int:
+        """Number of in-flight work items occupying ``core_id``."""
+        return self._active_per_core[core_id]
+
+    def freq_scale(self, core_id: int) -> float:
+        return self._freq_scale[core_id]
+
+    def cpu_share(self, core_id: int) -> float:
+        return self._cpu_share[core_id]
+
+    def set_freq_scale(self, core_ids: Iterable[int], scale: float) -> None:
+        """Set the DVFS frequency scale of ``core_ids`` to ``scale`` in (0, 1]."""
+        if not (0 < scale <= 1.0):
+            raise ConfigurationError(f"freq scale must be in (0, 1], got {scale}")
+        self._advance()
+        for cid in core_ids:
+            self.machine._check_core(cid)
+            self._freq_scale[cid] = scale
+        self._retime()
+
+    def set_cpu_share(self, core_ids: Iterable[int], share: float) -> None:
+        """Set the CPU time share available to the runtime on ``core_ids``.
+
+        A co-running process of equal OS priority on a core leaves the
+        runtime a share of about 0.5 there.
+        """
+        if not (0 < share <= 1.0):
+            raise ConfigurationError(f"cpu share must be in (0, 1], got {share}")
+        self._advance()
+        for cid in core_ids:
+            self.machine._check_core(cid)
+            self._cpu_share[cid] = share
+        self._retime()
+
+    def add_external_demand(self, domain: str, amount: float) -> None:
+        """Register persistent memory-bandwidth demand (e.g. a co-runner)."""
+        if domain not in self._external_demand:
+            raise ConfigurationError(f"unknown memory domain {domain!r}")
+        if amount < 0:
+            raise ConfigurationError(f"demand must be >= 0, got {amount}")
+        self._advance()
+        self._external_demand[domain] += amount
+        self._retime()
+
+    def remove_external_demand(self, domain: str, amount: float) -> None:
+        """Remove previously registered external demand."""
+        if domain not in self._external_demand:
+            raise ConfigurationError(f"unknown memory domain {domain!r}")
+        self._advance()
+        self._external_demand[domain] -= amount
+        if self._external_demand[domain] < -_EPS:
+            raise RuntimeStateError(
+                f"external demand on {domain!r} went negative"
+            )
+        self._external_demand[domain] = max(0.0, self._external_demand[domain])
+        self._retime()
+
+    def external_demand(self, domain: str) -> float:
+        return self._external_demand[domain]
+
+    # ------------------------------------------------------------------
+    # work execution
+    # ------------------------------------------------------------------
+    def begin_work(
+        self,
+        cores: Sequence[int],
+        work: float,
+        memory_intensity: float = 0.0,
+        demand: Optional[float] = None,
+    ) -> ActiveWork:
+        """Start executing ``work`` units on ``cores``; returns the handle.
+
+        ``handle.done`` succeeds with the elapsed wall-clock time once the
+        work has been fully processed.  All member cores must belong to one
+        memory domain (places never span clusters).
+        """
+        if not cores:
+            raise ConfigurationError("work needs at least one core")
+        if work < 0:
+            raise ConfigurationError(f"work must be >= 0, got {work}")
+        if not (0.0 <= memory_intensity <= 1.0):
+            raise ConfigurationError(
+                f"memory_intensity must be in [0, 1], got {memory_intensity}"
+            )
+        cores = tuple(cores)
+        domains = {self.machine.domain_of(c) for c in cores}
+        if len(domains) != 1:
+            raise ConfigurationError(
+                f"work spans multiple memory domains: {sorted(domains)}"
+            )
+        if demand is None:
+            demand = memory_intensity * len(cores)
+        self._advance()
+        item = ActiveWork(
+            self.env, cores, float(work), memory_intensity, float(demand), domains.pop()
+        )
+        if item.remaining <= _EPS:
+            # Degenerate zero-work item: complete instantly.
+            item.done.succeed(0.0)
+        else:
+            self._active[item.work_id] = item
+            for core in cores:
+                self._active_per_core[core] += 1
+            self._retime()
+        return item
+
+    def active_count(self) -> int:
+        """Number of in-flight work items (for tests/metrics)."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _domain_factor(self, domain: str, demands: Dict[str, float]) -> float:
+        """Bandwidth share factor: 1 when undersubscribed, B/D when over."""
+        capacity = self.machine.memory_bandwidth[domain]
+        total = demands[domain]
+        if total <= capacity or total <= 0:
+            return 1.0
+        return capacity / total
+
+    def _advance(self) -> None:
+        """Advance all in-flight work to the current time under stored rates."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt < 0:
+            raise RuntimeStateError("simulation time moved backwards")
+        if dt > 0:
+            for item in self._active.values():
+                item.remaining -= dt * item._rate
+                if item.remaining < 0:
+                    item.remaining = 0.0
+        self._last_update = now
+
+    def _retime(self) -> None:
+        """Complete finished items, then recompute rates and completions.
+
+        Runs iteratively: each completed batch changes the domain demand,
+        which may change the surviving items' rates, so demands are
+        recomputed until no item is finished.  ``done`` events are only
+        *triggered* here — their callbacks run from the environment loop,
+        so no runtime bookkeeping re-enters this method mid-update.
+        """
+        while True:
+            finished = [
+                item for item in self._active.values() if item.remaining <= _EPS
+            ]
+            if finished:
+                for item in finished:
+                    del self._active[item.work_id]
+                    for core in item.cores:
+                        self._active_per_core[core] -= 1
+                for item in finished:
+                    item._version += 1
+                    item.done.succeed(self.env.now - item.started_at)
+                continue
+            demands: Dict[str, float] = dict(self._external_demand)
+            for item in self._active.values():
+                demands[item.domain] += item.demand
+            for item in self._active.values():
+                compute_rate = min(self.core_rate(c) for c in item.cores)
+                factor = self._domain_factor(item.domain, demands)
+                m = item.memory_intensity
+                rate = compute_rate * ((1.0 - m) + m * factor)
+                item._rate = rate
+                item._version += 1
+                if rate > 0:
+                    self._schedule_check(item, item._version, item.remaining / rate)
+            return
+
+    def _schedule_check(self, item: ActiveWork, version: int, eta: float) -> None:
+        """Queue a completion check for ``item`` at ``now + eta``.
+
+        The check is ignored when stale (the item was re-timed or already
+        completed since it was scheduled).
+        """
+
+        def _check(_event: Event, item=item, version=version) -> None:
+            if item.work_id not in self._active or item._version != version:
+                return
+            self._advance()
+            self._retime()
+
+        marker = Event(self.env)
+        marker._ok = True
+        marker._value = None
+        marker.callbacks.append(_check)
+        self.env._queue.push(self.env.now + eta, 1, marker)

@@ -1,0 +1,37 @@
+"""Execution traces and the paper's derived metrics."""
+
+from repro.metrics.records import TaskRecord
+from repro.metrics.collector import TraceCollector
+from repro.metrics.export import (
+    dump_run,
+    load_records,
+    record_from_dict,
+    record_to_dict,
+    records_from_dicts,
+    run_result_to_dict,
+)
+from repro.metrics.analysis import (
+    core_work_time,
+    iteration_series,
+    place_distribution,
+    place_distribution_counts,
+    priority_core_shares,
+    throughput,
+)
+
+__all__ = [
+    "TaskRecord",
+    "TraceCollector",
+    "record_to_dict",
+    "record_from_dict",
+    "records_from_dicts",
+    "run_result_to_dict",
+    "dump_run",
+    "load_records",
+    "throughput",
+    "core_work_time",
+    "place_distribution",
+    "place_distribution_counts",
+    "priority_core_shares",
+    "iteration_series",
+]

@@ -1,0 +1,134 @@
+"""Derived metrics matching the paper's evaluation artifacts."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machine.topology import ExecutionPlace
+from repro.metrics.records import TaskRecord
+
+
+def throughput(records: Iterable[TaskRecord], makespan: float) -> float:
+    """Tasks per second: total completed tasks / total execution time."""
+    records = list(records)
+    if makespan <= 0:
+        raise ConfigurationError(f"makespan must be positive, got {makespan}")
+    return len(records) / makespan
+
+
+def core_work_time(core_busy: Dict[int, float]) -> Dict[int, float]:
+    """Per-core cumulative kernel work time (paper Fig. 6); a copy."""
+    return dict(core_busy)
+
+
+def place_distribution_counts(
+    records: Iterable[TaskRecord], high_priority_only: bool = True
+) -> Dict[ExecutionPlace, int]:
+    """Task count per execution place (paper Fig. 5 / Fig. 9 b-c)."""
+    counts: Dict[ExecutionPlace, int] = defaultdict(int)
+    for record in records:
+        if high_priority_only and not record.is_high_priority:
+            continue
+        counts[record.place] += 1
+    return dict(counts)
+
+
+def place_distribution(
+    records: Iterable[TaskRecord], high_priority_only: bool = True
+) -> Dict[ExecutionPlace, float]:
+    """Fractional distribution over places, like the Fig. 5 pie charts."""
+    counts = place_distribution_counts(records, high_priority_only)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {place: count / total for place, count in sorted(counts.items())}
+
+
+def priority_core_shares(records: Iterable[TaskRecord]) -> Dict[int, float]:
+    """Fraction of high-priority tasks whose place *includes* each core."""
+    member_counts: Dict[int, int] = defaultdict(int)
+    total = 0
+    for record in records:
+        if not record.is_high_priority:
+            continue
+        total += 1
+        for core in range(record.place.leader, record.place.leader + record.place.width):
+            member_counts[core] += 1
+    if total == 0:
+        return {}
+    return {core: count / total for core, count in sorted(member_counts.items())}
+
+
+def iteration_series(
+    records: Iterable[TaskRecord],
+    iteration_key: str = "iteration",
+) -> List[Tuple[int, float]]:
+    """Per-iteration wall time (paper Fig. 9a).
+
+    Groups records by the ``iteration_key`` metadata value and reports
+    ``max(exec_end) - min(ready_time)`` per iteration, i.e. the span from
+    the iteration's release to its last commit.
+    """
+    spans: Dict[int, Tuple[float, float]] = {}
+    for record in records:
+        iteration = record.metadata.get(iteration_key)
+        if iteration is None:
+            continue
+        start, end = spans.get(iteration, (float("inf"), float("-inf")))
+        spans[iteration] = (
+            min(start, record.ready_time),
+            max(end, record.exec_end),
+        )
+    return [(it, end - start) for it, (start, end) in sorted(spans.items())]
+
+
+def place_series_by_iteration(
+    records: Iterable[TaskRecord],
+    iteration_key: str = "iteration",
+    high_priority_only: bool = False,
+) -> Dict[ExecutionPlace, Dict[int, int]]:
+    """Task counts per place per iteration (paper Fig. 9 b-c curves)."""
+    series: Dict[ExecutionPlace, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    for record in records:
+        if high_priority_only and not record.is_high_priority:
+            continue
+        iteration = record.metadata.get(iteration_key)
+        if iteration is None:
+            continue
+        series[record.place][iteration] += 1
+    return {place: dict(by_iter) for place, by_iter in series.items()}
+
+
+def average_wait_time(records: Iterable[TaskRecord]) -> Optional[float]:
+    """Mean release-to-execution latency; None when no records."""
+    records = list(records)
+    if not records:
+        return None
+    return sum(r.wait_time for r in records) / len(records)
+
+
+def machine_utilization(core_busy: Dict[int, float], makespan: float) -> float:
+    """Fraction of total core-seconds spent inside kernels."""
+    if makespan <= 0:
+        raise ConfigurationError(f"makespan must be positive, got {makespan}")
+    if not core_busy:
+        raise ConfigurationError("need at least one core")
+    return sum(core_busy.values()) / (makespan * len(core_busy))
+
+
+def width_histogram(records: Iterable[TaskRecord]) -> Dict[int, int]:
+    """Task counts by resource width (how much molding happened)."""
+    out: Dict[int, int] = defaultdict(int)
+    for record in records:
+        out[record.place.width] += 1
+    return dict(out)
+
+
+def stolen_fraction(records: Iterable[TaskRecord]) -> Optional[float]:
+    """Fraction of tasks that were executed after a steal."""
+    records = list(records)
+    if not records:
+        return None
+    return sum(1 for r in records if r.stolen) / len(records)

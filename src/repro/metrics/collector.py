@@ -1,0 +1,34 @@
+"""Trace collection during a simulated run."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.records import TaskRecord
+
+
+class TraceCollector:
+    """Accumulates task records and per-core busy time."""
+
+    def __init__(self, num_cores: int) -> None:
+        self.records: List[TaskRecord] = []
+        #: Seconds each core spent inside task assemblies (kernel work
+        #: time, excluding runtime activity and idleness — paper Fig. 6).
+        self.core_busy: Dict[int, float] = {c: 0.0 for c in range(num_cores)}
+        self.steals = 0
+        self.failed_steal_scans = 0
+
+    def record_task(self, record: TaskRecord, member_cores) -> None:
+        """Add a task record and charge busy time to all member cores."""
+        self.records.append(record)
+        for core in member_cores:
+            self.core_busy[core] += record.duration
+
+    def record_steal(self) -> None:
+        self.steals += 1
+
+    def record_failed_scan(self) -> None:
+        self.failed_steal_scans += 1
+
+    def __len__(self) -> int:
+        return len(self.records)

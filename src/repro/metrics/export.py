@@ -1,0 +1,97 @@
+"""Export run results and task traces to plain JSON-able structures.
+
+For post-processing outside the library (pandas, plotting, archiving):
+
+    result = quick_run(...)
+    payload = run_result_to_dict(result)
+    json.dump(payload, open("run.json", "w"))
+
+The inverse, :func:`records_from_dicts`, rebuilds :class:`TaskRecord`
+objects so the analysis helpers work on archived traces too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.graph.task import Priority
+from repro.machine.topology import ExecutionPlace
+from repro.metrics.records import TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.executor import RunResult
+
+
+def record_to_dict(record: TaskRecord) -> Dict[str, Any]:
+    """One task record as a flat JSON-able dictionary."""
+    return {
+        "task_id": record.task_id,
+        "type": record.type_name,
+        "priority": record.priority.name.lower(),
+        "leader": record.place.leader,
+        "width": record.place.width,
+        "ready_time": record.ready_time,
+        "dequeue_time": record.dequeue_time,
+        "exec_start": record.exec_start,
+        "exec_end": record.exec_end,
+        "observed": record.observed,
+        "stolen": record.stolen,
+        "metadata": {
+            k: v for k, v in record.metadata.items()
+            if isinstance(v, (str, int, float, bool, type(None)))
+        },
+    }
+
+
+def record_from_dict(item: Dict[str, Any]) -> TaskRecord:
+    """Rebuild a :class:`TaskRecord` from :func:`record_to_dict` output."""
+    try:
+        return TaskRecord(
+            task_id=int(item["task_id"]),
+            type_name=str(item["type"]),
+            priority=Priority[item["priority"].upper()],
+            place=ExecutionPlace(int(item["leader"]), int(item["width"])),
+            ready_time=float(item["ready_time"]),
+            dequeue_time=float(item["dequeue_time"]),
+            exec_start=float(item["exec_start"]),
+            exec_end=float(item["exec_end"]),
+            observed=float(item["observed"]),
+            stolen=bool(item["stolen"]),
+            metadata=dict(item.get("metadata", {})),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(f"record dict missing field {missing}") from None
+
+
+def records_from_dicts(items: Iterable[Dict[str, Any]]) -> List[TaskRecord]:
+    """Rebuild a list of task records from serialized dictionaries."""
+    return [record_from_dict(item) for item in items]
+
+
+def run_result_to_dict(result: "RunResult") -> Dict[str, Any]:
+    """A whole run — summary, per-core busy time, and the task trace."""
+    return {
+        "scheduler": result.scheduler_name,
+        "machine": result.machine_name,
+        "makespan": result.makespan,
+        "tasks_completed": result.tasks_completed,
+        "throughput": result.throughput,
+        "steals": result.collector.steals,
+        "core_busy": {str(c): t for c, t in result.collector.core_busy.items()},
+        "records": [record_to_dict(r) for r in result.collector.records],
+    }
+
+
+def dump_run(result: "RunResult", path: str) -> None:
+    """Write :func:`run_result_to_dict` as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(run_result_to_dict(result), handle)
+
+
+def load_records(path: str) -> List[TaskRecord]:
+    """Load the task trace back from a :func:`dump_run` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return records_from_dicts(payload["records"])

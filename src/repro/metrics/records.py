@@ -1,0 +1,46 @@
+"""Per-task trace records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.graph.task import Priority
+from repro.machine.topology import ExecutionPlace
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Everything the metrics layer needs about one executed task.
+
+    Times are simulated seconds.  ``observed`` is the elapsed execution
+    time as seen by the leader (including any measurement noise), i.e. the
+    value that trained the PTT; ``exec_end - exec_start`` is the true
+    duration.
+    """
+
+    task_id: int
+    type_name: str
+    priority: Priority
+    place: ExecutionPlace
+    ready_time: float
+    dequeue_time: float
+    exec_start: float
+    exec_end: float
+    observed: float
+    stolen: bool
+    metadata: Dict[str, Any]
+
+    @property
+    def duration(self) -> float:
+        """True execution time."""
+        return self.exec_end - self.exec_start
+
+    @property
+    def wait_time(self) -> float:
+        """Time from release to execution start (queueing + assembly)."""
+        return self.exec_start - self.ready_time
+
+    @property
+    def is_high_priority(self) -> bool:
+        return self.priority is Priority.HIGH

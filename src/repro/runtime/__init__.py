@@ -1,0 +1,25 @@
+"""Simulated XiTAO-style runtime (paper §4.1.2).
+
+Each worker (one per core) owns a Work-Stealing Queue (WSQ) of ready tasks
+and a FIFO Assembly Queue (AQ) of placed task assemblies.  A worker loop
+mirrors XiTAO: drain the AQ (joining moldable assemblies that synchronize
+all member cores), else dequeue from the local WSQ and run the scheduling
+policy to pick an execution place, else steal a low-priority task from a
+random victim, else sleep until new work is signalled.
+
+High-priority tasks are exempt from stealing so their placement decision is
+honored; low-priority tasks are load-balanced by random work stealing.
+"""
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.queues import WorkStealingQueue
+from repro.runtime.assembly import Assembly
+from repro.runtime.executor import RunResult, SimulatedRuntime
+
+__all__ = [
+    "RuntimeConfig",
+    "WorkStealingQueue",
+    "Assembly",
+    "RunResult",
+    "SimulatedRuntime",
+]

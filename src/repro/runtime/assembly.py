@@ -1,0 +1,93 @@
+"""Moldable task assemblies.
+
+Once a ready task has been assigned an execution place, the runtime wraps
+it in an :class:`Assembly` and inserts a reference into the AQ of every
+member core.  Member workers *join* the assembly as they reach it in FIFO
+order; when the last member joins, the work is started on the speed model
+and all members stay synchronized until it completes (the SPMD semantics of
+XiTAO task assemblies).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+from repro.errors import RuntimeStateError
+from repro.graph.task import Task
+from repro.kernels.base import WorkProfile
+from repro.machine.topology import ExecutionPlace
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+
+class Assembly:
+    """One placed execution of a task over a set of cores."""
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "assembly_id",
+        "task",
+        "place",
+        "cores",
+        "profile",
+        "created_at",
+        "exec_start",
+        "exec_end",
+        "completed",
+        "_joined",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        task: Task,
+        place: ExecutionPlace,
+        cores: Tuple[int, ...],
+        profile: WorkProfile,
+    ) -> None:
+        self.assembly_id = next(Assembly._ids)
+        self.task = task
+        self.place = place
+        self.cores = cores
+        self.profile = profile
+        self.created_at = env.now
+        self.exec_start: Optional[float] = None
+        self.exec_end: Optional[float] = None
+        #: Succeeds when the task has committed (bookkeeping done); all
+        #: member workers wait on this.
+        self.completed: Event = Event(env)
+        self._joined: set = set()
+
+    @property
+    def leader(self) -> int:
+        return self.place.leader
+
+    @property
+    def width(self) -> int:
+        return self.place.width
+
+    def join(self, core: int) -> bool:
+        """Register ``core``'s arrival; True when this was the last member."""
+        if core not in self.cores:
+            raise RuntimeStateError(
+                f"core {core} is not a member of assembly {self.assembly_id} "
+                f"on {self.place}"
+            )
+        if core in self._joined:
+            raise RuntimeStateError(
+                f"core {core} joined assembly {self.assembly_id} twice"
+            )
+        self._joined.add(core)
+        return len(self._joined) == len(self.cores)
+
+    @property
+    def all_joined(self) -> bool:
+        return len(self._joined) == len(self.cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Assembly #{self.assembly_id} task={self.task.task_id} "
+            f"{self.place} joined={len(self._joined)}/{len(self.cores)}>"
+        )

@@ -1,0 +1,65 @@
+"""Runtime tuning knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Overheads and behaviour of the simulated runtime.
+
+    Attributes
+    ----------
+    dispatch_overhead:
+        Seconds a worker spends running the scheduling decision after
+        dequeuing a ready task (the paper measures ~1 microsecond for a
+        global PTT search on the TX2).
+    steal_overhead:
+        Seconds for a successful steal (victim scan + re-placement).
+    steal_tries:
+        Random victims probed per steal attempt.  1 reproduces classic
+        random work stealing (and XiTAO); a failed attempt sends the
+        worker into a backoff-retry loop while any ready queue is
+        non-empty.  Owners always drain their own queues, so low values
+        cost latency, not liveness.
+    steal_backoff:
+        Seconds an idle worker waits between failed steal attempts while
+        stealable work may still exist; with empty queues everywhere the
+        worker instead sleeps until new work is signalled.
+    measurement_noise:
+        Standard deviation, in seconds, of the observation noise added to
+        the elapsed times fed into the PTT.  Models clock granularity and
+        short isolated events; this is what makes the PTT weight-ratio
+        sensitivity (paper §5.3) visible for very short tasks.  The noise
+        affects only the *observed* value, never the actual timing.
+    noise_seed:
+        Seed of the observation-noise stream.
+    max_time:
+        Safety horizon (seconds of simulated time) after which a run
+        aborts; prevents a buggy policy from hanging a test run.
+    """
+
+    dispatch_overhead: float = 2.0e-6
+    steal_overhead: float = 1.5e-6
+    steal_tries: int = 1
+    steal_backoff: float = 2.0e-5
+    measurement_noise: float = 0.0
+    noise_seed: int = 12345
+    max_time: float = 1.0e5
+
+    def __post_init__(self) -> None:
+        if self.dispatch_overhead < 0:
+            raise ConfigurationError("dispatch_overhead must be >= 0")
+        if self.steal_overhead < 0:
+            raise ConfigurationError("steal_overhead must be >= 0")
+        if self.steal_tries < 1:
+            raise ConfigurationError("steal_tries must be >= 1")
+        if self.steal_backoff <= 0:
+            raise ConfigurationError("steal_backoff must be > 0")
+        if self.measurement_noise < 0:
+            raise ConfigurationError("measurement_noise must be >= 0")
+        if self.max_time <= 0:
+            raise ConfigurationError("max_time must be > 0")

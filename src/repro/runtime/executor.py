@@ -1,0 +1,407 @@
+"""The simulated XiTAO-style runtime.
+
+One :class:`SimulatedRuntime` executes one task graph over one machine with
+one scheduling policy.  Worker processes (one per core) run the XiTAO loop:
+
+1. drain the local Assembly Queue (joining moldable assemblies, which
+   synchronize all member cores for the task's duration);
+2. else dequeue from the local Work-Stealing Queue and run the policy's
+   placement decision (Algorithm 1), inserting the resulting assembly into
+   the AQs of all member cores;
+3. else steal the oldest *stealable* task from a random victim's WSQ and
+   re-run the placement at the thief's core (Figure 3, steps 3-5);
+4. else sleep until new work is signalled (queue pushes and AQ inserts
+   wake idle workers, so no polling is needed).
+
+Task commit (Figure 3, step 8) happens in the work-completion callback: the
+leader-observed elapsed time trains the policy's model, dependents are
+released and routed to WSQs by ``policy.on_ready``, and member workers
+resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.policies.base import SchedulerPolicy
+from repro.errors import RuntimeStateError, SchedulingError
+from repro.graph.dag import TaskGraph
+from repro.graph.task import Task
+from repro.machine.speed import SpeedModel
+from repro.machine.topology import ExecutionPlace, Machine
+from repro.metrics.collector import TraceCollector
+from repro.metrics.records import TaskRecord
+from repro.runtime.assembly import Assembly
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.queues import WorkStealingQueue
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.util.rng import SeedLike, make_rng, spawn_rngs
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run.
+
+    ``extra`` carries run-specific attachments (e.g. the bound scheduler
+    instance, for PTT introspection after the run).
+    """
+
+    makespan: float
+    tasks_completed: int
+    throughput: float
+    collector: TraceCollector
+    scheduler_name: str
+    machine_name: str
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class SimulatedRuntime:
+    """Executes a :class:`TaskGraph` on a machine under a policy.
+
+    Parameters
+    ----------
+    env, machine:
+        The simulation environment and machine topology.
+    graph:
+        The task graph (may grow dynamically through spawn hooks).
+    scheduler:
+        A :class:`SchedulerPolicy`; it is bound to the machine here.
+    config:
+        Runtime overheads; defaults to :class:`RuntimeConfig()`.
+    speed:
+        An existing :class:`SpeedModel` to share (e.g. with an
+        interference scenario or a co-running runtime); one is created
+        when omitted.
+    seed:
+        Seed of the stealing / noise randomness.
+    name:
+        Label used in error messages and traces.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        machine: Machine,
+        graph: TaskGraph,
+        scheduler: SchedulerPolicy,
+        config: Optional[RuntimeConfig] = None,
+        speed: Optional[SpeedModel] = None,
+        seed: SeedLike = 0,
+        name: str = "runtime",
+    ) -> None:
+        self.env = env
+        self.machine = machine
+        self.graph = graph
+        self.scheduler = scheduler
+        self.config = config or RuntimeConfig()
+        self.speed = speed or SpeedModel(env, machine)
+        self.name = name
+        self.collector = TraceCollector(machine.num_cores)
+
+        scheduler.bind(
+            machine,
+            rng=make_rng(seed),
+            clock=lambda: env.now,
+            backlog=self._backlog,
+        )
+
+        n = machine.num_cores
+        worker_rngs = spawn_rngs(make_rng(seed), n + 2)
+        self._steal_rngs = worker_rngs[:n]
+        self._noise_rng = worker_rngs[n]
+        self._wake_rng = worker_rngs[n + 1]
+
+        self.wsqs: List[WorkStealingQueue] = [WorkStealingQueue(c) for c in range(n)]
+        self.aqs: List[List[Assembly]] = [[] for _ in range(n)]
+        self._core_busy_now: List[bool] = [False] * n
+        self._idle_events: Dict[int, Event] = {}
+        self._ready_time: Dict[int, float] = {}
+        self._shutdown = False
+        self._started = False
+        self._start_time = 0.0
+        self._root_rr = 0
+        #: Observers called with each TaskRecord as tasks commit.
+        self.on_task_commit: List[Callable[[TaskRecord], None]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Seed the root tasks and spawn the worker processes."""
+        if self._started:
+            raise RuntimeStateError(f"{self.name} already started")
+        self._started = True
+        self._start_time = self.env.now
+        for task in sorted(self.graph.drain_ready(), key=lambda t: t.priority):
+            self._enqueue_ready(task, waker_core=self._next_root_core())
+        for core in range(self.machine.num_cores):
+            self.env.process(self._worker(core), name=f"{self.name}-w{core}")
+
+    def run(self) -> RunResult:
+        """Drive the simulation until the graph finishes; returns the result.
+
+        Creates the workers if :meth:`start` was not called.  Raises
+        :class:`RuntimeStateError` on deadlock (no pending events while
+        tasks remain) or when ``config.max_time`` is exceeded.
+        """
+        if not self._started:
+            self.start()
+        deadline = self._start_time + self.config.max_time
+        while not self._shutdown:
+            if len(self.env._queue) == 0:
+                raise RuntimeStateError(
+                    f"{self.name}: deadlock — no pending events but "
+                    f"{self.graph.total_tasks - self.graph.completed_tasks} "
+                    "tasks remain"
+                )
+            self.env.step()
+            if self.env.now > deadline:
+                raise RuntimeStateError(
+                    f"{self.name}: exceeded max_time={self.config.max_time}"
+                )
+        return self.result()
+
+    def result(self) -> RunResult:
+        """Build the :class:`RunResult` for a finished (or ongoing) run."""
+        makespan = self.env.now - self._start_time
+        done = self.graph.completed_tasks
+        return RunResult(
+            makespan=makespan,
+            tasks_completed=done,
+            throughput=(done / makespan) if makespan > 0 else 0.0,
+            collector=self.collector,
+            scheduler_name=self.scheduler.name,
+            machine_name=self.machine.name,
+        )
+
+    @property
+    def finished(self) -> bool:
+        return self._shutdown
+
+    def snapshot(self) -> Dict[str, object]:
+        """Debug view of the runtime's current state.
+
+        Queue depths, per-core busy flags and graph progress — useful when
+        diagnosing a stalled custom policy or workload.
+        """
+        return {
+            "now": self.env.now,
+            "tasks_done": self.graph.completed_tasks,
+            "tasks_total": self.graph.total_tasks,
+            "wsq_depths": [len(q) for q in self.wsqs],
+            "aq_depths": [len(q) for q in self.aqs],
+            "busy": list(self._core_busy_now),
+            "idle_workers": sorted(self._idle_events),
+            "steals": self.collector.steals,
+        }
+
+    # ------------------------------------------------------------------
+    # worker loop
+    # ------------------------------------------------------------------
+    def _worker(self, core: int):
+        config = self.config
+        wsq = self.wsqs[core]
+        aq = self.aqs[core]
+        while not self._shutdown:
+            # A pending high-priority task in the local WSQ is dispatched
+            # before joining further assemblies: its placement decision
+            # (Algorithm 1) must not languish behind queued work.
+            urgent = wsq.peek_all()
+            has_urgent = bool(urgent) and urgent[-1].is_high_priority
+
+            if aq and not has_urgent:
+                assembly = aq.pop(0)
+                self._core_busy_now[core] = True
+                if assembly.join(core):
+                    self._start_assembly(assembly)
+                yield assembly.completed
+                self._core_busy_now[core] = False
+                continue
+
+            task = wsq.pop_local()
+            if task is not None:
+                if config.dispatch_overhead > 0:
+                    yield self.env.timeout(config.dispatch_overhead)
+                place = self.scheduler.choose_place(task, core)
+                self._dispatch(task, place, stolen=False)
+                continue
+
+            stolen = self._try_steal(core)
+            if stolen is not None:
+                if config.steal_overhead > 0:
+                    yield self.env.timeout(config.steal_overhead)
+                place = self.scheduler.place_after_steal(stolen, core)
+                self._dispatch(stolen, place, stolen=True)
+                continue
+
+            if any(len(q) for q in self.wsqs):
+                # Some queue still holds tasks (wrong victim, or only
+                # steal-exempt work): back off briefly and retry, like a
+                # spinning work-stealing loop.
+                yield self.env.timeout(config.steal_backoff)
+            else:
+                yield self._register_idle(core)
+
+    def _try_steal(self, thief: int) -> Optional[Task]:
+        """Probe up to ``config.steal_tries`` random victims for a task."""
+        rng = self._steal_rngs[thief]
+        n = self.machine.num_cores
+        if n <= 1:
+            return None
+        tries = min(self.config.steal_tries, n - 1)
+        slots = rng.choice(n - 1, size=tries, replace=False)
+        for slot in slots:
+            victim = int(slot) + (1 if slot >= thief else 0)
+            if len(self.wsqs[victim]) == 0:
+                continue
+            task = self.wsqs[victim].steal(self.scheduler.allow_steal)
+            if task is not None:
+                self.collector.record_steal()
+                return task
+        self.collector.record_failed_scan()
+        return None
+
+    # ------------------------------------------------------------------
+    # dispatch & execution
+    # ------------------------------------------------------------------
+    def _dispatch(self, task: Task, place: ExecutionPlace, stolen: bool) -> None:
+        """Wrap ``task`` in an assembly at ``place`` and enqueue it."""
+        self.machine.validate_place(place)
+        cores = self.machine.place_cores(place)
+        profile = task.kernel.profile(self.machine, place)
+        assembly = Assembly(self.env, task, place, cores, profile)
+        assembly.task.metadata.setdefault("_dequeue_time", self.env.now)
+        task.metadata["_stolen"] = stolen
+        # Plain FIFO append for every priority: assemblies must keep the
+        # same relative order in all member AQs (a priority jump past an
+        # assembly that another member has already joined deadlocks the
+        # rendezvous).
+        for member in cores:
+            self.aqs[member].append(assembly)
+        self._wake(cores)
+
+    def _start_assembly(self, assembly: Assembly) -> None:
+        """All members joined: run the task's work (or communication op)."""
+        assembly.exec_start = self.env.now
+        comm_op = assembly.task.metadata.get("comm_op")
+        if comm_op is not None:
+            done = comm_op(assembly)
+            if not isinstance(done, Event):
+                raise SchedulingError(
+                    f"comm_op of {assembly.task!r} must return a sim Event"
+                )
+        else:
+            work = self.speed.begin_work(
+                assembly.cores,
+                assembly.profile.work,
+                memory_intensity=assembly.profile.memory_intensity,
+                demand=assembly.profile.demand,
+            )
+            done = work.done
+
+        def _on_done(event: Event, a=assembly) -> None:
+            # A comm op may report a "billable" time (local protocol +
+            # wire, excluding the wait for the peer) as the event value;
+            # that is what trains the PTT — an elapsed time dominated by
+            # peer skew says nothing about this core's speed.
+            override = event._value if isinstance(event._value, float) else None
+            self._finish_assembly(a, observed_override=override)
+
+        done.callbacks.append(_on_done)
+
+    def _finish_assembly(
+        self, assembly: Assembly, observed_override: Optional[float] = None
+    ) -> None:
+        """Commit: train the model, release dependents, wake members."""
+        assembly.exec_end = self.env.now
+        true_elapsed = assembly.exec_end - assembly.exec_start
+        observed = (
+            observed_override if observed_override is not None else true_elapsed
+        )
+        if self.config.measurement_noise > 0:
+            observed += float(
+                self._noise_rng.normal(0.0, self.config.measurement_noise)
+            )
+            observed = max(observed, 1e-9)
+        task = assembly.task
+        self.scheduler.on_complete(task, assembly.place, observed)
+
+        record = TaskRecord(
+            task_id=task.task_id,
+            type_name=task.type_name,
+            priority=task.priority,
+            place=assembly.place,
+            ready_time=self._ready_time.pop(task.task_id, self._start_time),
+            dequeue_time=task.metadata.get("_dequeue_time", assembly.exec_start),
+            exec_start=assembly.exec_start,
+            exec_end=assembly.exec_end,
+            observed=observed,
+            stolen=bool(task.metadata.get("_stolen", False)),
+            metadata={
+                k: v for k, v in task.metadata.items() if not k.startswith("_")
+            },
+        )
+        self.collector.record_task(record, assembly.cores)
+        for observer in self.on_task_commit:
+            observer(record)
+
+        newly_ready = self.graph.complete(task)
+        # Low-priority children are pushed first so the waker's LIFO pop
+        # reaches the critical child immediately; the lows sit at the steal
+        # end of the queue for idle workers.
+        for child in sorted(newly_ready, key=lambda t: t.priority):
+            self._enqueue_ready(child, waker_core=assembly.leader)
+
+        assembly.completed.succeed()
+        if self.graph.is_finished:
+            self._shutdown = True
+            self._wake(range(self.machine.num_cores))
+
+    def _enqueue_ready(self, task: Task, waker_core: int) -> None:
+        """Route a released task to a WSQ per the policy's wake-up rule."""
+        self._ready_time[task.task_id] = self.env.now
+        target = self.scheduler.on_ready(task, waker_core)
+        if not (0 <= target < self.machine.num_cores):
+            raise SchedulingError(
+                f"{self.scheduler.name}.on_ready returned invalid core {target}"
+            )
+        self.wsqs[target].push(task)
+        self._wake(range(self.machine.num_cores))
+
+    def _backlog(self, core: int) -> float:
+        """Load estimate used to break ties in global placement searches."""
+        return (
+            len(self.wsqs[core])
+            + len(self.aqs[core])
+            + (1.0 if self._core_busy_now[core] else 0.0)
+        )
+
+    def _next_root_core(self) -> int:
+        core = self._root_rr % self.machine.num_cores
+        self._root_rr += 1
+        return core
+
+    # ------------------------------------------------------------------
+    # idle management
+    # ------------------------------------------------------------------
+    def _register_idle(self, core: int) -> Event:
+        event = Event(self.env)
+        self._idle_events[core] = event
+        return event
+
+    def _wake(self, cores) -> None:
+        """Wake idle workers among ``cores`` in random order.
+
+        The wake order decides who wins a steal race at the same
+        timestamp; randomizing it keeps stealing fair across cores
+        (otherwise low-numbered cores would win every race).
+        """
+        targets = [c for c in cores if c in self._idle_events]
+        if not targets:
+            return
+        if len(targets) > 1:
+            self._wake_rng.shuffle(targets)
+        for core in targets:
+            self._idle_events.pop(core).succeed()

@@ -1,0 +1,52 @@
+"""Per-worker queues."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.graph.task import Task
+
+
+class WorkStealingQueue:
+    """A worker's double-ended ready queue.
+
+    The owner pushes and pops at the tail (LIFO, depth-first execution for
+    locality); thieves steal from the head (FIFO, breadth-first stealing),
+    skipping tasks the policy marks steal-exempt (high-priority tasks,
+    paper §4.1.2).
+    """
+
+    __slots__ = ("owner", "_items")
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._items: Deque[Task] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, task: Task) -> None:
+        """Owner-side push (tail)."""
+        self._items.append(task)
+
+    def pop_local(self) -> Optional[Task]:
+        """Owner-side pop (tail); ``None`` when empty."""
+        if self._items:
+            return self._items.pop()
+        return None
+
+    def steal(self, stealable: Callable[[Task], bool]) -> Optional[Task]:
+        """Thief-side removal of the oldest task satisfying ``stealable``.
+
+        Returns ``None`` when no eligible task exists.
+        """
+        for i, task in enumerate(self._items):
+            if stealable(task):
+                del self._items[i]
+                return task
+        return None
+
+    def peek_all(self) -> tuple:
+        """Snapshot of the queue contents (tests and metrics)."""
+        return tuple(self._items)

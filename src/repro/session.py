@@ -1,0 +1,82 @@
+"""One-call helpers wiring a full simulation session.
+
+These are the functions most users want: build the environment, speed
+model, scenario, scheduler and runtime, run to completion, and return the
+:class:`~repro.runtime.executor.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.policies.base import SchedulerPolicy
+from repro.core.policies.registry import make_scheduler
+from repro.errors import ConfigurationError
+from repro.graph.dag import TaskGraph
+from repro.graph.generators import layered_synthetic_dag
+from repro.interference.base import InterferenceScenario, NullScenario
+from repro.kernels import CopyKernel, MatMulKernel, StencilKernel
+from repro.machine.presets import jetson_tx2
+from repro.machine.speed import SpeedModel
+from repro.machine.topology import Machine
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.executor import RunResult, SimulatedRuntime
+from repro.sim.environment import Environment
+
+
+def run_graph(
+    graph: TaskGraph,
+    machine: Machine,
+    scheduler: Union[str, SchedulerPolicy],
+    scenario: Optional[InterferenceScenario] = None,
+    config: Optional[RuntimeConfig] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Execute ``graph`` on ``machine`` under ``scheduler`` and a scenario.
+
+    ``scheduler`` may be a Table 1 name (``"dam-c"``) or a policy
+    instance.  The interference scenario defaults to none.
+    """
+    if isinstance(scheduler, str):
+        scheduler = make_scheduler(scheduler)
+    env = Environment()
+    speed = SpeedModel(env, machine)
+    (scenario or NullScenario()).install(env, speed, machine)
+    runtime = SimulatedRuntime(
+        env, machine, graph, scheduler,
+        config=config, speed=speed, seed=seed,
+    )
+    result = runtime.run()
+    result.extra["scheduler"] = scheduler
+    return result
+
+
+_KERNELS = {
+    "matmul": MatMulKernel,
+    "copy": CopyKernel,
+    "stencil": StencilKernel,
+}
+
+
+def quick_run(
+    scheduler: str = "dam-c",
+    kernel: str = "matmul",
+    parallelism: int = 4,
+    total_tasks: int = 400,
+    machine: Optional[Machine] = None,
+    scenario: Optional[InterferenceScenario] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run the paper's synthetic layered DAG with minimal ceremony."""
+    if kernel not in _KERNELS:
+        raise ConfigurationError(
+            f"unknown kernel {kernel!r}; choose from {sorted(_KERNELS)}"
+        )
+    graph = layered_synthetic_dag(_KERNELS[kernel](), parallelism, total_tasks)
+    return run_graph(
+        graph,
+        machine or jetson_tx2(),
+        scheduler,
+        scenario=scenario,
+        seed=seed,
+    )

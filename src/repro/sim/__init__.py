@@ -1,0 +1,26 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, simpy-flavoured kernel used as the substrate for the
+XiTAO-style runtime simulation.  Only the features the rest of the library
+needs are implemented: an event queue with a stable tie-break order, coroutine
+processes, timeouts, interruption, and a FIFO :class:`Store` for channels.
+
+The engine is intentionally dependency-free so that a full simulation run is
+a pure function of its inputs (see ``DESIGN.md`` §5).
+"""
+
+from repro.sim.events import PENDING, Event, EventQueue, ScheduledItem
+from repro.sim.environment import Environment, Interrupt, Process, Timeout
+from repro.sim.resources import Store
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "EventQueue",
+    "ScheduledItem",
+    "Environment",
+    "Interrupt",
+    "Process",
+    "Timeout",
+    "Store",
+]

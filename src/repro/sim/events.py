@@ -1,0 +1,144 @@
+"""Event primitives for the discrete-event engine.
+
+Two kinds of object live here:
+
+* :class:`Event` — a one-shot waitable that processes can ``yield`` on.  It
+  carries a value once *triggered* and runs its callbacks when the
+  environment *processes* it.
+* :class:`EventQueue` — the time-ordered heap of :class:`ScheduledItem`\\ s.
+  Ties at equal simulated time are broken first by an integer priority and
+  then by insertion order, which makes runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, NamedTuple, Optional
+
+#: Sentinel for "event has not been triggered yet".
+PENDING = object()
+
+#: Priority used for ordinary events.
+NORMAL = 1
+
+#: Priority used for urgent bookkeeping events (process initialization,
+#: interrupts) that must run before same-time ordinary events.
+URGENT = 0
+
+
+class Event:
+    """A one-shot waitable event.
+
+    An event goes through three stages:
+
+    1. *pending* — created, nothing happened yet;
+    2. *triggered* — a value (or exception) has been attached and the event
+       has been pushed onto the environment's queue;
+    3. *processed* — the environment popped it and ran its callbacks.
+
+    Processes wait on events by ``yield``\\ ing them; the process is resumed
+    with the event's value (or the exception is thrown into it).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok")
+
+    def __init__(self, env: "Any") -> None:
+        self.env = env
+        #: Callbacks run when the event is processed.  ``None`` afterwards.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been attached."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise RuntimeError("event value is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._push(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is thrown into every waiting process.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._push(self, NORMAL)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class ScheduledItem(NamedTuple):
+    """Heap entry: ``(time, priority, seq)`` orders the queue.
+
+    A NamedTuple so heap comparisons run at C tuple speed; ``seq`` is
+    unique, so the ``event`` field is never reached by a comparison.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    event: Event
+
+
+class EventQueue:
+    """Deterministic time-ordered event heap."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledItem] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, priority: int, event: Event) -> None:
+        """Schedule ``event`` for processing at ``time``."""
+        heapq.heappush(self._heap, ScheduledItem(time, priority, self._seq, event))
+        self._seq += 1
+
+    def peek_time(self) -> float:
+        """Time of the next item; raises ``IndexError`` when empty."""
+        return self._heap[0].time
+
+    def pop(self) -> ScheduledItem:
+        """Pop the next item in (time, priority, seq) order."""
+        return heapq.heappop(self._heap)

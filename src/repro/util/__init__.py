@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG, validation, tables, statistics."""
+
+from repro.util.rng import RngFactory, make_rng, spawn_rngs
+from repro.util.validation import require, require_positive, require_in_range
+from repro.util.tables import format_table
+from repro.util.charts import bar_chart, series_panel, sparkline
+from repro.util.stats import geometric_mean, summarize, weighted_average
+
+__all__ = [
+    "RngFactory",
+    "make_rng",
+    "spawn_rngs",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "format_table",
+    "bar_chart",
+    "series_panel",
+    "sparkline",
+    "geometric_mean",
+    "summarize",
+    "weighted_average",
+]

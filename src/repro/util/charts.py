@@ -1,0 +1,82 @@
+"""Plain-text charts for experiment reports (no plotting dependencies).
+
+Terminal-friendly renderings of the paper's figure types: horizontal bar
+charts (Fig. 10), unicode sparklines for time series (Fig. 9a), and
+multi-series columns (Figs. 4/7) are already covered by
+:func:`repro.util.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels vs {len(values)} values"
+        )
+    if not labels:
+        raise ValueError("bar_chart needs at least one bar")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart values must be >= 0")
+    peak = max(values) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "█" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar} {value:,.0f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of ``values`` (min..max normalized)."""
+    if not values:
+        raise ValueError("sparkline needs at least one value")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BLOCKS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def series_panel(
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Aligned sparklines for several named series, with min/max legends."""
+    if not series:
+        raise ValueError("series_panel needs at least one series")
+    name_width = max(len(name) for name in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, values in series.items():
+        values = list(values)
+        lo = value_format.format(min(values))
+        hi = value_format.format(max(values))
+        lines.append(
+            f"{name.ljust(name_width)}  {sparkline(values)}  "
+            f"[min {lo}, max {hi}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Statistics helpers (weighted averages, summaries)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def weighted_average(old: float, new: float, new_weight: int, total_weight: int) -> float:
+    """The paper's PTT folding rule generalized.
+
+    ``updated = ((total - new_weight) * old + new_weight * new) / total``.
+    With ``new_weight=1, total_weight=5`` this is the 1:4 rule of §4.1.1.
+    """
+    if not (0 < new_weight <= total_weight):
+        raise ValueError(
+            f"need 0 < new_weight <= total_weight, got {new_weight}/{total_weight}"
+        )
+    old_weight = total_weight - new_weight
+    return (old_weight * old + new_weight * new) / total_weight
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Return count/mean/min/max/stdev of ``values``."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return Summary(n, mean, min(values), max(values), math.sqrt(var))

@@ -1,0 +1,27 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate ``value > 0`` and return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate ``low <= value <= high`` and return it."""
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value

@@ -1,0 +1,218 @@
+"""Tests for the application workloads."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import HeatConfig, build_heat_graph_builder, reference_heat
+from repro.apps.kmeans import KMeansConfig, build_kmeans_graph, reference_kmeans
+from repro.apps.synthetic import (
+    PAPER_TASK_COUNTS,
+    paper_copy_dag,
+    paper_matmul_dag,
+    paper_stencil_dag,
+    synthetic_workloads,
+)
+from repro.core.policies.registry import make_scheduler
+from repro.distributed.cluster_runtime import DistributedRuntime
+from repro.errors import ConfigurationError
+from repro.machine.presets import haswell16, haswell_node, jetson_tx2
+from repro.runtime.executor import SimulatedRuntime
+from repro.sim.environment import Environment
+
+
+class TestSynthetic:
+    def test_paper_task_counts(self):
+        assert PAPER_TASK_COUNTS == {
+            "matmul": 32000, "copy": 10000, "stencil": 20000,
+        }
+
+    def test_scaled_counts(self):
+        g = paper_matmul_dag(4, scale=0.01)
+        assert g.total_tasks == 320
+        assert g.dag_parallelism() == pytest.approx(4.0)
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            paper_copy_dag(2, scale=0.0)
+        with pytest.raises(ConfigurationError):
+            paper_stencil_dag(2, scale=1.5)
+
+    def test_minimum_one_layer(self):
+        g = paper_matmul_dag(6, scale=1e-9)
+        assert g.total_tasks == 6
+
+    def test_registry_complete(self):
+        assert set(synthetic_workloads) == {"matmul", "copy", "stencil"}
+
+
+class TestKMeansConfig:
+    def test_partition_sizes_sum(self):
+        cfg = KMeansConfig(n_points=1000, partitions=7, skew=2.0)
+        sizes = cfg.partition_sizes()
+        assert sum(sizes) == 1000
+        assert max(sizes) == sizes[0]  # partition 0 is skewed
+
+    def test_skewed_partition_roughly_scaled(self):
+        cfg = KMeansConfig(n_points=100_000, partitions=10, skew=1.5)
+        sizes = cfg.partition_sizes()
+        assert sizes[0] / sizes[1] == pytest.approx(1.5, rel=0.05)
+
+    def test_assign_work_monotone(self):
+        cfg = KMeansConfig()
+        assert cfg.assign_work(1000) < cfg.assign_work(2000)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KMeansConfig(n_points=0)
+        with pytest.raises(ConfigurationError):
+            KMeansConfig(skew=0.5)
+        with pytest.raises(ConfigurationError):
+            KMeansConfig(iterations=0)
+
+
+class TestKMeansGraph:
+    def test_dynamic_expansion(self):
+        cfg = KMeansConfig(iterations=3, partitions=4)
+        g = build_kmeans_graph(cfg)
+        # Only iteration 0 exists up front.
+        assert g.total_tasks == 4 + 1
+
+    def test_executes_all_iterations(self):
+        cfg = KMeansConfig(iterations=5, partitions=4)
+        g = build_kmeans_graph(cfg)
+        env = Environment()
+        runtime = SimulatedRuntime(
+            env, haswell16(), g, make_scheduler("dam-c")
+        )
+        result = runtime.run()
+        assert result.tasks_completed == 5 * (4 + 1)
+        iters = {r.metadata["iteration"] for r in runtime.collector.records}
+        assert iters == set(range(5))
+
+    def test_priority_structure(self):
+        cfg = KMeansConfig(iterations=1, partitions=4)
+        g = build_kmeans_graph(cfg)
+        tasks = list(g.tasks())
+        highs = [t for t in tasks if t.is_high_priority]
+        # The skewed partition plus the update task.
+        assert len(highs) == 2
+        assert any(t.metadata.get("role") == "update" for t in highs)
+        assert any(t.metadata.get("partition") == 0 for t in highs)
+
+    def test_iteration_hooks_fire_once_each(self):
+        fired = []
+        cfg = KMeansConfig(iterations=4, partitions=2)
+        g = build_kmeans_graph(
+            cfg, iteration_hooks={2: lambda i: fired.append(i)}
+        )
+        env = Environment()
+        SimulatedRuntime(env, haswell16(), g, make_scheduler("rws")).run()
+        assert fired == [2]
+
+
+class TestKMeansReference:
+    def test_converges_on_separable_data(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.2, size=(50, 2))
+        b = rng.normal(5.0, 0.2, size=(50, 2))
+        data = np.vstack([a, b])
+        centroids, labels, inertia = reference_kmeans(data, 2, iterations=10)
+        # The two blobs are separated.
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[50]
+        assert inertia < 50.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reference_kmeans(np.zeros(5), 2)
+        with pytest.raises(ConfigurationError):
+            reference_kmeans(np.zeros((5, 2)), 6)
+
+
+class TestHeatConfig:
+    def test_rows_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            HeatConfig(rows=100, nodes=3)
+
+    def test_boundary_bytes(self):
+        cfg = HeatConfig(rows=1024, cols=512, nodes=4)
+        assert cfg.boundary_bytes == 512 * 8
+
+    def test_compute_work_positive(self):
+        assert HeatConfig().compute_work() > 0
+
+
+class TestHeatGraph:
+    def _run(self, scheduler="dam-c", nodes=2, iterations=4):
+        cfg = HeatConfig(rows=2048, cols=2048, nodes=nodes,
+                         partitions=4, iterations=iterations)
+        runtime = DistributedRuntime(
+            [haswell_node() for _ in range(nodes)],
+            scheduler,
+            build_heat_graph_builder(cfg),
+        )
+        return cfg, runtime, runtime.run()
+
+    def test_all_tasks_complete(self):
+        cfg, runtime, result = self._run()
+        per_node = cfg.iterations * (cfg.partitions + 1)  # 1 neighbour each
+        assert result.tasks_completed == 2 * per_node
+
+    def test_exchanges_are_high_priority(self):
+        _cfg, runtime, _result = self._run()
+        for rt in runtime.runtimes:
+            for rec in rt.collector.records:
+                if rec.metadata.get("role") == "exchange":
+                    assert rec.is_high_priority
+                else:
+                    assert not rec.is_high_priority
+
+    def test_message_count(self):
+        cfg, _runtime, result = self._run(nodes=2, iterations=4)
+        # 2 ranks x 1 neighbour x iterations messages.
+        assert result.messages == 2 * cfg.iterations
+
+    def test_interior_node_has_two_exchanges(self):
+        cfg = HeatConfig(rows=4096, cols=1024, nodes=4, partitions=4,
+                         iterations=2)
+        runtime = DistributedRuntime(
+            [haswell_node() for _ in range(4)],
+            "rws",
+            build_heat_graph_builder(cfg),
+        )
+        runtime.run()
+        mid = runtime.runtimes[1].collector.records
+        exchanges = [r for r in mid if r.metadata.get("role") == "exchange"]
+        assert len(exchanges) == 2 * cfg.iterations
+
+    def test_iterations_pipeline_in_order_per_strip(self):
+        _cfg, runtime, _result = self._run(nodes=2, iterations=4)
+        recs = runtime.runtimes[0].collector.records
+        by_strip = {}
+        for rec in recs:
+            if rec.metadata.get("role") == "compute":
+                by_strip.setdefault(rec.metadata["partition"], []).append(rec)
+        for strip, items in by_strip.items():
+            items.sort(key=lambda r: r.metadata["iteration"])
+            ends = [r.exec_end for r in items]
+            assert ends == sorted(ends), f"strip {strip} out of order"
+
+
+class TestHeatReference:
+    def test_jacobi_converges_toward_boundary_value(self):
+        grid = np.zeros((16, 16))
+        out = reference_heat(grid, iterations=200, boundary=1.0)
+        assert out[8, 8] > 0.5
+        assert out[0, 0] == 1.0
+
+    def test_uniform_grid_is_fixed_point(self):
+        grid = np.full((8, 8), 3.0)
+        out = reference_heat(grid, iterations=5)
+        assert np.allclose(out, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reference_heat(np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            reference_heat(np.zeros((8, 8)), iterations=-1)

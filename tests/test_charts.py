@@ -1,0 +1,65 @@
+"""Tests for the plain-text chart helpers."""
+
+import pytest
+
+from repro.util.charts import bar_chart, series_panel, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_value_gets_no_bar(self):
+        out = bar_chart(["a", "b"], [4.0, 0.0], width=8)
+        assert out.splitlines()[1].count("█") == 0
+
+    def test_title_and_unit(self):
+        out = bar_chart(["x"], [3.0], title="T", unit=" t/s")
+        assert out.splitlines()[0] == "T"
+        assert "t/s" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_all_zero_values(self):
+        out = bar_chart(["a"], [0.0])
+        assert "0" in out
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_extremes_map_to_ends(self):
+        line = sparkline([0.0, 100.0, 0.0])
+        assert line[0] == "▁" and line[1] == "█"
+
+
+class TestSeriesPanel:
+    def test_aligned_names_and_legends(self):
+        out = series_panel({"short": [1, 2], "longername": [3, 1]})
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "[min 1.00, max 2.00]" in lines[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_panel({})

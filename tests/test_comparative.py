@@ -1,0 +1,88 @@
+"""Comparative behaviour tests across the scheduler family."""
+
+import pytest
+
+from repro.apps.heat import HeatConfig, build_heat_graph_builder
+from repro.distributed.cluster_runtime import DistributedRuntime
+from repro.interference.composite import CompositeScenario
+from repro.interference.corunner import CorunnerInterference
+from repro.interference.dvfs_events import DvfsInterference
+from repro.machine.dvfs import PeriodicSquareWave
+from repro.machine.presets import haswell_node
+from repro.session import quick_run
+
+
+class TestDheftBaseline:
+    def test_dheft_beats_rws_under_interference(self):
+        """The related-work baseline at least avoids perturbed cores once
+        its per-core means are trained."""
+        thr = {}
+        for sched in ("rws", "dheft"):
+            thr[sched] = quick_run(
+                scheduler=sched, kernel="matmul", parallelism=2,
+                total_tasks=400,
+                scenario=CorunnerInterference.matmul_chain([0]),
+            ).throughput
+        assert thr["dheft"] > thr["rws"]
+
+    def test_dam_c_beats_dheft(self):
+        """The paper's scheduler beats dHEFT: moldability plus
+        locality-preserving low-priority handling."""
+        thr = {}
+        for sched in ("dheft", "dam-c"):
+            thr[sched] = quick_run(
+                scheduler=sched, kernel="matmul", parallelism=4,
+                total_tasks=400,
+                scenario=CorunnerInterference.matmul_chain([0]),
+            ).throughput
+        assert thr["dam-c"] > thr["dheft"]
+
+
+class TestCompositeScenarios:
+    def test_dvfs_plus_corunner(self):
+        """Both interference sources at once: DAM-C still dominates RWS."""
+        def scenario():
+            return CompositeScenario([
+                DvfsInterference(wave=PeriodicSquareWave(half_period=0.2)),
+                CorunnerInterference.matmul_chain([0]),
+            ])
+
+        thr = {}
+        for sched in ("rws", "dam-c"):
+            thr[sched] = quick_run(
+                scheduler=sched, kernel="matmul", parallelism=3,
+                total_tasks=900, scenario=scenario(),
+            ).throughput
+        assert thr["dam-c"] > 1.3 * thr["rws"]
+
+    def test_distributed_node_with_dvfs(self):
+        """A DVFS governor on one node of the cluster run is handled."""
+        config = HeatConfig(nodes=2, iterations=8)
+        runtime = DistributedRuntime(
+            [haswell_node() for _ in range(2)],
+            "dam-c",
+            build_heat_graph_builder(config),
+            scenarios={
+                0: DvfsInterference(
+                    cores=list(range(5)),
+                    wave=PeriodicSquareWave(half_period=0.1),
+                )
+            },
+        )
+        result = runtime.run()
+        assert result.tasks_completed == 2 * config.iterations * (
+            config.partitions + 1
+        )
+
+
+class TestNoInterferenceParity:
+    def test_da_family_close_to_fa_without_interference(self):
+        """On a quiet machine the dynamic model converges to the static
+        truth: DA's placement matches FA's fast-core preference."""
+        thr = {}
+        for sched in ("fa", "da"):
+            thr[sched] = quick_run(
+                scheduler=sched, kernel="matmul", parallelism=2,
+                total_tasks=300,
+            ).throughput
+        assert thr["da"] / thr["fa"] > 0.85

@@ -1,0 +1,234 @@
+"""Tests for the fabric, SimMPI, and the multi-node runtime."""
+
+import pytest
+
+from repro.distributed.cluster_runtime import DistributedRuntime
+from repro.distributed.message import Message
+from repro.distributed.mpi import CommTaskBuilder, SimMpi
+from repro.distributed.network import Fabric
+from repro.errors import CommunicationError, ConfigurationError
+from repro.graph.dag import TaskGraph
+from repro.graph.task import Priority
+from repro.kernels.fixed import FixedWorkKernel
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import symmetric_machine
+from repro.sim.environment import Environment
+
+
+class TestMessage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Message(-1, 0, 0, 10.0)
+        with pytest.raises(ValueError):
+            Message(0, 0, 0, -1.0)
+
+    def test_ids_unique(self):
+        a = Message(0, 1, 0, 1.0)
+        b = Message(0, 1, 0, 1.0)
+        assert a.msg_id != b.msg_id
+
+
+class TestFabric:
+    def test_send_recv_roundtrip(self):
+        env = Environment()
+        fabric = Fabric(env, 2, Interconnect(latency_s=1e-3,
+                                             bandwidth_bytes_per_s=1e6))
+        got = []
+
+        def receiver():
+            msg = yield fabric.recv(1, src=0, tag=7)
+            got.append((env.now, msg.payload))
+
+        env.process(receiver())
+        fabric.send(Message(0, 1, 7, size_bytes=1e3, payload="hello"))
+        env.run()
+        # wire = 1e-3 + 1e3/1e6 = 2e-3
+        assert got == [(pytest.approx(2e-3), "hello")]
+        assert fabric.messages_delivered == 1
+        assert fabric.bytes_delivered == 1e3
+
+    def test_same_link_serializes(self):
+        env = Environment()
+        fabric = Fabric(env, 2, Interconnect(latency_s=1e-3,
+                                             bandwidth_bytes_per_s=1e9))
+        times = []
+
+        def receiver():
+            for _ in range(2):
+                yield fabric.recv(1, src=0, tag=0)
+                times.append(env.now)
+
+        env.process(receiver())
+        fabric.send(Message(0, 1, 0, 0.0))
+        fabric.send(Message(0, 1, 0, 0.0))
+        env.run()
+        assert times[0] == pytest.approx(1e-3)
+        assert times[1] == pytest.approx(2e-3)
+
+    def test_different_links_parallel(self):
+        env = Environment()
+        fabric = Fabric(env, 3, Interconnect(latency_s=1e-3,
+                                             bandwidth_bytes_per_s=1e9))
+        times = {}
+
+        def receiver(rank):
+            yield fabric.recv(rank, src=0, tag=0)
+            times[rank] = env.now
+
+        env.process(receiver(1))
+        env.process(receiver(2))
+        fabric.send(Message(0, 1, 0, 0.0))
+        fabric.send(Message(0, 2, 0, 0.0))
+        env.run()
+        assert times[1] == pytest.approx(1e-3)
+        assert times[2] == pytest.approx(1e-3)
+
+    def test_local_delivery_immediate(self):
+        env = Environment()
+        fabric = Fabric(env, 2)
+        done = fabric.send(Message(0, 0, 1, 100.0))
+        assert done.triggered
+
+    def test_tag_matching(self):
+        env = Environment()
+        fabric = Fabric(env, 2)
+        got = []
+
+        def receiver():
+            msg = yield fabric.recv(1, src=0, tag=5)
+            got.append(msg.tag)
+
+        env.process(receiver())
+        fabric.send(Message(0, 1, 9, 0.0))   # wrong tag: buffered, ignored
+        fabric.send(Message(0, 1, 5, 0.0))
+        env.run()
+        assert got == [5]
+
+    def test_rank_validation(self):
+        env = Environment()
+        fabric = Fabric(env, 2)
+        with pytest.raises(CommunicationError):
+            fabric.send(Message(0, 5, 0, 1.0))
+        with pytest.raises(CommunicationError):
+            Fabric(env, 0)
+
+
+class TestSimMpi:
+    def test_isend_irecv(self):
+        env = Environment()
+        fabric = Fabric(env, 2)
+        mpi0, mpi1 = SimMpi(fabric, 0), SimMpi(fabric, 1)
+        assert mpi0.size == 2
+        got = []
+
+        def receiver():
+            msg = yield mpi1.irecv(src=0, tag=3)
+            got.append(msg.payload)
+
+        env.process(receiver())
+        mpi0.isend(1, tag=3, size_bytes=8.0, payload=[1, 2])
+        env.run()
+        assert got == [[1, 2]]
+
+
+class TestCommTaskBuilder:
+    def test_comm_kernel_is_rigid(self):
+        env = Environment()
+        machine = symmetric_machine(1, 4)
+        from repro.machine.speed import SpeedModel
+        speed = SpeedModel(env, machine)
+        fabric = Fabric(env, 1)
+        builder = CommTaskBuilder(env, speed, SimMpi(fabric, 0))
+        kernel = builder.comm_kernel("exchange", 1e4)
+        assert kernel.parallel_fraction() == 0.0
+        assert kernel.seq_work() > 0
+
+    def test_protocol_cost_validation(self):
+        env = Environment()
+        machine = symmetric_machine(1, 2)
+        from repro.machine.speed import SpeedModel
+        speed = SpeedModel(env, machine)
+        fabric = Fabric(env, 1)
+        with pytest.raises(CommunicationError):
+            CommTaskBuilder(env, speed, SimMpi(fabric, 0), base_cpu_work=-1)
+
+
+def _ping_pong_builder(size_bytes=1e3):
+    """Two ranks exchange one message via comm tasks, then compute."""
+
+    def builder(handle):
+        graph = TaskGraph(f"pp-{handle.rank}")
+        peer = 1 - handle.rank
+        op = handle.comm.exchange_op(
+            peer, send_tag=handle.rank, recv_tag=peer, size_bytes=size_bytes
+        )
+        kernel = handle.comm.comm_kernel("exchange", size_bytes)
+        comm_task = graph.add_task(
+            kernel, priority=Priority.HIGH, metadata={"comm_op": op}
+        )
+        graph.add_task(
+            FixedWorkKernel("compute", work=1e-3), deps=[comm_task]
+        )
+        return graph
+
+    return builder
+
+
+class TestDistributedRuntime:
+    def test_ping_pong_completes(self):
+        machines = [symmetric_machine(1, 4, name=f"n{i}") for i in range(2)]
+        runtime = DistributedRuntime(
+            machines, "dam-c", _ping_pong_builder()
+        )
+        result = runtime.run()
+        assert result.tasks_completed == 4
+        assert result.messages == 2
+        assert result.makespan > 0
+        assert len(result.node_results) == 2
+
+    def test_each_node_has_own_scheduler(self):
+        machines = [symmetric_machine(1, 2, name=f"n{i}") for i in range(2)]
+        runtime = DistributedRuntime(machines, "dam-c", _ping_pong_builder())
+        s0 = runtime.runtimes[0].scheduler
+        s1 = runtime.runtimes[1].scheduler
+        assert s0 is not s1
+        assert s0.ptt is not s1.ptt
+
+    def test_per_rank_scenarios(self):
+        from repro.interference.corunner import CorunnerInterference
+        machines = [symmetric_machine(1, 4, name=f"n{i}") for i in range(2)]
+        runtime = DistributedRuntime(
+            machines,
+            "rws",
+            _ping_pong_builder(),
+            scenarios={0: CorunnerInterference([0], start=0.0)},
+        )
+        runtime.run()
+        assert runtime.handles[0].speed.cpu_share(0) == 0.5
+        assert runtime.handles[1].speed.cpu_share(0) == 1.0
+
+    def test_empty_machines_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DistributedRuntime([], "rws", _ping_pong_builder())
+
+    def test_missing_peer_message_deadlocks_cleanly(self):
+        """A one-sided receive with no sender raises, not hangs."""
+
+        def bad_builder(handle):
+            graph = TaskGraph(f"bad-{handle.rank}")
+            if handle.rank == 0:
+                op = handle.comm.recv_op(src=1, tag=99, size_bytes=8.0)
+                graph.add_task(
+                    handle.comm.comm_kernel("orphan-recv", 8.0),
+                    priority=Priority.HIGH,
+                    metadata={"comm_op": op},
+                )
+            else:
+                graph.add_task(FixedWorkKernel("noop", work=1e-6))
+            return graph
+
+        machines = [symmetric_machine(1, 2, name=f"n{i}") for i in range(2)]
+        runtime = DistributedRuntime(machines, "rws", bad_builder)
+        from repro.errors import RuntimeStateError
+        with pytest.raises(RuntimeStateError, match="deadlock"):
+            runtime.run()

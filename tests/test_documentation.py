@@ -1,0 +1,87 @@
+"""Documentation quality gates: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            m.__name__ for m in ALL_MODULES if not (m.__doc__ or "").strip()
+        ]
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_class_documented(self):
+        missing = []
+        for module in ALL_MODULES:
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue  # re-export
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"classes without docstrings: {missing}"
+
+    def test_every_public_function_documented(self):
+        missing = []
+        for module in ALL_MODULES:
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isfunction(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"functions without docstrings: {missing}"
+
+    def test_public_api_exports_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.ismodule(obj) or isinstance(obj, (str, tuple)):
+                continue
+            assert (obj.__doc__ or "").strip(), f"repro.{name} undocumented"
+
+
+class TestProjectFiles:
+    @pytest.mark.parametrize(
+        "path", ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
+    )
+    def test_top_level_docs_exist(self, path):
+        import os
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        full = os.path.join(root, path)
+        assert os.path.exists(full), f"{path} missing"
+        with open(full, encoding="utf-8") as handle:
+            assert len(handle.read()) > 500
+
+    def test_no_todo_markers_in_source(self):
+        import os
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        offenders = []
+        for dirpath, _dirs, files in os.walk(os.path.join(root, "src")):
+            for fname in files:
+                if not fname.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, fname)
+                with open(full, encoding="utf-8") as handle:
+                    text = handle.read()
+                for marker in ("TODO", "FIXME", "XXX"):
+                    if marker in text:
+                        offenders.append(f"{full}: {marker}")
+        assert not offenders, offenders

@@ -1,0 +1,104 @@
+"""Property-based end-to-end tests: the runtime conserves work for random
+DAGs, schedulers, and machines."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies.registry import SCHEDULER_NAMES, make_scheduler
+from repro.graph.generators import random_layered_dag
+from repro.kernels.fixed import FixedWorkKernel
+from repro.machine.presets import jetson_tx2, symmetric_machine
+from repro.runtime.executor import SimulatedRuntime
+from repro.sim.environment import Environment
+
+KERNELS = [
+    FixedWorkKernel("small", work=2e-4, parallel_fraction=0.5),
+    FixedWorkKernel("big", work=2e-3, parallel_fraction=0.95,
+                    memory_intensity=0.4),
+    FixedWorkKernel("rigid", work=5e-4, parallel_fraction=0.0),
+]
+
+SLOWISH = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SLOWISH
+@given(
+    scheduler=st.sampled_from(SCHEDULER_NAMES + ("dheft",)),
+    seed=st.integers(min_value=0, max_value=10_000),
+    layers=st.integers(min_value=1, max_value=8),
+    width=st.integers(min_value=1, max_value=6),
+)
+def test_random_dag_executes_completely(scheduler, seed, layers, width):
+    """Every task of a random DAG executes exactly once under every
+    scheduler, with makespan respecting the work/critical-path bounds."""
+    graph = random_layered_dag(KERNELS, layers, width, seed=seed)
+    total = graph.total_tasks
+    machine = jetson_tx2()
+    env = Environment()
+    runtime = SimulatedRuntime(
+        env, machine, graph, make_scheduler(scheduler), seed=seed
+    )
+    result = runtime.run()
+    assert result.tasks_completed == total
+    ids = [r.task_id for r in runtime.collector.records]
+    assert len(set(ids)) == total
+
+    # Makespan lower bounds: the *moldable* critical path (every task at
+    # its best conceivable width on the fastest core) and total work over
+    # aggregate capacity.
+    max_speed = machine.max_base_speed()
+    aggregate = sum(c.base_speed for c in machine.cores)
+
+    def best_case_duration(task):
+        f = task.kernel.parallel_fraction()
+        ideal_scaling = (1.0 - f) + f / machine.num_cores
+        return task.kernel.seq_work() * ideal_scaling / max_speed
+
+    cp_bound = graph.longest_path(weight=best_case_duration)
+    area_bound = graph.total_work() / aggregate
+    assert result.makespan >= max(cp_bound, area_bound) * 0.999
+
+    # Busy-time sanity: no core is busy longer than the run.
+    for busy in runtime.collector.core_busy.values():
+        assert busy <= result.makespan * (1 + 1e-9)
+
+    # Record sanity: execution windows are well-formed.
+    for record in runtime.collector.records:
+        assert record.exec_end >= record.exec_start >= record.ready_time >= 0
+
+
+@SLOWISH
+@given(
+    scheduler=st.sampled_from(("rws", "dam-c", "dam-p")),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_symmetric_machine_random_dag(scheduler, seed):
+    """Same conservation on a two-socket symmetric machine."""
+    graph = random_layered_dag(KERNELS, 5, 5, seed=seed)
+    total = graph.total_tasks
+    env = Environment()
+    runtime = SimulatedRuntime(
+        env, symmetric_machine(2, 4), graph, make_scheduler(scheduler),
+        seed=seed,
+    )
+    result = runtime.run()
+    assert result.tasks_completed == total
+
+
+@SLOWISH
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_high_priority_placement_honored(seed):
+    """Under DA/DAM schedulers, no high-priority record is marked stolen."""
+    graph = random_layered_dag(KERNELS, 6, 5, seed=seed)
+    env = Environment()
+    runtime = SimulatedRuntime(
+        env, jetson_tx2(), graph, make_scheduler("dam-c"), seed=seed
+    )
+    runtime.run()
+    for record in runtime.collector.records:
+        if record.is_high_priority:
+            assert not record.stolen

@@ -1,0 +1,160 @@
+"""Smoke + shape tests for the experiment harnesses (tiny scale)."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    HASWELL_SCHEDULERS,
+    TX2_SCHEDULERS,
+    speedup,
+)
+from repro.experiments.fig4_corunner import run_fig4
+from repro.experiments.fig5_distribution import run_fig5
+from repro.experiments.fig6_worktime import run_fig6
+from repro.experiments.fig8_sensitivity import run_fig8
+from repro.experiments.fig9_kmeans import run_fig9
+from repro.experiments.fig10_heat import run_fig10
+from repro.experiments.table1_features import run_table1
+from repro.errors import ConfigurationError
+
+TINY = ExperimentSettings(scale=0.01, seed=0)
+
+
+class TestSettings:
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(scale=2.0)
+
+    def test_task_count_floor(self):
+        s = ExperimentSettings(scale=0.01)
+        assert s.task_count(32000, 6) == 320
+        assert s.task_count(100, 6) == 60  # floor: 10 per parallelism
+
+    def test_dvfs_wave_floor(self):
+        assert ExperimentSettings(scale=0.01).dvfs_wave().half_period == 0.5
+        assert ExperimentSettings(scale=1.0).dvfs_wave().half_period == 5.0
+
+    def test_speedup_guard(self):
+        with pytest.raises(ConfigurationError):
+            speedup(1.0, 0.0)
+
+
+class TestTable1:
+    def test_rows_and_report(self):
+        result = run_table1()
+        assert len(result.rows) == 7
+        report = result.report()
+        for name in ("RWS", "FAM-C", "DAM-P"):
+            assert name in report
+
+
+class TestFig4:
+    def test_small_run_shape(self):
+        result = run_fig4(
+            TINY, kernels=("matmul",), parallelisms=(2, 4),
+            schedulers=("rws", "fa", "dam-c"),
+        )
+        data = result.throughput["matmul"]
+        assert set(data) == {"rws", "fa", "dam-c"}
+        assert all(v > 0 for by in data.values() for v in by.values())
+        # The §5.1 ordering at parallelism 2.
+        assert data["rws"][2] < data["fa"][2] < data["dam-c"][2]
+        assert "Fig 4" in result.report()
+
+    def test_headline_ratios_present(self):
+        result = run_fig4(
+            TINY, kernels=("matmul",), parallelisms=(2,),
+            schedulers=("rws", "fa", "fam-c", "dam-c"),
+        )
+        ratios = result.headline_ratios()
+        assert ratios["dam-c/rws"] > 1.0
+
+
+class TestFig5:
+    def test_distribution_shapes(self):
+        result = run_fig5(TINY, schedulers=("rws", "fa", "da"))
+        # FA: exactly the two Denver cores, 50/50.
+        fa = result.distribution["fa"]
+        assert result.interfered_core_share("fa") == pytest.approx(0.5, abs=0.05)
+        # DA avoids the interfered core almost entirely.
+        assert result.interfered_core_share("da") < 0.05
+        assert "Fig 5" in result.report()
+
+    def test_fractions_sum_to_one(self):
+        result = run_fig5(TINY, schedulers=("dam-c",))
+        total = sum(result.distribution["dam-c"].values())
+        assert total == pytest.approx(1.0)
+
+
+class TestFig6:
+    def test_worktime_shape(self):
+        result = run_fig6(TINY, schedulers=("fa", "dam-c"))
+        # FA pins half the criticals to interfered core 0: its core-0 work
+        # time exceeds DAM-C's.
+        assert result.work_time["fa"][0] > result.work_time["dam-c"][0]
+        assert result.total("fa") > 0
+        assert "Fig 6" in result.report()
+
+
+class TestFig8:
+    def test_sensitivity_shape(self):
+        result = run_fig8(
+            TINY, tiles=(32, 96), new_weights=(1, 5), parallelism=4,
+        )
+        # Tiny tiles are sensitive to the fold weight; large ones are not.
+        assert result.spread(32) > result.spread(96)
+        assert "Fig 8" in result.report()
+
+
+class TestFig9:
+    def test_kmeans_window_effect(self):
+        result = run_fig9(TINY, schedulers=("rws", "dam-p"), iterations=60,
+                          window=(15, 45))
+        for sched in ("rws", "dam-p"):
+            inside = result.mean_iteration_time(sched, inside_window=True)
+            outside = result.mean_iteration_time(sched, inside_window=False)
+            assert inside > outside, sched
+        # DAM-P handles the interference better than RWS.
+        assert result.mean_iteration_time("dam-p", True) < \
+            result.mean_iteration_time("rws", True)
+        assert "Fig 9" in result.report()
+
+
+class TestFig10:
+    def test_heat_shape(self):
+        result = run_fig10(TINY, schedulers=("rws", "rwsm-c", "dam-c"),
+                           nodes=2, iterations=10)
+        assert result.throughput["dam-c"] > result.throughput["rws"]
+        ratios = result.headline_ratios()
+        assert ratios["dam-c/rws"] > 1.2
+        assert "Fig 10" in result.report()
+
+
+class TestCli:
+    def test_runner_table1(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_runner_rejects_unknown(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestCliEndToEnd:
+    def test_runner_fig5_small(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["fig5", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5" in out
+        assert "regenerated in" in out
+
+    def test_runner_seeds_small(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["seeds", "--scale", "0.01", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Seed robustness" in out

@@ -1,0 +1,69 @@
+"""Tests for JSON export/import of run traces."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.analysis import place_distribution, throughput
+from repro.metrics.export import (
+    dump_run,
+    load_records,
+    record_from_dict,
+    record_to_dict,
+    records_from_dicts,
+    run_result_to_dict,
+)
+from repro.session import quick_run
+
+
+@pytest.fixture(scope="module")
+def run():
+    return quick_run(scheduler="dam-c", parallelism=3, total_tasks=90)
+
+
+class TestRecordRoundtrip:
+    def test_roundtrip_preserves_fields(self, run):
+        original = run.collector.records[0]
+        rebuilt = record_from_dict(record_to_dict(original))
+        assert rebuilt.task_id == original.task_id
+        assert rebuilt.place == original.place
+        assert rebuilt.priority == original.priority
+        assert rebuilt.exec_start == original.exec_start
+        assert rebuilt.observed == original.observed
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            record_from_dict({"task_id": 1})
+
+    def test_non_jsonable_metadata_dropped(self, run):
+        record = run.collector.records[0]
+        record.metadata["callable"] = lambda: None
+        payload = record_to_dict(record)
+        assert "callable" not in payload["metadata"]
+        json.dumps(payload)  # fully serializable
+
+
+class TestRunExport:
+    def test_run_dict_is_json_serializable(self, run):
+        payload = run_result_to_dict(run)
+        text = json.dumps(payload)
+        assert payload["tasks_completed"] == 90
+        assert len(payload["records"]) == 90
+        assert json.loads(text)["scheduler"] == "DAM-C"
+
+    def test_dump_and_load(self, run, tmp_path):
+        path = tmp_path / "run.json"
+        dump_run(run, str(path))
+        records = load_records(str(path))
+        assert len(records) == 90
+        # Analysis helpers work on reloaded traces.
+        assert throughput(records, run.makespan) == pytest.approx(
+            run.throughput
+        )
+        dist = place_distribution(records)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_records_from_dicts(self, run):
+        dicts = [record_to_dict(r) for r in run.collector.records[:5]]
+        assert len(records_from_dicts(dicts)) == 5

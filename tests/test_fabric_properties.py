@@ -1,0 +1,104 @@
+"""Property-based tests of the fabric: no loss, FIFO per (src, tag)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.message import Message
+from repro.distributed.network import Fabric
+from repro.machine.interconnect import Interconnect
+from repro.sim.environment import Environment
+
+FAST = settings(max_examples=40, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+message_plan = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),      # src
+        st.integers(min_value=0, max_value=3),      # dst
+        st.integers(min_value=0, max_value=2),      # tag
+        st.floats(min_value=0.0, max_value=1e6),    # bytes
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@FAST
+@given(plan=message_plan)
+def test_no_message_lost(plan):
+    """Every sent message is eventually received by a matching receiver."""
+    env = Environment()
+    fabric = Fabric(env, 4, Interconnect())
+    received = []
+
+    # One receiver process per (dst, src, tag) triple in the plan.
+    from collections import Counter
+    counts = Counter((dst, src, tag) for src, dst, tag, _b in plan)
+
+    def receiver(dst, src, tag, n):
+        for _ in range(n):
+            msg = yield fabric.recv(dst, src, tag)
+            received.append(msg.msg_id)
+
+    for (dst, src, tag), n in counts.items():
+        env.process(receiver(dst, src, tag, n))
+
+    sent = []
+    for src, dst, tag, size in plan:
+        msg = Message(src, dst, tag, size)
+        sent.append(msg.msg_id)
+        fabric.send(msg)
+    env.run()
+    assert sorted(received) == sorted(sent)
+    assert fabric.messages_delivered == len(plan)
+
+
+@FAST
+@given(
+    sizes=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=10
+    )
+)
+def test_fifo_per_src_tag(sizes):
+    """Messages between one (src, dst, tag) triple arrive in send order,
+    regardless of their sizes (the link serializes)."""
+    env = Environment()
+    fabric = Fabric(env, 2, Interconnect())
+    order = []
+
+    def receiver(n):
+        for _ in range(n):
+            msg = yield fabric.recv(1, 0, 0)
+            order.append(msg.payload)
+
+    env.process(receiver(len(sizes)))
+    for i, size in enumerate(sizes):
+        fabric.send(Message(0, 1, 0, size, payload=i))
+    env.run()
+    assert order == list(range(len(sizes)))
+
+
+@FAST
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    size=st.floats(min_value=1.0, max_value=1e6),
+)
+def test_link_serialization_time(n, size):
+    """n equal messages on one link take n x wire-time to all arrive."""
+    env = Environment()
+    link = Interconnect(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+    fabric = Fabric(env, 2, link)
+    arrivals = []
+
+    def receiver():
+        for _ in range(n):
+            yield fabric.recv(1, 0, 0)
+            arrivals.append(env.now)
+
+    env.process(receiver())
+    for _ in range(n):
+        fabric.send(Message(0, 1, 0, size))
+    env.run()
+    wire = link.transfer_time(size)
+    assert arrivals[-1] == pytest.approx(n * wire)

@@ -1,0 +1,63 @@
+"""Smoke test of the Fig. 7 harness at reduced DVFS floors.
+
+The real harness floors its task counts so each run spans several DVFS
+periods, which is too slow for unit tests; here the floors are patched
+down while keeping the structural path identical.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig7_dvfs import run_fig7
+
+
+@pytest.fixture
+def fast_settings(monkeypatch):
+    settings = ExperimentSettings(scale=0.01)
+    monkeypatch.setattr(
+        ExperimentSettings,
+        "dvfs_task_count",
+        lambda self, kernel, parallelism: 400,
+    )
+    monkeypatch.setattr(
+        ExperimentSettings,
+        "dvfs_wave",
+        lambda self: __import__(
+            "repro.machine.dvfs", fromlist=["PeriodicSquareWave"]
+        ).PeriodicSquareWave(half_period=0.05),
+    )
+    return settings
+
+
+def test_fig7_structure(fast_settings):
+    result = run_fig7(
+        fast_settings,
+        kernels=("matmul",),
+        parallelisms=(2, 4),
+        schedulers=("rws", "dam-c"),
+    )
+    data = result.throughput["matmul"]
+    assert set(data) == {"rws", "dam-c"}
+    assert all(v > 0 for by in data.values() for v in by.values())
+    assert "Fig 7" in result.report()
+
+
+def test_fig7_headline_skips_missing_bases(fast_settings):
+    result = run_fig7(
+        fast_settings,
+        kernels=("copy",),
+        parallelisms=(2,),
+        schedulers=("rws", "dam-c"),
+    )
+    ratios = result.headline_ratios("copy")
+    assert set(ratios) == {"dam-c/rws"}
+
+
+def test_fig7_headline_empty_without_damc(fast_settings):
+    result = run_fig7(
+        fast_settings,
+        kernels=("copy",),
+        parallelisms=(2,),
+        schedulers=("rws",),
+    )
+    assert result.headline_ratios("copy") == {}

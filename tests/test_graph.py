@@ -1,0 +1,229 @@
+"""Tests for tasks, the DAG, and generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dag import TaskGraph
+from repro.graph.generators import (
+    chain_dag,
+    diamond_dag,
+    fork_join_dag,
+    layered_synthetic_dag,
+    random_layered_dag,
+)
+from repro.graph.task import Priority, Task, TaskState
+from repro.kernels.fixed import FixedWorkKernel
+
+
+@pytest.fixture
+def kernel():
+    return FixedWorkKernel("k", work=1.0)
+
+
+class TestTaskGraphBasics:
+    def test_root_is_ready_immediately(self, kernel):
+        g = TaskGraph()
+        t = g.add_task(kernel)
+        assert t.state is TaskState.READY
+        assert g.drain_ready() == [t]
+        assert g.drain_ready() == []
+
+    def test_dependency_release(self, kernel):
+        g = TaskGraph()
+        a = g.add_task(kernel)
+        b = g.add_task(kernel, deps=[a])
+        g.drain_ready()
+        assert b.state is TaskState.WAITING
+        released = g.complete(a)
+        assert released == [b]
+        assert b.state is TaskState.READY
+
+    def test_join_waits_for_all_parents(self, kernel):
+        g = TaskGraph()
+        a = g.add_task(kernel)
+        b = g.add_task(kernel)
+        c = g.add_task(kernel, deps=[a, b])
+        g.drain_ready()
+        assert g.complete(a) == []
+        assert g.complete(b) == [c]
+
+    def test_duplicate_deps_collapse(self, kernel):
+        g = TaskGraph()
+        a = g.add_task(kernel)
+        b = g.add_task(kernel, deps=[a, a, a])
+        g.drain_ready()
+        assert g.complete(a) == [b]
+
+    def test_dep_on_completed_task_is_satisfied(self, kernel):
+        g = TaskGraph()
+        a = g.add_task(kernel)
+        g.drain_ready()
+        g.complete(a)
+        b = g.add_task(kernel, deps=[a])
+        assert b.state is TaskState.READY
+
+    def test_foreign_task_rejected(self, kernel):
+        g1, g2 = TaskGraph("g1"), TaskGraph("g2")
+        a = g1.add_task(kernel)
+        with pytest.raises(GraphError):
+            g2.add_task(kernel, deps=[a])
+        with pytest.raises(GraphError):
+            g2.complete(a)
+
+    def test_double_complete_rejected(self, kernel):
+        g = TaskGraph()
+        a = g.add_task(kernel)
+        g.drain_ready()
+        g.complete(a)
+        with pytest.raises(GraphError):
+            g.complete(a)
+
+    def test_complete_waiting_task_rejected(self, kernel):
+        g = TaskGraph()
+        a = g.add_task(kernel)
+        b = g.add_task(kernel, deps=[a])
+        with pytest.raises(GraphError):
+            g.complete(b)
+
+    def test_is_finished(self, kernel):
+        g = TaskGraph()
+        a = g.add_task(kernel)
+        b = g.add_task(kernel, deps=[a])
+        g.drain_ready()
+        assert not g.is_finished
+        g.complete(a)
+        g.drain_ready()
+        assert not g.is_finished
+        g.complete(b)
+        assert g.is_finished
+
+    def test_validate_passes_on_healthy_graph(self, kernel):
+        g = layered_synthetic_dag(kernel, 3, 12)
+        g.validate()
+
+
+class TestDynamicInsertion:
+    def test_spawn_hook_inserts_next_tasks(self, kernel):
+        g = TaskGraph()
+
+        def spawn(graph, task):
+            graph.add_task(kernel, metadata={"spawned": True})
+
+        a = g.add_task(kernel, spawn=spawn)
+        g.drain_ready()
+        released = g.complete(a)
+        assert len(released) == 1
+        assert released[0].metadata["spawned"]
+
+    def test_spawned_chain_terminates(self, kernel):
+        g = TaskGraph()
+        count = [0]
+
+        def spawn(graph, task):
+            count[0] += 1
+            if count[0] < 5:
+                graph.add_task(kernel, spawn=spawn)
+
+        g.add_task(kernel, spawn=spawn)
+        ready = g.drain_ready()
+        while ready:
+            nxt = []
+            for t in ready:
+                nxt.extend(g.complete(t))
+            ready = nxt
+        assert g.is_finished
+        assert g.total_tasks == 5
+
+
+class TestStructuralMeasures:
+    def test_longest_path_chain(self, kernel):
+        g = chain_dag(kernel, 7)
+        assert g.longest_path() == 7.0
+        assert g.dag_parallelism() == pytest.approx(1.0)
+
+    def test_dag_parallelism_of_layered_dag(self, kernel):
+        g = layered_synthetic_dag(kernel, 4, 40)
+        assert g.dag_parallelism() == pytest.approx(4.0)
+        assert g.total_tasks == 40
+
+    def test_empty_graph_measures(self):
+        g = TaskGraph()
+        assert g.longest_path() == 0.0
+        assert g.dag_parallelism() == 0.0
+
+    def test_critical_path_work(self):
+        heavy = FixedWorkKernel("heavy", work=5.0)
+        light = FixedWorkKernel("light", work=1.0)
+        g = TaskGraph()
+        a = g.add_task(heavy)
+        g.add_task(light, deps=[a])
+        assert g.critical_path_work() == pytest.approx(6.0)
+        assert g.total_work() == pytest.approx(6.0)
+
+
+class TestGenerators:
+    def test_layered_dag_structure(self, kernel):
+        g = layered_synthetic_dag(kernel, parallelism=3, total_tasks=12)
+        tasks = list(g.tasks())
+        criticals = [t for t in tasks if t.is_high_priority]
+        assert len(criticals) == 4  # one per layer
+        # Every layer>0 task depends exactly on the previous critical.
+        layer1 = [t for t in tasks if t.metadata["layer"] == 1]
+        assert all(t.pending_dependencies == 1 for t in layer1)
+        # Completing the critical of layer 0 releases all of layer 1.
+        g.drain_ready()
+        released = g.complete(criticals[0])
+        assert {t.metadata["layer"] for t in released} == {1}
+        assert len(released) == 3
+
+    def test_layered_dag_rounds_down(self, kernel):
+        g = layered_synthetic_dag(kernel, parallelism=3, total_tasks=11)
+        assert g.total_tasks == 9
+
+    def test_layered_dag_validation(self, kernel):
+        with pytest.raises(Exception):
+            layered_synthetic_dag(kernel, 0, 10)
+        with pytest.raises(Exception):
+            layered_synthetic_dag(kernel, 5, 3)
+
+    def test_chain_priorities(self, kernel):
+        g = chain_dag(kernel, 3, priority=Priority.HIGH)
+        assert all(t.is_high_priority for t in g.tasks())
+
+    def test_fork_join_structure(self, kernel):
+        g = fork_join_dag(kernel, fan_out=4, stages=2)
+        assert g.total_tasks == 1 + 2 * (4 + 1)
+        assert g.dag_parallelism() == pytest.approx(11 / 5)
+
+    def test_diamond(self, kernel):
+        g = diamond_dag(kernel)
+        assert g.total_tasks == 4
+        assert g.longest_path() == 3.0
+
+    def test_random_layered_determinism(self, kernel):
+        g1 = random_layered_dag([kernel], 10, 5, seed=3)
+        g2 = random_layered_dag([kernel], 10, 5, seed=3)
+        assert g1.total_tasks == g2.total_tasks
+        deps1 = [t.pending_dependencies for t in g1.tasks()]
+        deps2 = [t.pending_dependencies for t in g2.tasks()]
+        assert deps1 == deps2
+
+    def test_random_layered_is_connected_across_layers(self, kernel):
+        g = random_layered_dag([kernel], 8, 4, seed=1, edge_probability=0.0)
+        # Forced edges keep layers ordered even at p=0.
+        roots = [t for t in g.tasks() if t.state is TaskState.READY]
+        layer0_width = len([t for t in g.tasks() if t.metadata["layer"] == 0])
+        assert len(roots) == layer0_width
+
+    def test_random_layered_executes_fully(self, kernel):
+        g = random_layered_dag([kernel], 6, 4, seed=2)
+        ready = g.drain_ready()
+        done = 0
+        while ready:
+            nxt = []
+            for t in ready:
+                nxt.extend(g.complete(t))
+                done += 1
+            ready = nxt
+        assert done == g.total_tasks
+        assert g.is_finished

@@ -1,0 +1,172 @@
+"""Tests for interference scenarios."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RuntimeStateError
+from repro.interference.composite import CompositeScenario
+from repro.interference.corunner import CorunnerInterference
+from repro.interference.dvfs_events import DvfsInterference
+from repro.interference.base import NullScenario
+from repro.interference.traces import (
+    AddDemand,
+    InterferenceTrace,
+    SetCpuShare,
+    SetFreqScale,
+    TraceScenario,
+)
+from repro.machine.presets import jetson_tx2
+from repro.machine.speed import SpeedModel
+from repro.sim.environment import Environment
+
+
+@pytest.fixture
+def sim():
+    env = Environment()
+    machine = jetson_tx2()
+    speed = SpeedModel(env, machine)
+    return env, machine, speed
+
+
+class TestCorunner:
+    def test_window_applies_and_clears(self, sim):
+        env, machine, speed = sim
+        scenario = CorunnerInterference([0], cpu_share=0.5,
+                                        memory_demand=1.0, start=1.0, end=3.0)
+        scenario.install(env, speed, machine)
+        env.run(until=0.5)
+        assert speed.cpu_share(0) == 1.0
+        env.run(until=2.0)
+        assert speed.cpu_share(0) == 0.5
+        assert speed.external_demand("dram") == pytest.approx(1.0)
+        env.run(until=4.0)
+        assert speed.cpu_share(0) == 1.0
+        assert speed.external_demand("dram") == pytest.approx(0.0)
+
+    def test_open_ended_window(self, sim):
+        env, machine, speed = sim
+        CorunnerInterference([0], start=0.0).install(env, speed, machine)
+        env.run(until=100.0)
+        assert speed.cpu_share(0) == 0.5
+
+    def test_manual_activation(self, sim):
+        env, machine, speed = sim
+        scenario = CorunnerInterference([2, 3], cpu_share=0.6, start=None)
+        scenario.install(env, speed, machine)
+        assert not scenario.active
+        scenario.activate()
+        assert speed.cpu_share(2) == 0.6
+        scenario.activate()  # idempotent
+        scenario.deactivate()
+        assert speed.cpu_share(2) == 1.0
+        scenario.deactivate()  # idempotent
+
+    def test_activate_before_install_rejected(self):
+        scenario = CorunnerInterference([0], start=None)
+        with pytest.raises(RuntimeStateError):
+            scenario.activate()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CorunnerInterference([])
+        with pytest.raises(ConfigurationError):
+            CorunnerInterference([0], cpu_share=0.0)
+        with pytest.raises(ConfigurationError):
+            CorunnerInterference([0], start=2.0, end=1.0)
+
+    def test_factories(self):
+        assert CorunnerInterference.copy_chain([0]).memory_demand > \
+            CorunnerInterference.matmul_chain([0]).memory_demand
+
+
+class TestDvfsScenario:
+    def test_defaults_target_fastest_cluster(self, sim):
+        env, machine, speed = sim
+        scenario = DvfsInterference()
+        scenario.install(env, speed, machine)
+        assert scenario.governor is not None
+        assert scenario.governor.cores == (0, 1)  # Denver cores
+
+    def test_explicit_cores(self, sim):
+        env, machine, speed = sim
+        scenario = DvfsInterference(cores=[2, 3])
+        scenario.install(env, speed, machine)
+        assert scenario.governor.cores == (2, 3)
+
+    def test_empty_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DvfsInterference(cores=[])
+
+
+class TestComposite:
+    def test_installs_all(self, sim):
+        env, machine, speed = sim
+        composite = CompositeScenario([
+            CorunnerInterference([0], start=0.0),
+            DvfsInterference(cores=[2]),
+        ])
+        composite.install(env, speed, machine)
+        env.run(until=0.1)
+        assert speed.cpu_share(0) == 0.5
+
+    def test_null_scenario_is_noop(self, sim):
+        env, machine, speed = sim
+        NullScenario().install(env, speed, machine)
+        env.run(until=1.0)
+        assert speed.cpu_share(0) == 1.0
+
+
+class TestTraces:
+    def test_replay_applies_actions_in_order(self, sim):
+        env, machine, speed = sim
+        trace = InterferenceTrace([
+            SetCpuShare(1.0, (0,), 0.5),
+            SetFreqScale(2.0, (0, 1), 0.25),
+            AddDemand(3.0, "dram", 2.0),
+            AddDemand(4.0, "dram", -2.0),
+            SetCpuShare(5.0, (0,), 1.0),
+        ])
+        TraceScenario(trace).install(env, speed, machine)
+        env.run(until=2.5)
+        assert speed.cpu_share(0) == 0.5
+        assert speed.freq_scale(1) == 0.25
+        env.run(until=3.5)
+        assert speed.external_demand("dram") == pytest.approx(2.0)
+        env.run(until=6.0)
+        assert speed.external_demand("dram") == pytest.approx(0.0)
+        assert speed.cpu_share(0) == 1.0
+
+    def test_roundtrip_serialization(self):
+        trace = InterferenceTrace([
+            SetCpuShare(1.0, (0,), 0.5),
+            SetFreqScale(2.0, (1,), 0.3),
+            AddDemand(3.0, "dram", 1.5),
+        ])
+        rebuilt = InterferenceTrace.from_dicts(trace.to_dicts())
+        assert rebuilt.to_dicts() == trace.to_dicts()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterferenceTrace.from_dicts([{"kind": "alien", "time": 0.0}])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterferenceTrace([SetCpuShare(-1.0, (0,), 0.5)])
+
+    def test_append_preserves_order(self):
+        trace = InterferenceTrace([SetCpuShare(1.0, (0,), 0.5)])
+        trace.append(SetCpuShare(2.0, (0,), 1.0))
+        assert len(trace) == 2
+        with pytest.raises(ConfigurationError):
+            trace.append(SetCpuShare(0.5, (0,), 1.0))
+
+    def test_actions_sorted_at_construction(self):
+        trace = InterferenceTrace([
+            SetCpuShare(2.0, (0,), 1.0),
+            SetCpuShare(1.0, (0,), 0.5),
+        ])
+        assert [a.time for a in trace.actions] == [1.0, 2.0]
+
+    def test_empty_trace_replay_is_noop(self, sim):
+        env, machine, speed = sim
+        TraceScenario(InterferenceTrace()).install(env, speed, machine)
+        env.run(until=1.0)

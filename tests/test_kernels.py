@@ -1,0 +1,199 @@
+"""Tests for kernel cost models and real implementations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.base import WorkProfile
+from repro.kernels.copy import CopyKernel
+from repro.kernels.fixed import FixedWorkKernel
+from repro.kernels.matmul import MatMulKernel
+from repro.kernels.real import run_copy, run_matmul, run_stencil, time_kernel
+from repro.kernels.stencil import StencilKernel
+from repro.machine.presets import jetson_tx2
+from repro.machine.topology import ExecutionPlace
+
+
+@pytest.fixture
+def tx2():
+    return jetson_tx2()
+
+
+class TestWorkProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkProfile(-1.0, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            WorkProfile(1.0, 1.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            WorkProfile(1.0, 0.5, -1.0)
+
+
+class TestMatMulModel:
+    def test_work_scales_cubically(self):
+        small, big = MatMulKernel(tile=32), MatMulKernel(tile=64)
+        assert big.seq_work() / small.seq_work() == pytest.approx(8.0)
+
+    def test_paper_l1_classification(self, tx2):
+        """§5.3: tile 32 fits both L1s; 64 and 80 only Denver; 96 spills."""
+        denver = ExecutionPlace(0, 1)
+        a57 = ExecutionPlace(2, 1)
+        assert MatMulKernel(tile=32).cache_penalty(tx2, denver) == 1.0
+        assert MatMulKernel(tile=32).cache_penalty(tx2, a57) == 1.0
+        for tile in (64, 80):
+            k = MatMulKernel(tile=tile)
+            assert k.cache_penalty(tx2, denver) == 1.0
+            assert k.cache_penalty(tx2, a57) > 1.0
+        k96 = MatMulKernel(tile=96)
+        assert k96.cache_penalty(tx2, denver) > 1.0
+
+    def test_molding_shrinks_per_core_slice(self, tx2):
+        k = MatMulKernel(tile=96)
+        wide = ExecutionPlace(2, 4)
+        narrow = ExecutionPlace(2, 1)
+        assert k.cache_penalty(tx2, wide) < k.cache_penalty(tx2, narrow)
+
+    def test_profile_work_decreases_with_width_then_overhead_bites(self, tx2):
+        k = MatMulKernel(tile=64)
+        w1 = k.profile(tx2, ExecutionPlace(2, 1)).work
+        w2 = k.profile(tx2, ExecutionPlace(2, 2)).work
+        assert w2 < w1  # per-assembly work shrinks (duration shorter)
+
+    def test_profile_validates_place(self, tx2):
+        with pytest.raises(Exception):
+            MatMulKernel().profile(tx2, ExecutionPlace(3, 2))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            MatMulKernel(tile=0)
+        with pytest.raises(ConfigurationError):
+            MatMulKernel(flop_cost=0)
+
+    def test_type_name_includes_tile(self):
+        assert MatMulKernel(tile=80).name == "matmul80"
+
+
+class TestCopyModel:
+    def test_memory_intensity_high(self, tx2):
+        k = CopyKernel()
+        assert k.memory_intensity(tx2, ExecutionPlace(2, 1)) == pytest.approx(0.9)
+
+    def test_no_cache_penalty(self, tx2):
+        k = CopyKernel()
+        assert k.cache_penalty(tx2, ExecutionPlace(2, 1)) == 1.0
+
+    def test_demand_scales_with_width(self, tx2):
+        k = CopyKernel()
+        d1 = k.profile(tx2, ExecutionPlace(2, 1)).demand
+        d4 = k.profile(tx2, ExecutionPlace(2, 4)).demand
+        assert d4 == pytest.approx(4 * d1)
+
+    def test_bytes_moved(self):
+        k = CopyKernel(tile=1024)
+        assert k.bytes_moved() == 2 * 1024 * 1024 * 8
+
+
+class TestStencilModel:
+    def test_intensity_rises_when_spilling(self, tx2):
+        k = StencilKernel(tile=1024)
+        narrow = k.memory_intensity(tx2, ExecutionPlace(2, 1))
+        wide = k.memory_intensity(tx2, ExecutionPlace(2, 4))
+        assert narrow >= wide
+
+    def test_work_scales_with_sweeps(self):
+        assert StencilKernel(sweeps=8).seq_work() == pytest.approx(
+            2 * StencilKernel(sweeps=4).seq_work()
+        )
+
+
+class TestFixedWorkKernel:
+    def test_rigid_kernel_never_benefits_from_width(self, tx2):
+        k = FixedWorkKernel("rigid", work=1.0, parallel_fraction=0.0)
+        t1 = k.profile(tx2, ExecutionPlace(2, 1)).work
+        t4 = k.profile(tx2, ExecutionPlace(2, 4)).work
+        assert t4 > t1
+
+    def test_custom_penalties(self, tx2):
+        k = FixedWorkKernel(
+            "cliff", work=1.0, working_set=64 * 1024 * 1024,
+            l2_penalty=1.1, dram_penalty=4.0,
+        )
+        assert k.cache_penalty(tx2, ExecutionPlace(2, 1)) == 4.0
+
+    def test_penalty_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedWorkKernel("x", 1.0, l2_penalty=0.5)
+        with pytest.raises(ConfigurationError):
+            FixedWorkKernel("x", 1.0, l2_penalty=2.0, dram_penalty=1.5)
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedWorkKernel("x", -1.0)
+        with pytest.raises(ConfigurationError):
+            FixedWorkKernel("x", 1.0, parallel_fraction=1.2)
+        with pytest.raises(ConfigurationError):
+            FixedWorkKernel("x", 1.0, memory_intensity=-0.1)
+
+
+class TestRealKernels:
+    def test_matmul_correctness(self):
+        out = run_matmul(16, rng=0)
+        assert out.shape == (16, 16)
+        # a @ b of uniform [0,1) entries: each element ~ sum of 16 products.
+        assert 0 < out.mean() < 16
+
+    def test_copy_is_exact(self):
+        out = run_copy(32, rng=1)
+        assert out.shape == (32, 32)
+
+    def test_stencil_preserves_shape_and_smooths(self):
+        grid = run_stencil(32, sweeps=2, rng=0)
+        assert grid.shape == (32, 32)
+        fresh = run_stencil(32, sweeps=8, rng=0)
+        # More sweeps -> smoother interior (lower variance).
+        assert fresh[1:-1, 1:-1].var() < grid[1:-1, 1:-1].var()
+
+    def test_stencil_matches_manual_average(self):
+        # One sweep on a tiny grid equals the direct formula.
+        from repro.util.rng import make_rng
+        gen = make_rng(5)
+        src = gen.random((8, 8))
+        expected = src.copy()
+        expected[1:-1, 1:-1] = 0.2 * (
+            src[1:-1, 1:-1] + src[:-2, 1:-1] + src[2:, 1:-1]
+            + src[1:-1, :-2] + src[1:-1, 2:]
+        )
+        got = run_stencil(8, sweeps=1, rng=5)
+        assert np.allclose(got, expected)
+
+    def test_time_kernel_returns_positive(self):
+        median, best = time_kernel("matmul", 32, repeats=2)
+        assert best > 0
+        assert median >= best
+
+    def test_time_kernel_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            time_kernel("fft", 32)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_matmul(0)
+        with pytest.raises(ConfigurationError):
+            run_stencil(2)
+
+
+class TestCalibration:
+    def test_calibrate_produces_positive_constants(self):
+        from repro.kernels.calibrate import calibrate, calibrated_kernels
+        res = calibrate(matmul_tile=32, copy_tile=128, stencil_tile=128,
+                        repeats=2)
+        assert res.flop_cost > 0
+        assert res.byte_cost > 0
+        assert res.point_cost > 0
+        kernels = calibrated_kernels(res)
+        assert set(kernels) == {"matmul", "copy", "stencil"}
+        # The fitted matmul cost reproduces the measured time at the
+        # calibration tile.
+        assert kernels["matmul"].flop_cost * 64**3 == pytest.approx(
+            res.flop_cost * 64**3
+        )

@@ -1,0 +1,153 @@
+"""Tests for cores, clusters and machine topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine.cluster import ClusterSpec, divisor_widths
+from repro.machine.core import CoreSpec
+from repro.machine.presets import haswell16, haswell_node, jetson_tx2, symmetric_machine
+from repro.machine.topology import ExecutionPlace, Machine
+
+
+class TestCoreSpec:
+    def test_valid(self):
+        core = CoreSpec(0, "c", 2.0, 64.0)
+        assert core.base_speed == 2.0
+
+    def test_invalid_speed(self):
+        with pytest.raises(Exception):
+            CoreSpec(0, "c", 0.0, 64.0)
+
+    def test_invalid_id(self):
+        with pytest.raises(ValueError):
+            CoreSpec(-1, "c", 1.0, 64.0)
+
+
+class TestClusterSpec:
+    def test_divisor_widths(self):
+        assert divisor_widths(4) == (1, 2, 4)
+        assert divisor_widths(10) == (1, 2, 5, 10)
+        assert divisor_widths(1) == (1,)
+
+    def test_divisor_widths_invalid(self):
+        with pytest.raises(ValueError):
+            divisor_widths(0)
+
+    def test_core_ids(self):
+        c = ClusterSpec("a57", 2, 4, 2048.0, "dram")
+        assert c.core_ids == (2, 3, 4, 5)
+
+    def test_leaders_for_width(self):
+        c = ClusterSpec("a57", 2, 4, 2048.0, "dram")
+        assert c.leaders_for_width(1) == (2, 3, 4, 5)
+        assert c.leaders_for_width(2) == (2, 4)
+        assert c.leaders_for_width(4) == (2,)
+
+    def test_leaders_for_bad_width(self):
+        c = ClusterSpec("a57", 2, 4, 2048.0, "dram")
+        with pytest.raises(ValueError):
+            c.leaders_for_width(3)
+
+
+class TestMachineValidation:
+    def test_gap_in_clusters_rejected(self):
+        clusters = [ClusterSpec("a", 0, 2, 10, "m"), ClusterSpec("b", 3, 2, 10, "m")]
+        cores = [CoreSpec(i, "a" if i < 2 else "b", 1.0, 32.0) for i in range(5)]
+        with pytest.raises(TopologyError):
+            Machine(clusters, cores)
+
+    def test_core_count_mismatch_rejected(self):
+        clusters = [ClusterSpec("a", 0, 2, 10, "m")]
+        cores = [CoreSpec(0, "a", 1.0, 32.0)]
+        with pytest.raises(TopologyError):
+            Machine(clusters, cores)
+
+    def test_duplicate_cluster_names_rejected(self):
+        clusters = [ClusterSpec("a", 0, 1, 10, "m"), ClusterSpec("a", 1, 1, 10, "m")]
+        cores = [CoreSpec(0, "a", 1.0, 32.0), CoreSpec(1, "a", 1.0, 32.0)]
+        with pytest.raises(TopologyError):
+            Machine(clusters, cores)
+
+    def test_wrong_core_cluster_name_rejected(self):
+        clusters = [ClusterSpec("a", 0, 1, 10, "m")]
+        cores = [CoreSpec(0, "b", 1.0, 32.0)]
+        with pytest.raises(TopologyError):
+            Machine(clusters, cores)
+
+    def test_unknown_bandwidth_domain_rejected(self):
+        clusters = [ClusterSpec("a", 0, 1, 10, "m")]
+        cores = [CoreSpec(0, "a", 1.0, 32.0)]
+        with pytest.raises(TopologyError):
+            Machine(clusters, cores, memory_bandwidth={"nope": 1.0})
+
+
+class TestTx2Places:
+    def test_place_enumeration_matches_paper(self, tx2):
+        # Denver: (0,1) (1,1) (0,2); A57: (2..5,1) (2,2) (4,2) (2,4).
+        expected = {
+            (0, 1), (1, 1), (0, 2),
+            (2, 1), (3, 1), (4, 1), (5, 1),
+            (2, 2), (4, 2), (2, 4),
+        }
+        assert {(p.leader, p.width) for p in tx2.places} == expected
+
+    def test_place_validity(self, tx2):
+        assert tx2.is_valid_place(ExecutionPlace(2, 4))
+        assert not tx2.is_valid_place(ExecutionPlace(3, 2))  # misaligned
+        assert not tx2.is_valid_place(ExecutionPlace(0, 4))  # too wide
+        assert not tx2.is_valid_place(ExecutionPlace(4, 4))  # spills out
+        assert not tx2.is_valid_place(ExecutionPlace(6, 1))  # no such core
+
+    def test_validate_place_raises(self, tx2):
+        with pytest.raises(TopologyError):
+            tx2.validate_place(ExecutionPlace(3, 2))
+
+    def test_place_cores(self, tx2):
+        assert tx2.place_cores(ExecutionPlace(2, 4)) == (2, 3, 4, 5)
+
+    def test_local_place_snaps_to_alignment(self, tx2):
+        assert tx2.local_place_for(3, 2) == ExecutionPlace(2, 2)
+        assert tx2.local_place_for(5, 4) == ExecutionPlace(2, 4)
+        assert tx2.local_place_for(1, 2) == ExecutionPlace(0, 2)
+
+    def test_local_place_illegal_width(self, tx2):
+        with pytest.raises(TopologyError):
+            tx2.local_place_for(0, 4)  # Denver cluster has 2 cores
+
+    def test_widths_at(self, tx2):
+        assert tx2.widths_at(0) == (1, 2)
+        assert tx2.widths_at(4) == (1, 2, 4)
+
+    def test_cluster_and_domain_lookup(self, tx2):
+        assert tx2.cluster_of(1).name == "denver"
+        assert tx2.cluster_of(5).name == "a57"
+        assert tx2.domain_of(0) == tx2.domain_of(5) == "dram"
+
+    def test_places_led_by(self, tx2):
+        assert {p.width for p in tx2.places_led_by(2)} == {1, 2, 4}
+        assert {p.width for p in tx2.places_led_by(3)} == {1}
+
+    def test_max_base_speed(self, tx2):
+        assert tx2.max_base_speed() == 2.0
+
+
+class TestPresets:
+    def test_haswell16_symmetric(self):
+        m = haswell16()
+        assert m.num_cores == 16
+        assert len(m.clusters) == 2
+        assert m.cluster_of(0).memory_domain != m.cluster_of(8).memory_domain
+        speeds = {c.base_speed for c in m.cores}
+        assert len(speeds) == 1
+
+    def test_haswell_node_widths(self):
+        m = haswell_node()
+        assert m.num_cores == 20
+        assert m.widths_at(0) == (1, 2, 5, 10)
+
+    def test_symmetric_machine_validation(self):
+        with pytest.raises(ValueError):
+            symmetric_machine(0, 4)
+
+    def test_place_str(self):
+        assert str(ExecutionPlace(2, 4)) == "(C2,4)"

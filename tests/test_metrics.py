@@ -1,0 +1,125 @@
+"""Tests for metrics and analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.task import Priority
+from repro.machine.topology import ExecutionPlace
+from repro.metrics.analysis import (
+    average_wait_time,
+    core_work_time,
+    iteration_series,
+    place_distribution,
+    place_distribution_counts,
+    place_series_by_iteration,
+    priority_core_shares,
+    throughput,
+)
+from repro.metrics.collector import TraceCollector
+from repro.metrics.records import TaskRecord
+
+
+def rec(tid, priority=Priority.LOW, place=(0, 1), ready=0.0, start=1.0,
+        end=2.0, iteration=None):
+    meta = {} if iteration is None else {"iteration": iteration}
+    return TaskRecord(
+        task_id=tid,
+        type_name="k",
+        priority=priority,
+        place=ExecutionPlace(*place),
+        ready_time=ready,
+        dequeue_time=ready,
+        exec_start=start,
+        exec_end=end,
+        observed=end - start,
+        stolen=False,
+        metadata=meta,
+    )
+
+
+class TestRecord:
+    def test_derived_fields(self):
+        r = rec(0, ready=0.5, start=1.0, end=3.0)
+        assert r.duration == pytest.approx(2.0)
+        assert r.wait_time == pytest.approx(0.5)
+        assert not r.is_high_priority
+
+
+class TestCollector:
+    def test_busy_time_charged_to_members(self):
+        c = TraceCollector(4)
+        c.record_task(rec(0, place=(0, 2), start=0.0, end=3.0), (0, 1))
+        assert c.core_busy[0] == 3.0
+        assert c.core_busy[1] == 3.0
+        assert c.core_busy[2] == 0.0
+        assert len(c) == 1
+
+    def test_steal_counters(self):
+        c = TraceCollector(2)
+        c.record_steal()
+        c.record_failed_scan()
+        assert c.steals == 1
+        assert c.failed_steal_scans == 1
+
+
+class TestAnalysis:
+    def test_throughput(self):
+        assert throughput([rec(0), rec(1)], makespan=2.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            throughput([], makespan=0.0)
+
+    def test_place_distribution_high_only(self):
+        records = [
+            rec(0, Priority.HIGH, place=(1, 1)),
+            rec(1, Priority.HIGH, place=(1, 1)),
+            rec(2, Priority.HIGH, place=(2, 4)),
+            rec(3, Priority.LOW, place=(5, 1)),
+        ]
+        dist = place_distribution(records)
+        assert dist[ExecutionPlace(1, 1)] == pytest.approx(2 / 3)
+        assert dist[ExecutionPlace(2, 4)] == pytest.approx(1 / 3)
+        assert ExecutionPlace(5, 1) not in dist
+
+    def test_place_distribution_empty(self):
+        assert place_distribution([rec(0, Priority.LOW)]) == {}
+
+    def test_counts_include_low_when_asked(self):
+        counts = place_distribution_counts(
+            [rec(0, Priority.LOW)], high_priority_only=False
+        )
+        assert counts[ExecutionPlace(0, 1)] == 1
+
+    def test_priority_core_shares_expands_width(self):
+        records = [rec(0, Priority.HIGH, place=(2, 4))]
+        shares = priority_core_shares(records)
+        assert shares == {2: 1.0, 3: 1.0, 4: 1.0, 5: 1.0}
+
+    def test_iteration_series_span(self):
+        records = [
+            rec(0, iteration=0, ready=0.0, start=0.5, end=1.0),
+            rec(1, iteration=0, ready=0.2, start=1.0, end=2.0),
+            rec(2, iteration=1, ready=2.0, start=2.5, end=3.0),
+        ]
+        series = iteration_series(records)
+        assert series == [(0, pytest.approx(2.0)), (1, pytest.approx(1.0))]
+
+    def test_place_series_by_iteration(self):
+        records = [
+            rec(0, iteration=0, place=(0, 1)),
+            rec(1, iteration=0, place=(0, 1)),
+            rec(2, iteration=1, place=(2, 2)),
+        ]
+        series = place_series_by_iteration(records)
+        assert series[ExecutionPlace(0, 1)] == {0: 2}
+        assert series[ExecutionPlace(2, 2)] == {1: 1}
+
+    def test_average_wait_time(self):
+        records = [rec(0, ready=0.0, start=1.0), rec(1, ready=0.0, start=3.0)]
+        assert average_wait_time(records) == pytest.approx(2.0)
+        assert average_wait_time([]) is None
+
+    def test_core_work_time_is_copy(self):
+        busy = {0: 1.0}
+        out = core_work_time(busy)
+        out[0] = 99.0
+        assert busy[0] == 1.0

@@ -1,0 +1,50 @@
+"""Tests for the utilization / molding / stealing metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.analysis import (
+    machine_utilization,
+    stolen_fraction,
+    width_histogram,
+)
+from repro.session import quick_run
+
+
+class TestOnSyntheticData:
+    def test_machine_utilization(self):
+        busy = {0: 1.0, 1: 0.5, 2: 0.0, 3: 0.5}
+        assert machine_utilization(busy, makespan=1.0) == pytest.approx(0.5)
+
+    def test_utilization_validation(self):
+        with pytest.raises(ConfigurationError):
+            machine_utilization({0: 1.0}, makespan=0.0)
+        with pytest.raises(ConfigurationError):
+            machine_utilization({}, makespan=1.0)
+
+    def test_stolen_fraction_empty(self):
+        assert stolen_fraction([]) is None
+
+
+class TestOnRealRuns:
+    def test_utilization_bounded(self):
+        result = quick_run(scheduler="dam-c", parallelism=4, total_tasks=200)
+        u = machine_utilization(result.collector.core_busy, result.makespan)
+        assert 0.0 < u <= 1.0
+
+    def test_width_histogram_counts_all_tasks(self):
+        result = quick_run(scheduler="dam-p", parallelism=2, total_tasks=100)
+        histogram = width_histogram(result.collector.records)
+        assert sum(histogram.values()) == 100
+        assert all(w in (1, 2, 4) for w in histogram)
+
+    def test_rws_steals_more_than_dam(self):
+        """Priority-blind RWS relies on stealing for everything; DAM's
+        criticals are pinned, so its stolen fraction is lower."""
+        def frac(sched):
+            result = quick_run(
+                scheduler=sched, parallelism=3, total_tasks=300,
+            )
+            return stolen_fraction(result.collector.records)
+
+        assert frac("rws") > frac("dam-c")

@@ -1,0 +1,145 @@
+"""Tests for Algorithm 1's local/global searches."""
+
+import pytest
+
+from repro.core.placement import (
+    global_search_cost,
+    global_search_performance,
+    local_search_cost,
+    width_one_places,
+)
+from repro.core.ptt import PerformanceTraceTable
+from repro.machine.presets import jetson_tx2
+from repro.machine.topology import ExecutionPlace
+
+
+@pytest.fixture
+def tx2():
+    return jetson_tx2()
+
+
+@pytest.fixture
+def ptt(tx2):
+    return PerformanceTraceTable(tx2)
+
+
+def fill(ptt, tx2, times):
+    """Populate all entries; ``times`` maps (leader, width) -> seconds,
+    default 1.0 per width unit."""
+    for place in tx2.places:
+        value = times.get((place.leader, place.width), 1.0)
+        # first update replaces, so one call is enough
+        ptt.update(place, value)
+
+
+class TestZeroExploration:
+    def test_unexplored_entries_win(self, ptt, tx2):
+        # Give one entry a value; all-zero others must still be chosen.
+        ptt.update(ExecutionPlace(0, 1), 5.0)
+        chosen = global_search_cost(ptt, tx2)
+        assert ptt.predict(chosen) == 0.0
+
+    def test_all_places_eventually_explored(self, ptt, tx2):
+        """Repeated search-then-update visits every place exactly once."""
+        visited = []
+        for _ in range(len(tx2.places)):
+            place = global_search_cost(ptt, tx2)
+            assert place not in visited
+            visited.append(place)
+            ptt.update(place, 1.0)
+        assert set(visited) == set(tx2.places)
+
+
+class TestLocalSearch:
+    def test_keeps_core_in_place(self, ptt, tx2):
+        fill(ptt, tx2, {})
+        for core in range(6):
+            place = local_search_cost(ptt, tx2, core)
+            cores = tx2.place_cores(place)
+            assert core in cores
+
+    def test_minimizes_cost_not_time(self, ptt, tx2):
+        # At core 2: width 4 is 3x faster but 4x wider -> cost favors w=1.
+        fill(ptt, tx2, {(2, 1): 1.0, (2, 2): 0.6, (2, 4): 0.33})
+        assert local_search_cost(ptt, tx2, 2) == ExecutionPlace(2, 1)
+
+    def test_superlinear_speedup_molds(self, ptt, tx2):
+        # Width 2 more than halves the time (cache fit) -> cost favors it.
+        fill(ptt, tx2, {(2, 1): 1.0, (2, 2): 0.4, (2, 4): 0.3})
+        assert local_search_cost(ptt, tx2, 2) == ExecutionPlace(2, 2)
+
+    def test_denver_core_widths_only(self, ptt, tx2):
+        fill(ptt, tx2, {})
+        place = local_search_cost(ptt, tx2, 1)
+        assert place in (ExecutionPlace(1, 1), ExecutionPlace(0, 2))
+
+
+class TestGlobalSearches:
+    def test_cost_vs_performance_difference(self, ptt, tx2):
+        # (2,4) is fastest but cost-expensive; (1,1) is cheapest.
+        times = {(p.leader, p.width): 1.0 for p in tx2.places}
+        times[(2, 4)] = 0.4   # cost 1.6
+        times[(1, 1)] = 0.8   # cost 0.8
+        fill(ptt, tx2, times)
+        assert global_search_cost(ptt, tx2) == ExecutionPlace(1, 1)
+        assert global_search_performance(ptt, tx2) == ExecutionPlace(2, 4)
+
+    def test_restricted_pool(self, ptt, tx2):
+        fill(ptt, tx2, {(0, 1): 0.1})
+        singles = width_one_places(tx2)
+        assert all(p.width == 1 for p in singles)
+        chosen = global_search_performance(ptt, tx2, singles)
+        assert chosen == ExecutionPlace(0, 1)
+
+    def test_deterministic_tie_break_without_backlog(self, ptt, tx2):
+        fill(ptt, tx2, {(p.leader, p.width): 2.0 for p in tx2.places})
+        assert global_search_performance(ptt, tx2) == tx2.places[0]
+
+
+class TestBacklogTieBreak:
+    def test_ties_resolved_by_least_loaded(self, ptt, tx2):
+        times = {(p.leader, p.width): 1.0 for p in tx2.places}
+        fill(ptt, tx2, times)
+        backlog = {c: 1.0 for c in range(6)}
+        backlog[4] = 0.0
+        chosen = global_search_performance(
+            ptt, tx2, backlog=lambda c: backlog[c]
+        )
+        assert chosen == ExecutionPlace(4, 1)
+
+    def test_tie_break_does_not_change_width(self, ptt, tx2):
+        # Performance winner is (2,4); a width-1 place is within 10% but
+        # must not be selected even if totally idle.
+        times = {(p.leader, p.width): 1.0 for p in tx2.places}
+        times[(2, 4)] = 0.50
+        times[(1, 1)] = 0.54
+        fill(ptt, tx2, times)
+        backlog = {c: 5.0 for c in range(6)}
+        backlog[1] = 0.0
+        chosen = global_search_performance(
+            ptt, tx2, backlog=lambda c: backlog[c]
+        )
+        assert chosen == ExecutionPlace(2, 4)
+
+    def test_out_of_tolerance_not_tied(self, ptt, tx2):
+        times = {(p.leader, p.width): 1.0 for p in tx2.places}
+        times[(1, 1)] = 0.5   # clear winner
+        times[(0, 1)] = 0.6   # 20% away: not tied
+        fill(ptt, tx2, times)
+        backlog = {c: 0.0 for c in range(6)}
+        backlog[1] = 10.0  # winner is busy, but alternatives aren't tied
+        chosen = global_search_performance(
+            ptt, tx2, backlog=lambda c: backlog[c]
+        )
+        assert chosen == ExecutionPlace(1, 1)
+
+    def test_member_backlog_counts_for_wide_places(self, ptt, tx2):
+        # Two width-2 places tied; one has a busy second member.
+        times = {(p.leader, p.width): 1.0 for p in tx2.places}
+        times[(2, 2)] = 0.4  # cost 0.8 < 1.0 everywhere else
+        times[(4, 2)] = 0.4
+        fill(ptt, tx2, times)
+        backlog = {c: 0.0 for c in range(6)}
+        backlog[3] = 7.0  # member of (2,2)
+        chosen = global_search_cost(ptt, tx2, backlog=lambda c: backlog[c])
+        assert chosen == ExecutionPlace(4, 2)

@@ -1,0 +1,243 @@
+"""Tests for the scheduler policies (Table 1 semantics)."""
+
+import pytest
+
+from repro.core.policies.base import SchedulerPolicy
+from repro.core.policies.da import DaScheduler, DamCScheduler, DamPScheduler
+from repro.core.policies.fa import FaScheduler, FamCScheduler
+from repro.core.policies.heft import DheftScheduler
+from repro.core.policies.registry import (
+    SCHEDULER_NAMES,
+    make_scheduler,
+    scheduler_feature_rows,
+)
+from repro.core.policies.rws import RwsScheduler, RwsmCScheduler
+from repro.errors import ConfigurationError, SchedulingError
+from repro.graph.task import Priority, Task
+from repro.kernels.fixed import FixedWorkKernel
+from repro.machine.presets import jetson_tx2
+from repro.machine.topology import ExecutionPlace
+
+
+@pytest.fixture
+def tx2():
+    return jetson_tx2()
+
+
+def make_task(priority=Priority.LOW, type_name="k"):
+    return Task(0, FixedWorkKernel(type_name, work=1.0), priority=priority)
+
+
+def bound(policy, tx2, backlog=None):
+    policy.bind(tx2, rng=0, clock=lambda: 0.0, backlog=backlog)
+    return policy
+
+
+class TestRegistry:
+    def test_all_paper_schedulers_present(self):
+        assert SCHEDULER_NAMES == (
+            "rws", "rwsm-c", "fa", "fam-c", "da", "dam-c", "dam-p",
+        )
+        for name in SCHEDULER_NAMES + ("dheft",):
+            assert isinstance(make_scheduler(name), SchedulerPolicy)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_scheduler("DAM-C"), DamCScheduler)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("magic")
+
+    def test_feature_rows_match_table1(self):
+        rows = {r[0]: r[1:] for r in scheduler_feature_rows()}
+        assert rows["RWS"] == ("n/a", "No", "n/a")
+        assert rows["RWSM-C"] == ("n/a", "Yes", "cost")
+        assert rows["FA"] == ("fixed", "No", "n/a")
+        assert rows["FAM-C"] == ("fixed", "Yes", "cost")
+        assert rows["DA"] == ("dynamic", "No", "n/a")
+        assert rows["DAM-C"] == ("dynamic", "Yes", "cost")
+        assert rows["DAM-P"] == ("dynamic", "Yes", "performance")
+
+    def test_kwargs_forwarded(self):
+        policy = make_scheduler("dam-c", ptt_new_weight=3)
+        assert policy.ptt_new_weight == 3
+
+
+class TestRws:
+    def test_rigid_local_placement(self, tx2):
+        policy = bound(RwsScheduler(), tx2)
+        assert policy.choose_place(make_task(), 3) == ExecutionPlace(3, 1)
+
+    def test_everything_stealable(self, tx2):
+        policy = bound(RwsScheduler(), tx2)
+        assert policy.allow_steal(make_task(Priority.HIGH))
+        assert policy.allow_steal(make_task(Priority.LOW))
+
+    def test_no_ptt(self, tx2):
+        policy = bound(RwsScheduler(), tx2)
+        assert policy.ptt is None
+        # on_complete must be a no-op, not a crash.
+        policy.on_complete(make_task(), ExecutionPlace(0, 1), 1.0)
+
+    def test_children_stay_local(self, tx2):
+        policy = bound(RwsScheduler(), tx2)
+        assert policy.on_ready(make_task(Priority.HIGH), waker_core=4) == 4
+
+
+class TestRwsmC:
+    def test_uses_local_width_search(self, tx2):
+        policy = bound(RwsmCScheduler(), tx2)
+        task = make_task()
+        table = policy.table(task)
+        for place in tx2.places:
+            table.update(place, 1.0)
+        table.update(ExecutionPlace(2, 2), 0.4)  # superlinear
+        # Re-feed to dominate the weighted average.
+        for _ in range(20):
+            table.update(ExecutionPlace(2, 2), 0.4)
+        assert policy.choose_place(task, 3) == ExecutionPlace(2, 2)
+
+    def test_priority_still_stealable(self, tx2):
+        policy = bound(RwsmCScheduler(), tx2)
+        assert policy.allow_steal(make_task(Priority.HIGH))
+
+
+class TestFa:
+    def test_fast_cores_detected(self, tx2):
+        policy = bound(FaScheduler(), tx2)
+        assert policy.fast_cores() == (0, 1)
+
+    def test_high_priority_round_robin_to_fast_cores(self, tx2):
+        policy = bound(FaScheduler(), tx2)
+        targets = [policy.on_ready(make_task(Priority.HIGH), 5) for _ in range(4)]
+        assert targets == [0, 1, 0, 1]
+
+    def test_low_priority_stays_local(self, tx2):
+        policy = bound(FaScheduler(), tx2)
+        assert policy.on_ready(make_task(), 4) == 4
+
+    def test_high_priority_not_stealable(self, tx2):
+        policy = bound(FaScheduler(), tx2)
+        assert not policy.allow_steal(make_task(Priority.HIGH))
+        assert policy.allow_steal(make_task(Priority.LOW))
+
+    def test_rigid_placement(self, tx2):
+        policy = bound(FaScheduler(), tx2)
+        assert policy.choose_place(make_task(), 0) == ExecutionPlace(0, 1)
+
+    def test_famc_molds_via_local_search(self, tx2):
+        policy = bound(FamCScheduler(), tx2)
+        task = make_task()
+        # Unexplored -> explores width options at the dequeue core.
+        place = policy.choose_place(task, 0)
+        assert place.leader in (0, 1) or place == ExecutionPlace(0, 2)
+
+
+class TestDynamicFamily:
+    def _trained(self, policy, tx2, best=(1, 1), best_time=0.5):
+        task = make_task(Priority.HIGH)
+        table = policy.table(task)
+        for place in tx2.places:
+            table.update(place, 2.0)
+        for _ in range(30):
+            table.update(ExecutionPlace(*best), best_time)
+        return task
+
+    def test_da_targets_fastest_single_core(self, tx2):
+        policy = bound(DaScheduler(), tx2)
+        task = self._trained(policy, tx2, best=(1, 1))
+        assert policy.choose_place(task, 4) == ExecutionPlace(1, 1)
+
+    def test_da_never_molds(self, tx2):
+        policy = bound(DaScheduler(), tx2)
+        task = self._trained(policy, tx2, best=(1, 1))
+        low = make_task(Priority.LOW)
+        assert policy.choose_place(low, 3) == ExecutionPlace(3, 1)
+        # Even the critical path uses width 1 only.
+        assert policy.choose_place(task, 3).width == 1
+
+    def test_damc_minimizes_cost(self, tx2):
+        policy = bound(DamCScheduler(), tx2)
+        task = make_task(Priority.HIGH)
+        table = policy.table(task)
+        for place in tx2.places:
+            table.update(place, 1.0)
+        # (2,4): time 0.4 -> cost 1.6; (1,1): time 0.8 -> cost 0.8.
+        for _ in range(30):
+            table.update(ExecutionPlace(2, 4), 0.4)
+            table.update(ExecutionPlace(1, 1), 0.8)
+        assert policy.choose_place(task, 0) == ExecutionPlace(1, 1)
+
+    def test_damp_minimizes_time(self, tx2):
+        policy = bound(DamPScheduler(), tx2)
+        task = make_task(Priority.HIGH)
+        table = policy.table(task)
+        for place in tx2.places:
+            table.update(place, 1.0)
+        for _ in range(30):
+            table.update(ExecutionPlace(2, 4), 0.4)
+            table.update(ExecutionPlace(1, 1), 0.8)
+        assert policy.choose_place(task, 0) == ExecutionPlace(2, 4)
+
+    def test_high_priority_steal_exempt(self, tx2):
+        for cls in (DaScheduler, DamCScheduler, DamPScheduler):
+            policy = bound(cls(), tx2)
+            assert not policy.allow_steal(make_task(Priority.HIGH))
+            assert policy.allow_steal(make_task(Priority.LOW))
+
+    def test_children_released_locally(self, tx2):
+        """Wake-up keeps children on the waker; Algorithm 1 runs at dequeue."""
+        for cls in (DaScheduler, DamCScheduler, DamPScheduler):
+            policy = bound(cls(), tx2)
+            assert policy.on_ready(make_task(Priority.HIGH), 5) == 5
+
+    def test_low_priority_local_search(self, tx2):
+        policy = bound(DamCScheduler(), tx2)
+        low = make_task(Priority.LOW)
+        place = policy.choose_place(low, 4)
+        assert 4 in tx2.place_cores(place)
+
+    def test_on_complete_trains_ptt(self, tx2):
+        policy = bound(DamCScheduler(), tx2)
+        task = make_task()
+        policy.on_complete(task, ExecutionPlace(0, 1), 3.0)
+        assert policy.table(task).predict(ExecutionPlace(0, 1)) == 3.0
+
+
+class TestDheft:
+    def test_explores_then_exploits(self, tx2):
+        policy = bound(DheftScheduler(), tx2)
+        task = make_task()
+        # Feed: core 1 is fast for this type, others slow.
+        for core in range(6):
+            policy.on_complete(task, ExecutionPlace(core, 1), 0.5 if core == 1 else 2.0)
+        # With knowledge present, earliest finish lands on core 1.
+        clock = [0.0]
+        policy._clock = lambda: clock[0]
+        policy._available = [0.0] * 6
+        assert policy.on_ready(task, 0) == 1
+
+    def test_nothing_stealable(self, tx2):
+        policy = bound(DheftScheduler(), tx2)
+        assert not policy.allow_steal(make_task(Priority.LOW))
+
+    def test_mean_profile_update(self, tx2):
+        policy = bound(DheftScheduler(), tx2)
+        task = make_task()
+        policy.on_complete(task, ExecutionPlace(2, 1), 1.0)
+        policy.on_complete(task, ExecutionPlace(2, 1), 3.0)
+        mean, n = policy._profile[("k", 2)]
+        assert mean == pytest.approx(2.0)
+        assert n == 2
+
+
+class TestBindContract:
+    def test_unbound_policy_rejects_decisions(self):
+        policy = DamCScheduler()
+        with pytest.raises(SchedulingError):
+            policy.choose_place(make_task(), 0)
+
+    def test_ptt_absent_table_access_raises(self, tx2):
+        policy = bound(RwsScheduler(), tx2)
+        with pytest.raises(SchedulingError):
+            policy.table(make_task())

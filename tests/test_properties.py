@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) over core invariants."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import (
+    global_search_cost,
+    global_search_performance,
+    local_search_cost,
+)
+from repro.core.ptt import PerformanceTraceTable
+from repro.graph.dag import TaskGraph
+from repro.graph.generators import layered_synthetic_dag, random_layered_dag
+from repro.kernels.fixed import FixedWorkKernel
+from repro.machine.cluster import divisor_widths
+from repro.machine.presets import jetson_tx2, symmetric_machine
+from repro.machine.speed import SpeedModel
+from repro.sim.environment import Environment
+from repro.util.stats import weighted_average
+
+TX2 = jetson_tx2()
+
+FAST = settings(max_examples=40, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSpeedModelProperties:
+    @FAST
+    @given(
+        work=st.floats(min_value=1e-6, max_value=100.0),
+        shares=st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=1.0),   # time gap
+                st.floats(min_value=0.05, max_value=1.0),   # share
+            ),
+            max_size=6,
+        ),
+    )
+    def test_work_in_equals_work_integrated(self, work, shares):
+        """Completion time always satisfies ∫rate dt == work."""
+        env = Environment()
+        speed = SpeedModel(env, TX2)
+        item = speed.begin_work([0], work=work)
+        out = []
+        item.done.callbacks.append(lambda e: out.append(env.now))
+
+        def scenario():
+            for gap, share in shares:
+                yield env.timeout(gap)
+                speed.set_cpu_share([0], share)
+
+        env.process(scenario())
+        env.run()
+        assert out, "work never finished"
+        finish = out[0]
+        # Integrate the known schedule up to the finish time.
+        t, rate, total = 0.0, 2.0, 0.0
+        for gap, share in shares:
+            seg_end = t + gap
+            total += rate * (min(finish, seg_end) - min(finish, t))
+            t, rate = seg_end, 2.0 * share
+        total += rate * max(0.0, finish - t)
+        assert total == pytest.approx(work, rel=1e-6, abs=1e-9)
+
+    @FAST
+    @given(
+        work=st.floats(min_value=1e-3, max_value=10.0),
+        slow=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_slower_share_never_finishes_earlier(self, work, slow):
+        def finish_with(share):
+            env = Environment()
+            speed = SpeedModel(env, TX2)
+            speed.set_cpu_share([0], share)
+            item = speed.begin_work([0], work=work)
+            out = []
+            item.done.callbacks.append(lambda e: out.append(env.now))
+            env.run()
+            return out[0]
+
+        assert finish_with(slow) >= finish_with(1.0) - 1e-12
+
+    @FAST
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        work=st.floats(min_value=1e-3, max_value=1.0),
+    )
+    def test_assembly_rate_is_min_of_members(self, n, work):
+        env = Environment()
+        speed = SpeedModel(env, TX2)
+        cores = list(range(2, 2 + min(n, 4)))  # stay within A57 cluster
+        item = speed.begin_work(cores, work=work)
+        out = []
+        item.done.callbacks.append(lambda e: out.append(env.now))
+        env.run()
+        assert out[0] == pytest.approx(work / 1.0)
+
+
+class TestPttProperties:
+    @FAST
+    @given(samples=st.lists(
+        st.floats(min_value=1e-6, max_value=1e3), min_size=1, max_size=50
+    ))
+    def test_value_stays_within_sample_hull(self, samples):
+        ptt = PerformanceTraceTable(TX2)
+        place = TX2.places[0]
+        for s in samples:
+            ptt.update(place, s)
+        assert min(samples) - 1e-12 <= ptt.predict(place) <= max(samples) + 1e-12
+
+    @FAST
+    @given(
+        old=st.floats(min_value=0, max_value=1e3),
+        new=st.floats(min_value=0, max_value=1e3),
+        weight=st.integers(min_value=1, max_value=5),
+    )
+    def test_weighted_average_between_operands(self, old, new, weight):
+        value = weighted_average(old, new, weight, 5)
+        assert min(old, new) - 1e-9 <= value <= max(old, new) + 1e-9
+
+    @FAST
+    @given(target=st.floats(min_value=1e-3, max_value=1e3))
+    def test_convergence_to_constant_signal(self, target):
+        ptt = PerformanceTraceTable(TX2)
+        place = TX2.places[0]
+        ptt.update(place, target * 10)
+        for _ in range(100):
+            ptt.update(place, target)
+        assert ptt.predict(place) == pytest.approx(target, rel=1e-3)
+
+
+class TestSearchProperties:
+    @FAST
+    @given(values=st.lists(
+        st.floats(min_value=1e-3, max_value=10.0), min_size=10, max_size=10
+    ))
+    def test_global_performance_returns_true_argmin(self, values):
+        ptt = PerformanceTraceTable(TX2)
+        for place, value in zip(TX2.places, values):
+            ptt.update(place, value)
+        chosen = global_search_performance(ptt, TX2)
+        best = min(ptt.predict(p) for p in TX2.places)
+        assert ptt.predict(chosen) == pytest.approx(best)
+
+    @FAST
+    @given(values=st.lists(
+        st.floats(min_value=1e-3, max_value=10.0), min_size=10, max_size=10
+    ))
+    def test_global_cost_returns_true_argmin(self, values):
+        ptt = PerformanceTraceTable(TX2)
+        for place, value in zip(TX2.places, values):
+            ptt.update(place, value)
+        chosen = global_search_cost(ptt, TX2)
+        best = min(ptt.predict(p) * p.width for p in TX2.places)
+        assert ptt.predict(chosen) * chosen.width == pytest.approx(best)
+
+    @FAST
+    @given(
+        core=st.integers(min_value=0, max_value=5),
+        values=st.lists(
+            st.floats(min_value=1e-3, max_value=10.0), min_size=10, max_size=10
+        ),
+    )
+    def test_local_search_place_always_contains_core(self, core, values):
+        ptt = PerformanceTraceTable(TX2)
+        for place, value in zip(TX2.places, values):
+            ptt.update(place, value)
+        chosen = local_search_cost(ptt, TX2, core)
+        assert core in TX2.place_cores(chosen)
+
+
+class TestTopologyProperties:
+    @FAST
+    @given(n=st.integers(min_value=1, max_value=64))
+    def test_divisor_widths_tile_cluster(self, n):
+        for width in divisor_widths(n):
+            assert n % width == 0
+
+    @FAST
+    @given(
+        sockets=st.integers(min_value=1, max_value=4),
+        cores=st.integers(min_value=1, max_value=12),
+    )
+    def test_places_cover_and_stay_within_clusters(self, sockets, cores):
+        machine = symmetric_machine(sockets, cores)
+        for place in machine.places:
+            cluster = machine.cluster_of(place.leader)
+            members = machine.place_cores(place)
+            assert all(machine.cluster_of(c) is cluster for c in members)
+        # Every core leads at least the width-1 place.
+        leaders = {p.leader for p in machine.places if p.width == 1}
+        assert leaders == set(range(machine.num_cores))
+
+
+class TestGraphProperties:
+    @FAST
+    @given(
+        parallelism=st.integers(min_value=1, max_value=8),
+        layers=st.integers(min_value=1, max_value=12),
+    )
+    def test_layered_dag_parallelism_formula(self, parallelism, layers):
+        kernel = FixedWorkKernel("k", work=1.0)
+        g = layered_synthetic_dag(kernel, parallelism, parallelism * layers)
+        assert g.total_tasks == parallelism * layers
+        assert g.longest_path() == layers
+        assert g.dag_parallelism() == pytest.approx(parallelism)
+
+    @FAST
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        layers=st.integers(min_value=1, max_value=8),
+        width=st.integers(min_value=1, max_value=5),
+    )
+    def test_random_dag_fully_executable_no_losses(self, seed, layers, width):
+        """Topological execution completes every task exactly once."""
+        kernel = FixedWorkKernel("k", work=1.0)
+        g = random_layered_dag([kernel], layers, width, seed=seed)
+        executed = 0
+        ready = g.drain_ready()
+        while ready:
+            nxt = []
+            for task in ready:
+                executed += 1
+                nxt.extend(g.complete(task))
+            ready = nxt
+        assert executed == g.total_tasks
+        assert g.is_finished

@@ -1,0 +1,190 @@
+"""Edge cases and failure injection for the runtime."""
+
+import pytest
+
+from repro.core.policies.base import SchedulerPolicy
+from repro.core.policies.registry import make_scheduler
+from repro.errors import SchedulingError
+from repro.graph.dag import TaskGraph
+from repro.graph.generators import chain_dag, layered_synthetic_dag
+from repro.graph.task import Priority
+from repro.kernels.fixed import FixedWorkKernel
+from repro.machine.cluster import ClusterSpec
+from repro.machine.core import CoreSpec
+from repro.machine.presets import jetson_tx2, symmetric_machine
+from repro.machine.topology import ExecutionPlace, Machine
+from repro.runtime.executor import SimulatedRuntime
+from repro.sim.environment import Environment
+
+
+def single_core_machine() -> Machine:
+    return Machine(
+        [ClusterSpec("solo", 0, 1, l2_kib=1024.0, memory_domain="m")],
+        [CoreSpec(0, "solo", 1.0, 32.0)],
+        name="single",
+    )
+
+
+@pytest.fixture
+def kernel():
+    return FixedWorkKernel("k", work=1e-3, parallel_fraction=0.8)
+
+
+class TestSingleCore:
+    @pytest.mark.parametrize("sched", ["rws", "dam-c", "dam-p", "fa"])
+    def test_everything_runs_on_one_core(self, sched, kernel):
+        machine = single_core_machine()
+        graph = layered_synthetic_dag(kernel, 2, 20)
+        env = Environment()
+        runtime = SimulatedRuntime(env, machine, graph, make_scheduler(sched))
+        result = runtime.run()
+        assert result.tasks_completed == 20
+        # Serial lower bound: all work on the single speed-1 core.
+        assert result.makespan >= 20 * 1e-3
+
+    def test_no_steals_possible(self, kernel):
+        machine = single_core_machine()
+        graph = layered_synthetic_dag(kernel, 3, 30)
+        env = Environment()
+        runtime = SimulatedRuntime(env, machine, graph, make_scheduler("rws"))
+        runtime.run()
+        assert runtime.collector.steals == 0
+
+
+class TestBadPolicies:
+    def test_invalid_on_ready_core_raises(self, kernel):
+        class BadReady(SchedulerPolicy):
+            name = "bad-ready"
+
+            def on_ready(self, task, waker_core):
+                return 999
+
+            def choose_place(self, task, core):
+                return ExecutionPlace(core, 1)
+
+        graph = TaskGraph()
+        graph.add_task(kernel)
+        env = Environment()
+        runtime = SimulatedRuntime(
+            env, jetson_tx2(), graph, BadReady()
+        )
+        with pytest.raises(SchedulingError, match="invalid core"):
+            runtime.run()
+
+    def test_invalid_place_raises(self, kernel):
+        class BadPlace(SchedulerPolicy):
+            name = "bad-place"
+
+            def choose_place(self, task, core):
+                return ExecutionPlace(3, 2)  # misaligned on the TX2
+
+        graph = TaskGraph()
+        graph.add_task(kernel)
+        env = Environment()
+        runtime = SimulatedRuntime(env, jetson_tx2(), graph, BadPlace())
+        from repro.errors import TopologyError
+        with pytest.raises(TopologyError):
+            runtime.run()
+
+    def test_comm_op_must_return_event(self, kernel):
+        graph = TaskGraph()
+        graph.add_task(
+            kernel, metadata={"comm_op": lambda assembly: "not an event"}
+        )
+        env = Environment()
+        runtime = SimulatedRuntime(
+            env, jetson_tx2(), graph, make_scheduler("rws")
+        )
+        with pytest.raises(SchedulingError, match="must return a sim Event"):
+            runtime.run()
+
+
+class TestSharedEnvironmentRuns:
+    def test_two_runtimes_one_clock(self, kernel):
+        """Two independent runtimes can share one environment (the
+        distributed layer relies on this)."""
+        env = Environment()
+        m1 = symmetric_machine(1, 2, name="m1")
+        m2 = symmetric_machine(1, 2, name="m2")
+        g1 = chain_dag(kernel, 5)
+        g2 = chain_dag(kernel, 8)
+        r1 = SimulatedRuntime(env, m1, g1, make_scheduler("rws"), name="r1")
+        r2 = SimulatedRuntime(env, m2, g2, make_scheduler("rws"), name="r2")
+        r1.start()
+        r2.start()
+        while not (r1.finished and r2.finished):
+            env.step()
+        assert r1.graph.is_finished and r2.graph.is_finished
+
+
+class TestWidePriorityChains:
+    def test_wide_critical_tasks_complete(self):
+        """High-priority tasks molded over whole clusters do not deadlock
+        the rendezvous, even interleaved with wide low tasks."""
+        wide = FixedWorkKernel("wide", work=5e-3, parallel_fraction=0.99,
+                               molding_overhead=0.0)
+        graph = layered_synthetic_dag(wide, 5, 100)
+        env = Environment()
+        runtime = SimulatedRuntime(
+            env, jetson_tx2(), graph, make_scheduler("dam-p")
+        )
+        result = runtime.run()
+        assert result.tasks_completed == 100
+
+    def test_fork_join_with_wide_joins(self):
+        from repro.graph.generators import fork_join_dag
+        wide = FixedWorkKernel("wide", work=2e-3, parallel_fraction=0.95)
+        graph = fork_join_dag(wide, fan_out=6, stages=5)
+        env = Environment()
+        runtime = SimulatedRuntime(
+            env, jetson_tx2(), graph, make_scheduler("dam-p")
+        )
+        result = runtime.run()
+        assert result.tasks_completed == graph.total_tasks
+
+
+class TestStealBackoff:
+    def test_unstealable_work_eventually_runs(self, kernel):
+        """A WSQ holding only steal-exempt tasks does not hang idle
+        workers: the owner drains it."""
+        graph = TaskGraph()
+        root = graph.add_task(kernel, priority=Priority.HIGH)
+        for _ in range(5):
+            graph.add_task(kernel, deps=[root], priority=Priority.HIGH)
+        env = Environment()
+        runtime = SimulatedRuntime(
+            env, jetson_tx2(), graph, make_scheduler("da")
+        )
+        result = runtime.run()
+        assert result.tasks_completed == 6
+
+    def test_failed_scans_counted(self, kernel):
+        graph = layered_synthetic_dag(kernel, 2, 40)
+        env = Environment()
+        runtime = SimulatedRuntime(
+            env, jetson_tx2(), graph, make_scheduler("da")
+        )
+        runtime.run()
+        # With parallelism 2 on 6 cores, idle workers often probe empty
+        # victims.
+        assert runtime.collector.failed_steal_scans > 0
+
+
+class TestSnapshot:
+    def test_snapshot_reflects_progress(self, kernel):
+        from repro.graph.generators import layered_synthetic_dag
+        graph = layered_synthetic_dag(kernel, 2, 20)
+        env = Environment()
+        runtime = SimulatedRuntime(
+            env, jetson_tx2(), graph, make_scheduler("rws")
+        )
+        runtime.start()
+        before = runtime.snapshot()
+        assert before["tasks_done"] == 0
+        assert before["tasks_total"] == 20
+        assert len(before["wsq_depths"]) == 6
+        runtime.run()
+        after = runtime.snapshot()
+        assert after["tasks_done"] == 20
+        assert all(d == 0 for d in after["wsq_depths"])
+        assert all(d == 0 for d in after["aq_depths"])

@@ -1,0 +1,98 @@
+"""Tests for WSQ semantics and assemblies."""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.graph.task import Priority, Task
+from repro.kernels.base import WorkProfile
+from repro.kernels.fixed import FixedWorkKernel
+from repro.machine.topology import ExecutionPlace
+from repro.runtime.assembly import Assembly
+from repro.runtime.queues import WorkStealingQueue
+from repro.sim.environment import Environment
+
+
+def make_task(tid, priority=Priority.LOW):
+    return Task(tid, FixedWorkKernel("k", work=1.0), priority=priority)
+
+
+class TestWorkStealingQueue:
+    def test_owner_pops_lifo(self):
+        q = WorkStealingQueue(0)
+        a, b = make_task(1), make_task(2)
+        q.push(a)
+        q.push(b)
+        assert q.pop_local() is b
+        assert q.pop_local() is a
+        assert q.pop_local() is None
+
+    def test_thief_steals_fifo(self):
+        q = WorkStealingQueue(0)
+        a, b = make_task(1), make_task(2)
+        q.push(a)
+        q.push(b)
+        assert q.steal(lambda t: True) is a
+
+    def test_steal_skips_exempt_tasks(self):
+        q = WorkStealingQueue(0)
+        high = make_task(1, Priority.HIGH)
+        low = make_task(2, Priority.LOW)
+        q.push(high)
+        q.push(low)
+        stolen = q.steal(lambda t: not t.is_high_priority)
+        assert stolen is low
+        assert len(q) == 1  # high remains
+
+    def test_steal_from_empty(self):
+        q = WorkStealingQueue(0)
+        assert q.steal(lambda t: True) is None
+
+    def test_steal_none_eligible(self):
+        q = WorkStealingQueue(0)
+        q.push(make_task(1, Priority.HIGH))
+        assert q.steal(lambda t: not t.is_high_priority) is None
+        assert len(q) == 1
+
+    def test_peek_all_is_snapshot(self):
+        q = WorkStealingQueue(0)
+        a = make_task(1)
+        q.push(a)
+        snapshot = q.peek_all()
+        q.pop_local()
+        assert snapshot == (a,)
+
+
+class TestAssembly:
+    def _assembly(self, env, width=2, leader=2):
+        task = make_task(0)
+        place = ExecutionPlace(leader, width)
+        cores = tuple(range(leader, leader + width))
+        profile = WorkProfile(1.0, 0.0, 0.0)
+        return Assembly(env, task, place, cores, profile)
+
+    def test_join_rendezvous(self):
+        env = Environment()
+        asm = self._assembly(env)
+        assert not asm.join(2)
+        assert not asm.all_joined
+        assert asm.join(3)
+        assert asm.all_joined
+
+    def test_join_wrong_core_rejected(self):
+        env = Environment()
+        asm = self._assembly(env)
+        with pytest.raises(RuntimeStateError):
+            asm.join(5)
+
+    def test_double_join_rejected(self):
+        env = Environment()
+        asm = self._assembly(env)
+        asm.join(2)
+        with pytest.raises(RuntimeStateError):
+            asm.join(2)
+
+    def test_leader_and_width(self):
+        env = Environment()
+        asm = self._assembly(env, width=4, leader=2)
+        assert asm.leader == 2
+        assert asm.width == 4

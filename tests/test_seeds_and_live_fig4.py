@@ -1,0 +1,52 @@
+"""Tests for the seed-robustness harness and the live-corunner Fig. 4."""
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig4_corunner import run_fig4
+from repro.experiments.seeds import SeedSweepResult, run_seeds
+
+TINY = ExperimentSettings(scale=0.01)
+
+
+class TestSeedSweep:
+    def test_sweep_runs_and_ranks(self):
+        result = run_seeds(TINY, seeds=(0, 1))
+        assert set(result.throughput) == {0, 1}
+        for seed in (0, 1):
+            assert set(result.throughput[seed]) == {"rws", "fa", "dam-c"}
+        assert result.worst_ratio() > 1.0
+        assert "Seed robustness" in result.report()
+
+    def test_ranking_helpers(self):
+        result = SeedSweepResult(throughput={
+            0: {"rws": 1.0, "fa": 2.0, "dam-c": 3.0},
+            1: {"rws": 1.0, "fa": 2.5, "dam-c": 3.0},
+        })
+        assert result.ranking(0) == ("rws", "fa", "dam-c")
+        assert result.ranking_stable()
+        assert result.worst_ratio() == pytest.approx(3.0)
+
+    def test_unstable_ranking_detected(self):
+        result = SeedSweepResult(throughput={
+            0: {"rws": 1.0, "fa": 2.0, "dam-c": 3.0},
+            1: {"rws": 2.5, "fa": 2.0, "dam-c": 3.0},
+        })
+        assert not result.ranking_stable()
+
+
+class TestLiveFig4:
+    def test_live_corunner_variant_matches_modeled_shape(self):
+        kwargs = dict(
+            kernels=("matmul",), parallelisms=(2,),
+            schedulers=("rws", "dam-c"),
+        )
+        modeled = run_fig4(TINY, live_corunner=False, **kwargs)
+        live = run_fig4(TINY, live_corunner=True, **kwargs)
+        for result in (modeled, live):
+            data = result.throughput["matmul"]
+            assert data["dam-c"][2] > data["rws"][2]
+        # The two co-runner implementations agree within a modest margin.
+        m = modeled.throughput["matmul"]["dam-c"][2]
+        l = live.throughput["matmul"]["dam-c"][2]
+        assert l / m == pytest.approx(1.0, abs=0.25)

@@ -1,0 +1,45 @@
+"""Tests for the one-call session helpers and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.session import quick_run, run_graph
+
+
+class TestQuickRun:
+    def test_defaults(self):
+        result = quick_run(total_tasks=60)
+        assert result.tasks_completed == 60
+        assert result.scheduler_name == "DAM-C"
+        assert result.machine_name == "jetson-tx2"
+
+    def test_kernel_selection(self):
+        for kernel in ("matmul", "copy", "stencil"):
+            result = quick_run(kernel=kernel, parallelism=2, total_tasks=20)
+            assert result.tasks_completed == 20
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quick_run(kernel="fft")
+
+    def test_scheduler_instance_accepted(self):
+        from repro.core.policies.rws import RwsScheduler
+        from repro.graph.generators import chain_dag
+        from repro.kernels.fixed import FixedWorkKernel
+
+        graph = chain_dag(FixedWorkKernel("k", 1e-3), 5)
+        result = run_graph(graph, repro.jetson_tx2(), RwsScheduler())
+        assert result.tasks_completed == 5
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_scheduler_names_exported(self):
+        assert "dam-c" in repro.SCHEDULER_NAMES

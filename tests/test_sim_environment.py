@@ -1,0 +1,252 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.environment import Environment, Interrupt, Timeout
+from repro.sim.events import Event, EventQueue
+
+
+class TestEvent:
+    def test_pending_until_triggered(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(RuntimeError):
+            env.event().value
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_callbacks_run_at_processing(self):
+        env = Environment()
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("x")
+        assert seen == []  # triggered but not yet processed
+        env.run()
+        assert seen == ["x"]
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        env = Environment()
+        e1, e2 = Event(env), Event(env)
+        q.push(2.0, 1, e1)
+        q.push(1.0, 1, e2)
+        assert q.pop().event is e2
+        assert q.pop().event is e1
+
+    def test_ties_break_by_priority_then_insertion(self):
+        q = EventQueue()
+        env = Environment()
+        events = [Event(env) for _ in range(3)]
+        q.push(1.0, 1, events[0])
+        q.push(1.0, 0, events[1])  # urgent
+        q.push(1.0, 1, events[2])
+        assert q.pop().event is events[1]
+        assert q.pop().event is events[0]
+        assert q.pop().event is events[2]
+
+
+class TestTimeoutAndRun:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(1.5)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert fired == [1.5]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_run_until_advances_to_limit(self):
+        env = Environment()
+        env.process(iter_timeout(env, 1.0))
+        final = env.run(until=5.0)
+        assert final == 5.0
+        assert env.now == 5.0
+
+    def test_run_until_in_past_rejected(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_events_beyond_until_not_processed(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(10.0)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=5.0)
+        assert fired == []
+
+    def test_step_raises_on_empty(self):
+        env = Environment()
+        with pytest.raises(IndexError):
+            env.step()
+
+
+def iter_timeout(env, delay):
+    yield env.timeout(delay)
+
+
+class TestProcess:
+    def test_process_is_waitable(self):
+        env = Environment()
+        results = []
+
+        def inner():
+            yield env.timeout(1.0)
+            return "inner-result"
+
+        def outer():
+            value = yield env.process(inner())
+            results.append((env.now, value))
+
+        env.process(outer())
+        env.run()
+        assert results == [(1.0, "inner-result")]
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+        stamps = []
+
+        def proc():
+            for _ in range(3):
+                yield env.timeout(2.0)
+                stamps.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert stamps == [2.0, 4.0, 6.0]
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_crash_propagates(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        env.process(bad())
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_wait_on_already_processed_event(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("early")
+        seen = []
+
+        def late():
+            yield env.timeout(1.0)
+            value = yield event
+            seen.append(value)
+
+        env.process(late())
+        env.run()
+        assert seen == ["early"]
+
+
+class TestInterrupt:
+    def test_interrupt_detaches_from_timeout(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+                log.append("finished")
+            except Interrupt as exc:
+                log.append(("interrupted", env.now, exc.cause))
+
+        proc = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(1.0)
+            proc.interrupt("reason")
+
+        env.process(interrupter())
+        env.run()
+        assert ("interrupted", 1.0, "reason") in log
+        assert "finished" not in log
+
+    def test_interrupt_terminated_raises(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0.1)
+
+        proc = env.process(quick())
+        env.run()
+        with pytest.raises(RuntimeError):
+            proc.interrupt()
+
+    def test_failed_event_throws_into_process(self):
+        env = Environment()
+        event = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter())
+        event.fail(ValueError("failure payload"))
+        env.run()
+        assert caught == ["failure payload"]
+
+
+class TestScheduleAt:
+    def test_schedule_at_absolute_time(self):
+        env = Environment()
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(env.now))
+        env.schedule_at(3.0, event)
+        env.run()
+        assert seen == [3.0]
+
+    def test_schedule_in_past_rejected(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(ValueError):
+            env.schedule_at(1.0, env.event())

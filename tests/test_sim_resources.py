@@ -1,0 +1,84 @@
+"""Tests for the Store channel primitive."""
+
+from repro.sim.environment import Environment
+from repro.sim.resources import Store
+
+
+def test_put_then_get_immediate():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    got = []
+
+    def getter():
+        value = yield store.get()
+        got.append(value)
+
+    env.process(getter())
+    env.run()
+    assert got == ["a"]
+
+
+def test_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter():
+        value = yield store.get()
+        got.append((env.now, value))
+
+    def putter():
+        yield env.timeout(2.0)
+        store.put("late")
+
+    env.process(getter())
+    env.process(putter())
+    env.run()
+    assert got == [(2.0, "late")]
+
+
+def test_fifo_order_of_items():
+    env = Environment()
+    store = Store(env)
+    for item in ("a", "b", "c"):
+        store.put(item)
+    got = []
+
+    def getter():
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    env.process(getter())
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_fifo_order_of_waiters():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter(name):
+        value = yield store.get()
+        got.append((name, value))
+
+    env.process(getter("first"))
+    env.process(getter("second"))
+
+    def putter():
+        yield env.timeout(1.0)
+        store.put(1)
+        store.put(2)
+
+    env.process(putter())
+    env.run()
+    assert got == [("first", 1), ("second", 2)]
+
+
+def test_len_reflects_buffered_items():
+    env = Environment()
+    store = Store(env)
+    assert len(store) == 0
+    store.put("x")
+    assert len(store) == 1

@@ -1,0 +1,128 @@
+"""Stress/property tests of the discrete-event engine itself."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.environment import Environment
+from repro.sim.resources import Store
+
+FAST = settings(max_examples=50, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@FAST
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=40
+    )
+)
+def test_time_is_monotone_and_all_events_fire(delays):
+    """Arbitrary one-shot timeouts fire exactly once, in time order."""
+    env = Environment()
+    fired = []
+
+    def waiter(delay):
+        yield env.timeout(delay)
+        fired.append((env.now, delay))
+
+    for delay in delays:
+        env.process(waiter(delay))
+    env.run()
+    assert len(fired) == len(delays)
+    times = [t for t, _d in fired]
+    assert times == sorted(times)
+    for t, d in fired:
+        assert t == pytest.approx(d)
+
+
+@FAST
+@given(
+    chain=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20
+    )
+)
+def test_sequential_delays_accumulate_exactly(chain):
+    env = Environment()
+    stamps = []
+
+    def proc():
+        for delay in chain:
+            yield env.timeout(delay)
+            stamps.append(env.now)
+
+    env.process(proc())
+    env.run()
+    total = 0.0
+    for delay, stamp in zip(chain, stamps):
+        total += delay
+        assert stamp == pytest.approx(total)
+
+
+@FAST
+@given(
+    n_producers=st.integers(min_value=1, max_value=5),
+    items_each=st.integers(min_value=1, max_value=10),
+    n_consumers=st.integers(min_value=1, max_value=5),
+)
+def test_store_conserves_items_across_many_processes(
+    n_producers, items_each, n_consumers
+):
+    """Producer/consumer fan-in/fan-out over a Store loses nothing."""
+    env = Environment()
+    store = Store(env)
+    total = n_producers * items_each
+    consumed = []
+
+    def producer(pid):
+        for i in range(items_each):
+            yield env.timeout(0.1 * ((pid + i) % 3))
+            store.put((pid, i))
+
+    # Distribute the consumption load over the consumers.
+    base, extra = divmod(total, n_consumers)
+
+    def consumer(cid, count):
+        for _ in range(count):
+            item = yield store.get()
+            consumed.append(item)
+
+    for pid in range(n_producers):
+        env.process(producer(pid))
+    for cid in range(n_consumers):
+        env.process(consumer(cid, base + (1 if cid < extra else 0)))
+    env.run()
+    assert len(consumed) == total
+    assert len(set(consumed)) == total
+
+
+@FAST
+@given(seed_delays=st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.0, max_value=5.0),
+    ),
+    min_size=1, max_size=15,
+))
+def test_process_waiting_on_process(seed_delays):
+    """Nested process waits resolve with the inner result, at the inner
+    completion time."""
+    env = Environment()
+    outcomes = []
+
+    def inner(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def outer(start, delay, value):
+        yield env.timeout(start)
+        result = yield env.process(inner(delay, value))
+        outcomes.append((env.now, result))
+
+    for i, (start, delay) in enumerate(seed_delays):
+        env.process(outer(start, delay, i))
+    env.run()
+    assert len(outcomes) == len(seed_delays)
+    for (t, value) in outcomes:
+        start, delay = seed_delays[value]
+        assert t == pytest.approx(start + delay)

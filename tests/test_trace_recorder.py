@@ -1,0 +1,104 @@
+"""Tests for interference trace recording and faithful replay."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interference.corunner import CorunnerInterference
+from repro.interference.dvfs_events import DvfsInterference
+from repro.interference.traces import TraceRecorder, TraceScenario
+from repro.machine.dvfs import PeriodicSquareWave
+from repro.machine.presets import jetson_tx2
+from repro.machine.speed import SpeedModel
+from repro.sim.environment import Environment
+
+
+def record_scenario(scenario, until=3.0):
+    """Run ``scenario`` against a bare speed model, recording its actions."""
+    env = Environment()
+    machine = jetson_tx2()
+    speed = SpeedModel(env, machine)
+    recorder = TraceRecorder()
+    recorder.attach(env, speed)
+    scenario.install(env, speed, machine)
+    env.run(until=until)
+    return recorder
+
+
+class TestRecorder:
+    def test_records_corunner_window(self):
+        recorder = record_scenario(
+            CorunnerInterference([0], memory_demand=1.0, start=1.0, end=2.0)
+        )
+        trace = recorder.trace()
+        kinds = [a.to_dict()["kind"] for a in trace.actions]
+        # share on + demand on at t=1, share off + demand off at t=2.
+        assert kinds.count("cpu_share") == 2
+        assert kinds.count("demand") == 2
+        assert [a.time for a in trace.actions] == [1.0, 1.0, 2.0, 2.0]
+
+    def test_records_dvfs_toggles(self):
+        wave = PeriodicSquareWave(1.0, 0.5, half_period=1.0)
+        recorder = record_scenario(
+            DvfsInterference(cores=[0, 1], wave=wave), until=2.5
+        )
+        freq_actions = [
+            a for a in recorder.trace().actions
+            if a.to_dict()["kind"] == "freq_scale"
+        ]
+        assert len(freq_actions) >= 2
+        assert freq_actions[0].scale == 1.0
+        assert freq_actions[1].scale == 0.5
+
+    def test_double_attach_rejected(self):
+        recorder = TraceRecorder()
+        env = Environment()
+        speed = SpeedModel(env, jetson_tx2())
+        recorder.attach(env, speed)
+        with pytest.raises(ConfigurationError):
+            recorder.attach(env, speed)
+
+
+class TestReplayFidelity:
+    def test_replay_reproduces_state_trajectory(self):
+        """Record a composite scenario, replay it, and compare the speed
+        model state at several probe times."""
+        def scenario():
+            return CorunnerInterference(
+                [0], cpu_share=0.4, memory_demand=2.0, start=0.5, end=2.5
+            )
+
+        recorder = record_scenario(scenario(), until=4.0)
+        trace = recorder.trace()
+
+        def probe(install):
+            env = Environment()
+            machine = jetson_tx2()
+            speed = SpeedModel(env, machine)
+            install(env, speed, machine)
+            states = []
+            for t in (0.25, 1.0, 3.0):
+                env.run(until=t)
+                states.append(
+                    (speed.cpu_share(0), speed.external_demand("dram"))
+                )
+            return states
+
+        original = probe(lambda e, s, m: scenario().install(e, s, m))
+        replayed = probe(lambda e, s, m: TraceScenario(trace).install(e, s, m))
+        assert original == replayed
+
+    def test_serialized_roundtrip_replays(self):
+        from repro.interference.traces import InterferenceTrace
+
+        recorder = record_scenario(
+            CorunnerInterference([2, 3], start=1.0, end=2.0)
+        )
+        rebuilt = InterferenceTrace.from_dicts(recorder.trace().to_dicts())
+        env = Environment()
+        machine = jetson_tx2()
+        speed = SpeedModel(env, machine)
+        TraceScenario(rebuilt).install(env, speed, machine)
+        env.run(until=1.5)
+        assert speed.cpu_share(2) == 0.5
+        env.run(until=2.5)
+        assert speed.cpu_share(2) == 1.0

@@ -1,0 +1,127 @@
+"""Tests for utility helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.rng import RngFactory, make_rng, spawn_rngs
+from repro.util.stats import geometric_mean, summarize, weighted_average
+from repro.util.tables import format_table
+from repro.util.validation import require, require_in_range, require_positive
+
+
+class TestRng:
+    def test_make_rng_from_int_is_deterministic(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_spawn_rngs_independent_streams(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rngs_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_factory_same_name_same_stream(self):
+        factory = RngFactory(42)
+        a = factory.get("steal").random(4)
+        b = factory.get("steal").random(4)
+        assert np.array_equal(a, b)
+
+    def test_factory_different_names_differ(self):
+        factory = RngFactory(42)
+        assert factory.get("a").random() != factory.get("b").random()
+
+    def test_factory_seed_changes_streams(self):
+        assert RngFactory(1).get("x").random() != RngFactory(2).get("x").random()
+
+
+class TestStats:
+    def test_weighted_average_paper_rule(self):
+        # updated = (4*old + new) / 5
+        assert weighted_average(10.0, 20.0, 1, 5) == pytest.approx(12.0)
+
+    def test_weighted_average_full_weight_replaces(self):
+        assert weighted_average(10.0, 20.0, 5, 5) == pytest.approx(20.0)
+
+    def test_weighted_average_validates(self):
+        with pytest.raises(ValueError):
+            weighted_average(1.0, 2.0, 0, 5)
+        with pytest.raises(ValueError):
+            weighted_average(1.0, 2.0, 6, 5)
+
+    def test_weighted_average_converges_after_three_updates(self):
+        # The paper's resilience claim: after a regime change, at least
+        # three samples are needed before the value is closer to the new
+        # regime than the old one.
+        value = 1.0
+        history = []
+        for _ in range(5):
+            value = weighted_average(value, 2.0, 1, 5)
+            history.append(value)
+        assert history[0] < 1.5 and history[1] < 1.5
+        assert history[2] > 1.48  # roughly at the midpoint after 3 samples
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.stdev == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        out = format_table(["A", "Blong"], [[1, 2.5], ["xx", 10000.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["A"], [[1, 2]])
+
+    def test_float_rendering(self):
+        out = format_table(["v"], [[0.123456]])
+        assert "0.123" in out
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        assert require_positive(2.0, "x") == 2.0
+        with pytest.raises(ConfigurationError):
+            require_positive(0.0, "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(0.5, 0, 1, "x") == 0.5
+        with pytest.raises(ConfigurationError):
+            require_in_range(1.5, 0, 1, "x")
