@@ -15,32 +15,47 @@ Each test flips one mechanism and checks (and records) its contribution:
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.apps.heat import HeatConfig, build_heat_graph_builder
 from repro.core.placement import global_search_cost
 from repro.core.ptt import PerformanceTraceTable
 from repro.core.scalable import ScalableSearchIndex
 from repro.core.policies.registry import make_scheduler
-from repro.distributed.cluster_runtime import DistributedRuntime
-from repro.interference.corunner import CorunnerInterference
-from repro.interference.dvfs_events import DvfsInterference
-from repro.machine.dvfs import PeriodicSquareWave
-from repro.machine.presets import haswell_node, symmetric_machine
-from repro.runtime.config import RuntimeConfig
-from repro.session import quick_run
+from repro.machine.presets import symmetric_machine
+from repro.sweep import RunSpec, SweepRunner
+
+
+def _sweep_throughputs(specs):
+    """Run ablation specs serially and uncached so timings stay honest."""
+    runner = SweepRunner(jobs=1, use_cache=False, progress=False)
+    return [m["throughput"] for m in runner.run(specs)]
+
+
+def _layered_spec(scheduler, scenario, total, parallelism=2, config=None):
+    params = {
+        "workload": {
+            "name": "layered",
+            "kernel": "matmul",
+            "parallelism": parallelism,
+            "total": total,
+        },
+        "machine": "jetson_tx2",
+        "scheduler": scheduler,
+        "scenario": scenario,
+    }
+    if config is not None:
+        params["config"] = config
+    return RunSpec(kind="single", params=params, metrics=("throughput",))
 
 
 def test_ablation_criticality(benchmark):
     """Criticality-aware steering alone (DA) vs priority-blind RWS."""
+    corunner = {"name": "tx2_corunner", "kernel": "matmul"}
 
     def run():
-        out = {}
-        for sched in ("rws", "da"):
-            out[sched] = quick_run(
-                scheduler=sched, kernel="matmul", parallelism=2,
-                total_tasks=600,
-                scenario=CorunnerInterference.matmul_chain([0]),
-            ).throughput
-        return out
+        specs = [
+            _layered_spec(sched, corunner, total=600)
+            for sched in ("rws", "da")
+        ]
+        return dict(zip(("rws", "da"), _sweep_throughputs(specs)))
 
     thr = run_once(benchmark, run)
     assert thr["da"] > 1.5 * thr["rws"]
@@ -52,16 +67,19 @@ def test_ablation_moldability(benchmark):
     whose per-strip working set spills DRAM at width 1."""
 
     def run():
-        out = {}
-        config = HeatConfig(iterations=15, nodes=2)
-        for sched in ("da", "dam-c"):
-            runtime = DistributedRuntime(
-                [haswell_node() for _ in range(2)],
-                sched,
-                build_heat_graph_builder(config),
+        specs = [
+            RunSpec(
+                kind="heat_cluster",
+                params={
+                    "machine": "haswell_node",
+                    "scheduler": sched,
+                    "nodes": 2,
+                    "iterations": 15,
+                },
             )
-            out[sched] = runtime.run().throughput
-        return out
+            for sched in ("da", "dam-c")
+        ]
+        return dict(zip(("da", "dam-c"), _sweep_throughputs(specs)))
 
     thr = run_once(benchmark, run)
     assert thr["dam-c"] > 1.5 * thr["da"]
@@ -71,17 +89,14 @@ def test_ablation_moldability(benchmark):
 def test_ablation_dynamic_model(benchmark):
     """Online adaptation (DAM-C) vs static asymmetry knowledge (FA) under
     DVFS, where the static notion of 'fast cores' inverts periodically."""
+    dvfs = {"name": "dvfs", "half_period": 0.25}
 
     def run():
-        wave = PeriodicSquareWave(half_period=0.25)
-        out = {}
-        for sched in ("fa", "dam-c"):
-            out[sched] = quick_run(
-                scheduler=sched, kernel="matmul", parallelism=2,
-                total_tasks=2000,
-                scenario=DvfsInterference(wave=wave),
-            ).throughput
-        return out
+        specs = [
+            _layered_spec(sched, dvfs, total=2000)
+            for sched in ("fa", "dam-c")
+        ]
+        return dict(zip(("fa", "dam-c"), _sweep_throughputs(specs)))
 
     thr = run_once(benchmark, run)
     assert thr["dam-c"] > thr["fa"]
@@ -113,19 +128,17 @@ def test_ablation_steal_tries(benchmark):
     more tries help the priority-blind baseline most."""
 
     def run_with_config():
-        out = {}
-        for tries in (1, 5):
-            from repro.apps.synthetic import paper_matmul_dag
-            from repro.experiments.common import run_one
-            from repro.machine.presets import jetson_tx2
-            graph = paper_matmul_dag(4, scale=800 / 32000)
-            result = run_one(
-                graph, jetson_tx2(), "rws",
-                scenario=CorunnerInterference.matmul_chain([0]),
-                config=RuntimeConfig(steal_tries=tries),
+        specs = [
+            _layered_spec(
+                "rws",
+                {"name": "tx2_corunner", "kernel": "matmul"},
+                total=800,
+                parallelism=4,
+                config={"steal_tries": tries},
             )
-            out[tries] = result.throughput
-        return out
+            for tries in (1, 5)
+        ]
+        return dict(zip((1, 5), _sweep_throughputs(specs)))
 
     thr = run_once(benchmark, run_with_config)
     assert thr[5] >= thr[1] * 0.9  # scanning never catastrophically worse

@@ -1,0 +1,67 @@
+"""Gate micro-benchmark regressions against the committed baseline.
+
+Usage::
+
+    pytest benchmarks/bench_micro.py --benchmark-only \
+        --benchmark-json=fresh.json
+    python benchmarks/compare_baseline.py fresh.json
+
+Compares each benchmark's ``min`` (the most machine-noise-resistant
+statistic) against ``benchmarks/baseline_micro.json``.  Exits non-zero
+when any *gated* benchmark regressed beyond the baseline's
+``max_regression`` ratio; other benchmarks are reported but only warn,
+since absolute timings vary across CI hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline_micro.json"
+
+
+def compare(fresh_path: str, baseline_path: str = str(DEFAULT_BASELINE)) -> int:
+    """Return a process exit code: 0 when no gated benchmark regressed."""
+    with open(fresh_path, "r", encoding="utf-8") as fh:
+        fresh = {
+            b["name"]: b["stats"] for b in json.load(fh)["benchmarks"]
+        }
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    threshold = baseline["max_regression"]
+    gated = set(baseline["gated"])
+    failures = []
+    for name, base_stats in sorted(baseline["benchmarks"].items()):
+        if name not in fresh:
+            print(f"MISSING  {name}: not in fresh results")
+            if name in gated:
+                failures.append(name)
+            continue
+        ratio = fresh[name]["min"] / base_stats["min"]
+        status = "ok"
+        if ratio > threshold:
+            status = "REGRESSED" if name in gated else "slower (ungated)"
+            if name in gated:
+                failures.append(name)
+        print(
+            f"{status:16s} {name}: min {base_stats['min']:.6g}s -> "
+            f"{fresh[name]['min']:.6g}s ({ratio:.2f}x, gate {threshold}x"
+            f"{' [gated]' if name in gated else ''})"
+        )
+
+    if failures:
+        print(f"\nFAIL: gated benchmark(s) regressed >"
+              f"{(threshold - 1):.0%}: {', '.join(failures)}")
+        return 1
+    print("\nOK: no gated benchmark regression")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(compare(*sys.argv[1:3]))

@@ -41,14 +41,25 @@ class ExperimentSettings:
     ``scale`` multiplies the paper's task counts / iteration counts;
     DVFS periods shrink by the same factor so every run still covers
     several full cycles.  ``seed`` feeds all stochastic elements.
+
+    ``jobs``, ``cache_dir`` and ``use_cache`` configure the sweep engine
+    every harness executes through (see :mod:`repro.sweep`): worker
+    process count, result-cache directory, and whether cached results are
+    reused at all.  The defaults — serial and uncached — keep direct
+    harness calls (tests, notebooks) hermetic; the CLI turns both on.
     """
 
     scale: float = 0.05
     seed: int = 0
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    use_cache: bool = False
 
     def __post_init__(self) -> None:
         if not (0 < self.scale <= 1.0):
             raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
 
     def task_count(self, paper_total: int, parallelism: int) -> int:
         return max(parallelism * 10, int(paper_total * self.scale))
@@ -100,9 +111,27 @@ def run_one(
     runtime = SimulatedRuntime(
         env, machine, graph, scheduler, config=config, speed=speed, seed=seed
     )
-    result = runtime.run()
-    result.extra["scheduler"] = scheduler
-    return result
+    return runtime.run()
+
+
+def sweep(specs, settings: ExperimentSettings, label: str):
+    """Execute a harness's :class:`~repro.sweep.spec.RunSpec` list.
+
+    All figure harnesses funnel through here so one settings object
+    controls parallelism and caching everywhere.  Returns one metrics
+    dict per spec, in order.  Progress lines are suppressed for plain
+    serial, uncached runs (the test/notebook default).
+    """
+    from repro.sweep import SweepRunner
+
+    runner = SweepRunner(
+        jobs=settings.jobs,
+        cache_dir=settings.cache_dir,
+        use_cache=settings.use_cache,
+        label=label,
+        progress=settings.jobs > 1 or settings.use_cache,
+    )
+    return runner.run(specs)
 
 
 def tx2_corunner(kernel_name: str) -> CorunnerInterference:

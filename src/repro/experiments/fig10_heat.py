@@ -11,11 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
-from repro.apps.heat import HeatConfig, build_heat_graph_builder
-from repro.distributed.cluster_runtime import DistributedRuntime
-from repro.experiments.common import ExperimentSettings, HASWELL_SCHEDULERS, speedup
-from repro.interference.corunner import CorunnerInterference
-from repro.machine.presets import haswell_node
+from repro.experiments.common import (
+    ExperimentSettings,
+    HASWELL_SCHEDULERS,
+    speedup,
+    sweep,
+)
+from repro.sweep import RunSpec
 
 
 @dataclass
@@ -58,20 +60,28 @@ def run_fig10(
 ) -> Fig10Result:
     """Regenerate Fig. 10."""
     result = Fig10Result()
-    config = HeatConfig(nodes=nodes, iterations=iterations)
-    for sched in schedulers:
-        runtime = DistributedRuntime(
-            [haswell_node() for _ in range(nodes)],
-            sched,
-            build_heat_graph_builder(config),
-            scenarios={
-                0: CorunnerInterference(
-                    cores=[0, 1, 2, 3, 4], cpu_share=0.5, memory_demand=2.0
-                )
+    specs = [
+        RunSpec(
+            kind="heat_cluster",
+            params={
+                "machine": "haswell_node",
+                "scheduler": sched,
+                "nodes": nodes,
+                "iterations": iterations,
+                "corunner": {
+                    "node": 0,
+                    "cores": [0, 1, 2, 3, 4],
+                    "cpu_share": 0.5,
+                    "memory_demand": 2.0,
+                },
             },
             seed=settings.seed,
+            tags={"scheduler": sched},
         )
-        result.throughput[sched] = runtime.run().throughput
+        for sched in schedulers
+    ]
+    for spec, metrics in zip(specs, sweep(specs, settings, "fig10")):
+        result.throughput[spec.tags["scheduler"]] = metrics["throughput"]
     return result
 
 

@@ -12,16 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.apps.synthetic import PAPER_TASK_COUNTS, synthetic_workloads
+from repro.apps.synthetic import PAPER_TASK_COUNTS
 from repro.experiments.common import (
     ExperimentSettings,
     PARALLELISMS,
     TX2_SCHEDULERS,
-    run_one,
     speedup,
-    tx2_corunner,
+    sweep,
 )
-from repro.machine.presets import jetson_tx2
+from repro.sweep import RunSpec
 from repro.util.tables import format_table
 
 
@@ -76,18 +75,46 @@ class Fig4Result:
         return "\n\n".join(blocks)
 
 
-def _fig4_scenario(kernel: str, live: bool):
+def _fig4_scenario(kernel: str, live: bool) -> Dict:
     if not live:
-        return tx2_corunner(kernel)
+        return {"name": "tx2_corunner", "kernel": kernel}
     # A genuinely executing co-runner chain (see repro.interference.live):
     # a matmul chain for CPU interference, a copy chain for memory
     # interference — exactly the paper's §5.1 setup.
-    from repro.interference.live import LiveCorunner
-    from repro.kernels.copy import CopyKernel
-    from repro.kernels.matmul import MatMulKernel
+    return {
+        "name": "live_corunner",
+        "core": 0,
+        "kernel": "copy" if kernel == "copy" else "matmul",
+    }
 
-    chain_kernel = CopyKernel() if kernel == "copy" else MatMulKernel()
-    return LiveCorunner(core=0, kernel=chain_kernel)
+
+def fig4_spec(
+    settings: ExperimentSettings,
+    kernel: str,
+    parallelism: int,
+    scheduler: str,
+    live_corunner: bool = False,
+) -> RunSpec:
+    """The spec of one Fig. 4 cell (also reused by the seed sweep)."""
+    total = settings.task_count(PAPER_TASK_COUNTS[kernel], parallelism)
+    return RunSpec(
+        kind="single",
+        params={
+            "workload": {
+                "name": "layered",
+                "kernel": kernel,
+                "parallelism": parallelism,
+                "total": total,
+            },
+            "machine": "jetson_tx2",
+            "scheduler": scheduler,
+            "scenario": _fig4_scenario(kernel, live_corunner),
+        },
+        seed=settings.seed,
+        metrics=("throughput",),
+        tags={"kernel": kernel, "parallelism": parallelism,
+              "scheduler": scheduler},
+    )
 
 
 def run_fig4(
@@ -104,28 +131,21 @@ def run_fig4(
     speed model.
     """
     result = Fig4Result(
-        throughput={},
+        throughput={k: {s: {} for s in schedulers} for k in kernels},
         parallelisms=tuple(parallelisms),
         schedulers=tuple(schedulers),
     )
-    for kernel in kernels:
-        dag_factory = synthetic_workloads[kernel]
-        per_sched: Dict[str, Dict[int, float]] = {s: {} for s in schedulers}
-        for parallelism in parallelisms:
-            total = settings.task_count(PAPER_TASK_COUNTS[kernel], parallelism)
-            for sched in schedulers:
-                graph = dag_factory(
-                    parallelism, scale=total / PAPER_TASK_COUNTS[kernel]
-                )
-                run = run_one(
-                    graph,
-                    jetson_tx2(),
-                    sched,
-                    scenario=_fig4_scenario(kernel, live_corunner),
-                    seed=settings.seed,
-                )
-                per_sched[sched][parallelism] = run.throughput
-        result.throughput[kernel] = per_sched
+    specs = [
+        fig4_spec(settings, kernel, parallelism, sched, live_corunner)
+        for kernel in kernels
+        for parallelism in parallelisms
+        for sched in schedulers
+    ]
+    for spec, metrics in zip(specs, sweep(specs, settings, "fig4")):
+        tags = spec.tags
+        result.throughput[tags["kernel"]][tags["scheduler"]][
+            tags["parallelism"]
+        ] = metrics["throughput"]
     return result
 
 

@@ -10,16 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.apps.synthetic import PAPER_TASK_COUNTS, paper_matmul_dag
-from repro.experiments.common import (
-    ExperimentSettings,
-    TX2_SCHEDULERS,
-    run_one,
-    tx2_corunner,
-)
-from repro.machine.presets import jetson_tx2
+from repro.apps.synthetic import PAPER_TASK_COUNTS
+from repro.experiments.common import ExperimentSettings, TX2_SCHEDULERS, sweep
 from repro.machine.topology import ExecutionPlace
-from repro.metrics.analysis import place_distribution
+from repro.sweep import RunSpec, data_to_place
 from repro.util.tables import format_table
 
 
@@ -65,20 +59,31 @@ def run_fig5(
     """Regenerate Fig. 5(a-g)."""
     result = Fig5Result()
     total = settings.task_count(PAPER_TASK_COUNTS["matmul"], parallelism)
-    for sched in schedulers:
-        graph = paper_matmul_dag(
-            parallelism, scale=total / PAPER_TASK_COUNTS["matmul"]
-        )
-        run = run_one(
-            graph,
-            jetson_tx2(),
-            sched,
-            scenario=tx2_corunner("matmul"),
+    specs = [
+        RunSpec(
+            kind="single",
+            params={
+                "workload": {
+                    "name": "layered",
+                    "kernel": "matmul",
+                    "parallelism": parallelism,
+                    "total": total,
+                },
+                "machine": "jetson_tx2",
+                "scheduler": sched,
+                "scenario": {"name": "tx2_corunner", "kernel": "matmul"},
+            },
             seed=settings.seed,
+            metrics=("priority_place_distribution",),
+            tags={"scheduler": sched},
         )
-        result.distribution[sched] = place_distribution(
-            run.collector.records, high_priority_only=True
-        )
+        for sched in schedulers
+    ]
+    for spec, metrics in zip(specs, sweep(specs, settings, "fig5")):
+        result.distribution[spec.tags["scheduler"]] = {
+            data_to_place(place): fraction
+            for place, fraction in metrics["priority_place_distribution"]
+        }
     return result
 
 

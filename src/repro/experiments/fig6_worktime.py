@@ -11,14 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.apps.synthetic import PAPER_TASK_COUNTS, paper_matmul_dag
-from repro.experiments.common import (
-    ExperimentSettings,
-    TX2_SCHEDULERS,
-    run_one,
-    tx2_corunner,
-)
-from repro.machine.presets import jetson_tx2
+from repro.apps.synthetic import PAPER_TASK_COUNTS
+from repro.experiments.common import ExperimentSettings, TX2_SCHEDULERS, sweep
+from repro.sweep import RunSpec
 from repro.util.tables import format_table
 
 
@@ -57,19 +52,32 @@ def run_fig6(
     """Regenerate Fig. 6."""
     result = Fig6Result()
     total = settings.task_count(PAPER_TASK_COUNTS["matmul"], parallelism)
-    for sched in schedulers:
-        graph = paper_matmul_dag(
-            parallelism, scale=total / PAPER_TASK_COUNTS["matmul"]
-        )
-        run = run_one(
-            graph,
-            jetson_tx2(),
-            sched,
-            scenario=tx2_corunner("matmul"),
+    specs = [
+        RunSpec(
+            kind="single",
+            params={
+                "workload": {
+                    "name": "layered",
+                    "kernel": "matmul",
+                    "parallelism": parallelism,
+                    "total": total,
+                },
+                "machine": "jetson_tx2",
+                "scheduler": sched,
+                "scenario": {"name": "tx2_corunner", "kernel": "matmul"},
+            },
             seed=settings.seed,
+            metrics=("core_busy", "makespan"),
+            tags={"scheduler": sched},
         )
-        result.work_time[sched] = dict(run.collector.core_busy)
-        result.makespan[sched] = run.makespan
+        for sched in schedulers
+    ]
+    for spec, metrics in zip(specs, sweep(specs, settings, "fig6")):
+        sched = spec.tags["scheduler"]
+        result.work_time[sched] = {
+            int(core): busy for core, busy in metrics["core_busy"].items()
+        }
+        result.makespan[sched] = metrics["makespan"]
     return result
 
 

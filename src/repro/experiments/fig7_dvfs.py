@@ -12,16 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.apps.synthetic import PAPER_TASK_COUNTS, synthetic_workloads
 from repro.experiments.common import (
     ExperimentSettings,
     PARALLELISMS,
     TX2_SCHEDULERS,
-    run_one,
     speedup,
-    tx2_dvfs,
+    sweep,
 )
-from repro.machine.presets import jetson_tx2
+from repro.sweep import RunSpec
 from repro.util.stats import geometric_mean
 from repro.util.tables import format_table
 
@@ -86,28 +84,46 @@ def run_fig7(
 ) -> Fig7Result:
     """Regenerate Fig. 7(a-c)."""
     result = Fig7Result(
-        throughput={},
+        throughput={k: {s: {} for s in schedulers} for k in kernels},
         parallelisms=tuple(parallelisms),
         schedulers=tuple(schedulers),
     )
-    for kernel in kernels:
-        dag_factory = synthetic_workloads[kernel]
-        per_sched: Dict[str, Dict[int, float]] = {s: {} for s in schedulers}
-        for parallelism in parallelisms:
-            total = settings.dvfs_task_count(kernel, parallelism)
-            for sched in schedulers:
-                graph = dag_factory(
-                    parallelism, scale=total / PAPER_TASK_COUNTS[kernel]
-                )
-                run = run_one(
-                    graph,
-                    jetson_tx2(),
-                    sched,
-                    scenario=tx2_dvfs(settings),
-                    seed=settings.seed,
-                )
-                per_sched[sched][parallelism] = run.throughput
-        result.throughput[kernel] = per_sched
+    wave = settings.dvfs_wave()
+    scenario = {
+        "name": "dvfs",
+        "cores": [0, 1],
+        "high_scale": wave.high_scale,
+        "low_scale": wave.low_scale,
+        "half_period": wave.half_period,
+    }
+    specs = [
+        RunSpec(
+            kind="single",
+            params={
+                "workload": {
+                    "name": "layered",
+                    "kernel": kernel,
+                    "parallelism": parallelism,
+                    "total": settings.dvfs_task_count(kernel, parallelism),
+                },
+                "machine": "jetson_tx2",
+                "scheduler": sched,
+                "scenario": scenario,
+            },
+            seed=settings.seed,
+            metrics=("throughput",),
+            tags={"kernel": kernel, "parallelism": parallelism,
+                  "scheduler": sched},
+        )
+        for kernel in kernels
+        for parallelism in parallelisms
+        for sched in schedulers
+    ]
+    for spec, metrics in zip(specs, sweep(specs, settings, "fig7")):
+        tags = spec.tags
+        result.throughput[tags["kernel"]][tags["scheduler"]][
+            tags["parallelism"]
+        ] = metrics["throughput"]
     return result
 
 

@@ -13,11 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.common import ExperimentSettings, run_one, tx2_corunner
-from repro.graph.generators import layered_synthetic_dag
-from repro.kernels.matmul import MatMulKernel
-from repro.machine.presets import jetson_tx2
-from repro.runtime.config import RuntimeConfig
+from repro.experiments.common import ExperimentSettings, sweep
+from repro.sweep import RunSpec
 from repro.util.tables import format_table
 
 #: Paper sweep values.
@@ -65,29 +62,39 @@ def run_fig8(
     measurement_noise: float = 1.5e-4,
 ) -> Fig8Result:
     """Regenerate Fig. 8."""
-    result = Fig8Result()
-    config = RuntimeConfig(measurement_noise=measurement_noise)
+    result = Fig8Result(throughput={t: {} for t in tiles})
     total = settings.task_count(32000, parallelism)
-    for tile in tiles:
-        by_weight: Dict[int, float] = {}
-        for weight in new_weights:
-            graph = layered_synthetic_dag(
-                MatMulKernel(tile=tile), parallelism, total
-            )
-            run = run_one(
-                graph,
-                jetson_tx2(),
-                "dam-c",
-                scenario=tx2_corunner("matmul"),
-                config=config,
-                seed=settings.seed,
-                scheduler_kwargs={
+    specs = [
+        RunSpec(
+            kind="single",
+            params={
+                "workload": {
+                    "name": "layered",
+                    "kernel": "matmul",
+                    "parallelism": parallelism,
+                    "total": total,
+                    "tile": tile,
+                },
+                "machine": "jetson_tx2",
+                "scheduler": "dam-c",
+                "scheduler_kwargs": {
                     "ptt_new_weight": weight,
                     "ptt_total_weight": 5,
                 },
-            )
-            by_weight[weight] = run.throughput
-        result.throughput[tile] = by_weight
+                "scenario": {"name": "tx2_corunner", "kernel": "matmul"},
+                "config": {"measurement_noise": measurement_noise},
+            },
+            seed=settings.seed,
+            metrics=("throughput",),
+            tags={"tile": tile, "weight": weight},
+        )
+        for tile in tiles
+        for weight in new_weights
+    ]
+    for spec, metrics in zip(specs, sweep(specs, settings, "fig8")):
+        result.throughput[spec.tags["tile"]][spec.tags["weight"]] = metrics[
+            "throughput"
+        ]
     return result
 
 

@@ -13,12 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.apps.kmeans import KMeansConfig, build_kmeans_graph
-from repro.experiments.common import ExperimentSettings, run_one
-from repro.interference.corunner import CorunnerInterference
-from repro.machine.presets import haswell16
+from repro.experiments.common import ExperimentSettings, sweep
 from repro.machine.topology import ExecutionPlace
-from repro.metrics.analysis import iteration_series, place_distribution_counts
+from repro.sweep import RunSpec, data_to_place
 from repro.util.tables import format_table
 
 FIG9_SCHEDULERS: Tuple[str, ...] = ("rws", "dam-c", "dam-p")
@@ -94,30 +91,29 @@ def run_fig9(
 ) -> Fig9Result:
     """Regenerate Fig. 9(a-c)."""
     result = Fig9Result(window=window)
-    config = KMeansConfig(iterations=iterations)
-    for sched in schedulers:
-        machine = haswell16()
-        socket0 = list(machine.cluster("socket0").core_ids)
-        corunner = CorunnerInterference(
-            cores=socket0, cpu_share=0.5, memory_demand=1.5, start=None
+    specs = [
+        RunSpec(
+            kind="kmeans_window",
+            params={
+                "machine": "haswell16",
+                "scheduler": sched,
+                "iterations": iterations,
+                "window": list(window),
+            },
+            seed=settings.seed,
+            tags={"scheduler": sched},
         )
-        hooks = {
-            window[0]: lambda _i: corunner.activate(),
-            window[1]: lambda _i: corunner.deactivate(),
-        }
-        graph = build_kmeans_graph(config, iteration_hooks=hooks)
-        run = run_one(
-            graph, machine, sched, scenario=corunner, seed=settings.seed
-        )
-        result.series[sched] = iteration_series(run.collector.records)
-        in_window = [
-            r
-            for r in run.collector.records
-            if window[0] <= r.metadata.get("iteration", -1) < window[1]
+        for sched in schedulers
+    ]
+    for spec, metrics in zip(specs, sweep(specs, settings, "fig9")):
+        sched = spec.tags["scheduler"]
+        result.series[sched] = [
+            (int(it), t) for it, t in metrics["iteration_series"]
         ]
-        result.place_counts[sched] = place_distribution_counts(
-            in_window, high_priority_only=False
-        )
+        result.place_counts[sched] = {
+            data_to_place(place): int(count)
+            for place, count in metrics["window_place_counts"]
+        }
     return result
 
 

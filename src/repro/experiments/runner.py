@@ -4,17 +4,20 @@ Examples::
 
     python -m repro.experiments table1
     python -m repro.experiments fig4 --scale 0.05 --seed 1
-    python -m repro.experiments all --scale 0.02
+    python -m repro.experiments all --scale 0.02 --jobs 8
+    python -m repro.experiments all --scale 0.02 --no-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict
 
 from repro.experiments.common import ExperimentSettings
+from repro.sweep import default_cache_dir, pop_stats
 from repro.experiments.fig4_corunner import run_fig4
 from repro.experiments.fig5_distribution import run_fig5
 from repro.experiments.fig6_worktime import run_fig6
@@ -59,20 +62,51 @@ def main(argv=None) -> int:
         "1.0 = paper scale)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the simulation sweeps "
+        "(default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result-cache directory (default: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
     args = parser.parse_args(argv)
 
-    settings = ExperimentSettings(scale=args.scale, seed=args.seed)
+    settings = ExperimentSettings(
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs if args.jobs is not None else (os.cpu_count() or 1),
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
     if args.experiment == "all":
         # "verify" re-runs every harness; keep it a separate command.
         names = sorted(n for n in _HARNESSES if n != "verify")
     else:
         names = [args.experiment]
+    pop_stats()  # drop anything accumulated before this invocation
     for name in names:
         start = time.perf_counter()
         result = _HARNESSES[name](settings)
         elapsed = time.perf_counter() - start
         print(result.report())
-        print(f"[{name} regenerated in {elapsed:.1f}s wall]")
+        stats = pop_stats()
+        hits = sum(s.hits for s in stats)
+        unique = sum(s.unique for s in stats)
+        cache_note = (
+            f", cache {hits}/{unique} hits" if unique and not args.no_cache
+            else ""
+        )
+        print(f"[{name} regenerated in {elapsed:.1f}s wall{cache_note}]")
         print()
     return 0
 

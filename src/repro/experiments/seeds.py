@@ -14,14 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.apps.synthetic import PAPER_TASK_COUNTS, paper_matmul_dag
-from repro.experiments.common import (
-    ExperimentSettings,
-    run_one,
-    speedup,
-    tx2_corunner,
-)
-from repro.machine.presets import jetson_tx2
+from dataclasses import replace
+
+from repro.experiments.common import ExperimentSettings, speedup, sweep
+from repro.experiments.fig4_corunner import fig4_spec
 from repro.util.tables import format_table
 
 DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2, 3, 4)
@@ -74,23 +70,18 @@ def run_seeds(
     parallelism: int = 2,
 ) -> SeedSweepResult:
     """Run the seed sweep."""
-    result = SeedSweepResult()
-    total = settings.task_count(PAPER_TASK_COUNTS["matmul"], parallelism)
-    for seed in seeds:
-        by_seed: Dict[str, float] = {}
-        for sched in SCHEDULERS:
-            graph = paper_matmul_dag(
-                parallelism, scale=total / PAPER_TASK_COUNTS["matmul"]
-            )
-            run = run_one(
-                graph,
-                jetson_tx2(),
-                sched,
-                scenario=tx2_corunner("matmul"),
-                seed=seed,
-            )
-            by_seed[sched] = run.throughput
-        result.throughput[seed] = by_seed
+    result = SeedSweepResult(throughput={seed: {} for seed in seeds})
+    specs = [
+        fig4_spec(
+            replace(settings, seed=seed), "matmul", parallelism, sched
+        )
+        for seed in seeds
+        for sched in SCHEDULERS
+    ]
+    for spec, metrics in zip(specs, sweep(specs, settings, "seeds")):
+        result.throughput[spec.seed][spec.tags["scheduler"]] = metrics[
+            "throughput"
+        ]
     return result
 
 

@@ -63,6 +63,7 @@ class ActiveWork:
         "started_at",
         "_rate",
         "_version",
+        "_marker",
     )
 
     def __init__(
@@ -84,6 +85,8 @@ class ActiveWork:
         self.started_at = env.now
         self._rate = 0.0
         self._version = 0
+        #: The pending completion-check event, cancelled on re-time.
+        self._marker: Optional[Event] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -111,6 +114,16 @@ class SpeedModel:
         #: but two runtimes sharing this model — a live co-runner — do;
         #: the OS then time-slices, giving each work 1/k of the core.
         self._active_per_core: List[int] = [0] * n
+        #: In-flight work items per memory domain, and the total demand
+        #: (external + active items) per domain — maintained incrementally
+        #: so rate changes that cannot touch any in-flight item are
+        #: detected (and skipped) in O(1).
+        self._active_per_domain: Dict[str, int] = {
+            d: 0 for d in machine.memory_bandwidth
+        }
+        self._demand_totals: Dict[str, float] = {
+            d: 0.0 for d in machine.memory_bandwidth
+        }
         self._last_update = env.now
 
     # ------------------------------------------------------------------
@@ -145,11 +158,21 @@ class SpeedModel:
         """Set the DVFS frequency scale of ``core_ids`` to ``scale`` in (0, 1]."""
         if not (0 < scale <= 1.0):
             raise ConfigurationError(f"freq scale must be in (0, 1], got {scale}")
-        self._advance()
+        core_ids = list(core_ids)
         for cid in core_ids:
             self.machine._check_core(cid)
+        # A change that touches no core with in-flight work (or changes no
+        # value) cannot alter any active rate: skip the full re-time.
+        affected = any(
+            self._active_per_core[cid] and self._freq_scale[cid] != scale
+            for cid in core_ids
+        )
+        if affected:
+            self._advance()
+        for cid in core_ids:
             self._freq_scale[cid] = scale
-        self._retime()
+        if affected:
+            self._retime()
 
     def set_cpu_share(self, core_ids: Iterable[int], share: float) -> None:
         """Set the CPU time share available to the runtime on ``core_ids``.
@@ -159,11 +182,19 @@ class SpeedModel:
         """
         if not (0 < share <= 1.0):
             raise ConfigurationError(f"cpu share must be in (0, 1], got {share}")
-        self._advance()
+        core_ids = list(core_ids)
         for cid in core_ids:
             self.machine._check_core(cid)
+        affected = any(
+            self._active_per_core[cid] and self._cpu_share[cid] != share
+            for cid in core_ids
+        )
+        if affected:
+            self._advance()
+        for cid in core_ids:
             self._cpu_share[cid] = share
-        self._retime()
+        if affected:
+            self._retime()
 
     def add_external_demand(self, domain: str, amount: float) -> None:
         """Register persistent memory-bandwidth demand (e.g. a co-runner)."""
@@ -171,22 +202,33 @@ class SpeedModel:
             raise ConfigurationError(f"unknown memory domain {domain!r}")
         if amount < 0:
             raise ConfigurationError(f"demand must be >= 0, got {amount}")
-        self._advance()
+        affected = amount > 0 and self._active_per_domain[domain] > 0
+        if affected:
+            self._advance()
         self._external_demand[domain] += amount
-        self._retime()
+        self._demand_totals[domain] += amount
+        if affected:
+            self._retime()
 
     def remove_external_demand(self, domain: str, amount: float) -> None:
         """Remove previously registered external demand."""
         if domain not in self._external_demand:
             raise ConfigurationError(f"unknown memory domain {domain!r}")
-        self._advance()
+        affected = amount > 0 and self._active_per_domain[domain] > 0
+        if affected:
+            self._advance()
         self._external_demand[domain] -= amount
+        self._demand_totals[domain] -= amount
         if self._external_demand[domain] < -_EPS:
             raise RuntimeStateError(
                 f"external demand on {domain!r} went negative"
             )
-        self._external_demand[domain] = max(0.0, self._external_demand[domain])
-        self._retime()
+        if self._external_demand[domain] < 0.0:
+            # Clamp rounding residue to zero, keeping the totals aligned.
+            self._demand_totals[domain] -= self._external_demand[domain]
+            self._external_demand[domain] = 0.0
+        if affected:
+            self._retime()
 
     def external_demand(self, domain: str) -> float:
         return self._external_demand[domain]
@@ -230,11 +272,32 @@ class SpeedModel:
         if item.remaining <= _EPS:
             # Degenerate zero-work item: complete instantly.
             item.done.succeed(0.0)
-        else:
-            self._active[item.work_id] = item
-            for core in cores:
-                self._active_per_core[core] += 1
+            return item
+
+        # Detect whether starting this item can change any *other* item's
+        # rate: it can only through core time-slicing (a shared core) or
+        # through the domain's bandwidth factor.  When neither moves — the
+        # overwhelmingly common case for a single runtime on undersubscribed
+        # memory — only the new item needs (re)timing.
+        finished_pending = any(
+            other.remaining <= _EPS for other in self._active.values()
+        )
+        shared_core = False
+        for core in cores:
+            self._active_per_core[core] += 1
+            if self._active_per_core[core] > 1:
+                shared_core = True
+        domain = item.domain
+        factor_before = self._domain_factor(domain)
+        self._active_per_domain[domain] += 1
+        self._demand_totals[domain] += item.demand
+        factor_after = self._domain_factor(domain)
+        self._active[item.work_id] = item
+
+        if finished_pending or shared_core or factor_after != factor_before:
             self._retime()
+        else:
+            self._set_rate_and_check(item)
         return item
 
     def active_count(self) -> int:
@@ -244,10 +307,10 @@ class SpeedModel:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _domain_factor(self, domain: str, demands: Dict[str, float]) -> float:
+    def _domain_factor(self, domain: str) -> float:
         """Bandwidth share factor: 1 when undersubscribed, B/D when over."""
         capacity = self.machine.memory_bandwidth[domain]
-        total = demands[domain]
+        total = self._demand_totals[domain]
         if total <= capacity or total <= 0:
             return 1.0
         return capacity / total
@@ -265,57 +328,105 @@ class SpeedModel:
                     item.remaining = 0.0
         self._last_update = now
 
-    def _retime(self) -> None:
-        """Complete finished items, then recompute rates and completions.
+    def _complete_finished(self) -> tuple:
+        """Remove and trigger every item whose work has run out.
 
-        Runs iteratively: each completed batch changes the domain demand,
-        which may change the surviving items' rates, so demands are
-        recomputed until no item is finished.  ``done`` events are only
+        Returns ``(shared, factors_before)``: whether any finished item was
+        time-slicing a core with a survivor, and the pre-removal bandwidth
+        factor of each touched domain — the ingredients for deciding
+        whether survivors need re-timing.  ``done`` events are only
         *triggered* here — their callbacks run from the environment loop,
         so no runtime bookkeeping re-enters this method mid-update.
         """
-        while True:
-            finished = [
-                item for item in self._active.values() if item.remaining <= _EPS
-            ]
-            if finished:
-                for item in finished:
-                    del self._active[item.work_id]
-                    for core in item.cores:
-                        self._active_per_core[core] -= 1
-                for item in finished:
-                    item._version += 1
-                    item.done.succeed(self.env.now - item.started_at)
-                continue
-            demands: Dict[str, float] = dict(self._external_demand)
-            for item in self._active.values():
-                demands[item.domain] += item.demand
-            for item in self._active.values():
-                compute_rate = min(self.core_rate(c) for c in item.cores)
-                factor = self._domain_factor(item.domain, demands)
-                m = item.memory_intensity
-                rate = compute_rate * ((1.0 - m) + m * factor)
-                item._rate = rate
-                item._version += 1
-                if rate > 0:
-                    self._schedule_check(item, item._version, item.remaining / rate)
+        finished = [
+            item for item in self._active.values() if item.remaining <= _EPS
+        ]
+        if not finished:
+            return False, {}
+        shared = False
+        factors_before: Dict[str, float] = {}
+        for item in finished:
+            factors_before.setdefault(item.domain, self._domain_factor(item.domain))
+            del self._active[item.work_id]
+            for core in item.cores:
+                if self._active_per_core[core] > 1:
+                    shared = True
+                self._active_per_core[core] -= 1
+            self._active_per_domain[item.domain] -= 1
+            self._demand_totals[item.domain] -= item.demand
+            self._cancel_marker(item)
+        for item in finished:
+            item._version += 1
+            item.done.succeed(self.env.now - item.started_at)
+        return shared, factors_before
+
+    def _settle(self) -> None:
+        """Complete finished items; re-time survivors only when needed.
+
+        A completion changes a survivor's rate only by freeing a shared
+        core or by relaxing an oversubscribed domain; otherwise every
+        surviving item's pending completion check is still exact and the
+        full re-computation is skipped.
+        """
+        shared, factors_before = self._complete_finished()
+        if not self._active:
             return
+        if shared or any(
+            self._domain_factor(d) != f for d, f in factors_before.items()
+        ):
+            for item in self._active.values():
+                self._set_rate_and_check(item)
+
+    def _retime(self) -> None:
+        """Complete finished items, then recompute all rates and checks."""
+        self._complete_finished()
+        for item in self._active.values():
+            self._set_rate_and_check(item)
+
+    def _set_rate_and_check(self, item: ActiveWork) -> None:
+        """Recompute one item's rate and (re)schedule its completion check."""
+        cores = item.cores
+        if len(cores) == 1:
+            compute_rate = self.core_rate(cores[0])
+        else:
+            compute_rate = min(self.core_rate(c) for c in cores)
+        factor = self._domain_factor(item.domain)
+        m = item.memory_intensity
+        rate = compute_rate * ((1.0 - m) + m * factor)
+        item._rate = rate
+        item._version += 1
+        marker = item._marker
+        if marker is not None:
+            item._marker = None
+            if not marker.processed:
+                self.env._queue.cancel(marker)
+        if rate > 0:
+            self._schedule_check(item, item._version, item.remaining / rate)
+
+    def _cancel_marker(self, item: ActiveWork) -> None:
+        """Retract the item's pending completion check, if any."""
+        marker = item._marker
+        if marker is not None:
+            item._marker = None
+            if not marker.processed:
+                self.env._queue.cancel(marker)
 
     def _schedule_check(self, item: ActiveWork, version: int, eta: float) -> None:
         """Queue a completion check for ``item`` at ``now + eta``.
 
-        The check is ignored when stale (the item was re-timed or already
-        completed since it was scheduled).
+        Superseded checks are cancelled on re-time; the version guard stays
+        as a backstop against a marker firing in the same timestamp batch.
         """
 
         def _check(_event: Event, item=item, version=version) -> None:
             if item.work_id not in self._active or item._version != version:
                 return
             self._advance()
-            self._retime()
+            self._settle()
 
         marker = Event(self.env)
         marker._ok = True
         marker._value = None
         marker.callbacks.append(_check)
+        item._marker = marker
         self.env._queue.push(self.env.now + eta, 1, marker)

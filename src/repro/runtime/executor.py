@@ -21,8 +21,9 @@ resume.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.policies.base import SchedulerPolicy
 from repro.errors import RuntimeStateError, SchedulingError
@@ -114,7 +115,7 @@ class SimulatedRuntime:
         self._wake_rng = worker_rngs[n + 1]
 
         self.wsqs: List[WorkStealingQueue] = [WorkStealingQueue(c) for c in range(n)]
-        self.aqs: List[List[Assembly]] = [[] for _ in range(n)]
+        self.aqs: List[Deque[Assembly]] = [deque() for _ in range(n)]
         self._core_busy_now: List[bool] = [False] * n
         self._idle_events: Dict[int, Event] = {}
         self._ready_time: Dict[int, float] = {}
@@ -124,6 +125,9 @@ class SimulatedRuntime:
         self._root_rr = 0
         #: Observers called with each TaskRecord as tasks commit.
         self.on_task_commit: List[Callable[[TaskRecord], None]] = []
+        #: Run-specific attachments carried into every RunResult built by
+        #: :meth:`result` (the bound scheduler is always included there).
+        self.extra: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -164,7 +168,12 @@ class SimulatedRuntime:
         return self.result()
 
     def result(self) -> RunResult:
-        """Build the :class:`RunResult` for a finished (or ongoing) run."""
+        """Build the :class:`RunResult` for a finished (or ongoing) run.
+
+        ``extra`` always carries the bound scheduler handle (for PTT
+        introspection) plus any attachments placed in :attr:`extra`, so
+        repeated calls return consistently populated results.
+        """
         makespan = self.env.now - self._start_time
         done = self.graph.completed_tasks
         return RunResult(
@@ -174,6 +183,7 @@ class SimulatedRuntime:
             collector=self.collector,
             scheduler_name=self.scheduler.name,
             machine_name=self.machine.name,
+            extra={"scheduler": self.scheduler, **self.extra},
         )
 
     @property
@@ -208,11 +218,11 @@ class SimulatedRuntime:
             # A pending high-priority task in the local WSQ is dispatched
             # before joining further assemblies: its placement decision
             # (Algorithm 1) must not languish behind queued work.
-            urgent = wsq.peek_all()
-            has_urgent = bool(urgent) and urgent[-1].is_high_priority
+            tail = wsq.peek_tail()
+            has_urgent = tail is not None and tail.is_high_priority
 
             if aq and not has_urgent:
-                assembly = aq.pop(0)
+                assembly = aq.popleft()
                 self._core_busy_now[core] = True
                 if assembly.join(core):
                     self._start_assembly(assembly)
@@ -357,7 +367,7 @@ class SimulatedRuntime:
         assembly.completed.succeed()
         if self.graph.is_finished:
             self._shutdown = True
-            self._wake(range(self.machine.num_cores))
+            self._wake_all_idle()
 
     def _enqueue_ready(self, task: Task, waker_core: int) -> None:
         """Route a released task to a WSQ per the policy's wake-up rule."""
@@ -368,7 +378,14 @@ class SimulatedRuntime:
                 f"{self.scheduler.name}.on_ready returned invalid core {target}"
             )
         self.wsqs[target].push(task)
-        self._wake(range(self.machine.num_cores))
+        # Only workers that can act on the push are woken: the target core
+        # always; the other (idle) workers only when the task is actually
+        # stealable — a steal-exempt task would just bounce them through a
+        # futile victim scan and a backoff timeout.
+        if self.scheduler.allow_steal(task):
+            self._wake_all_idle()
+        else:
+            self._wake((target,))
 
     def _backlog(self, core: int) -> float:
         """Load estimate used to break ties in global placement searches."""
@@ -398,10 +415,22 @@ class SimulatedRuntime:
         timestamp; randomizing it keeps stealing fair across cores
         (otherwise low-numbered cores would win every race).
         """
-        targets = [c for c in cores if c in self._idle_events]
+        idle = self._idle_events
+        targets = [c for c in cores if c in idle]
         if not targets:
             return
         if len(targets) > 1:
             self._wake_rng.shuffle(targets)
         for core in targets:
-            self._idle_events.pop(core).succeed()
+            idle.pop(core).succeed()
+
+    def _wake_all_idle(self) -> None:
+        """Wake every idle worker (randomized order, like :meth:`_wake`)."""
+        idle = self._idle_events
+        if not idle:
+            return
+        targets = sorted(idle)
+        if len(targets) > 1:
+            self._wake_rng.shuffle(targets)
+        for core in targets:
+            idle.pop(core).succeed()

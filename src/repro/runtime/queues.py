@@ -47,6 +47,12 @@ class WorkStealingQueue:
                 return task
         return None
 
+    def peek_tail(self) -> Optional[Task]:
+        """The task the owner would pop next, without removing it."""
+        if self._items:
+            return self._items[-1]
+        return None
+
     def peek_all(self) -> tuple:
         """Snapshot of the queue contents (tests and metrics)."""
         return tuple(self._items)

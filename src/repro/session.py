@@ -46,9 +46,7 @@ def run_graph(
         env, machine, graph, scheduler,
         config=config, speed=speed, seed=seed,
     )
-    result = runtime.run()
-    result.extra["scheduler"] = scheduler
-    return result
+    return runtime.run()
 
 
 _KERNELS = {

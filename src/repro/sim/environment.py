@@ -67,7 +67,7 @@ class Process(Event):
     @property
     def is_alive(self) -> bool:
         """True while the generator has not terminated."""
-        return self._value is _ALIVE_SENTINEL or not self.triggered
+        return not self.triggered
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -133,9 +133,6 @@ class Process(Event):
             self._target = next_event
 
 
-_ALIVE_SENTINEL = object()
-
-
 class Environment:
     """The simulation clock and event loop."""
 
@@ -191,11 +188,15 @@ class Environment:
         limit = float("inf") if until is None else float(until)
         if limit < self._now:
             raise ValueError(f"until={limit} is in the past (now={self._now})")
-        while len(self._queue):
-            next_time = self._queue.peek_time()
+        queue = self._queue
+        while True:
+            try:
+                next_time = queue.peek_time()
+            except IndexError:
+                break
             if next_time > limit:
                 break
-            item = self._queue.pop()
+            item = queue.pop()
             event = item.event
             self._now = item.time
             callbacks, event.callbacks = event.callbacks, None

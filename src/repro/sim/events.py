@@ -119,26 +119,52 @@ class ScheduledItem(NamedTuple):
 
 
 class EventQueue:
-    """Deterministic time-ordered event heap."""
+    """Deterministic time-ordered event heap with lazy cancellation.
 
-    __slots__ = ("_heap", "_seq")
+    :meth:`cancel` marks a scheduled event defunct without paying an
+    O(n) heap removal; defunct entries are dropped when they reach the
+    top, and ``len`` never counts them.  The speed model uses this to
+    retract superseded completion checks instead of letting stale
+    markers pile up on the heap.
+    """
+
+    __slots__ = ("_heap", "_seq", "_defunct")
 
     def __init__(self) -> None:
         self._heap: List[ScheduledItem] = []
         self._seq = 0
+        self._defunct: set = set()
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - len(self._defunct)
 
     def push(self, time: float, priority: int, event: Event) -> None:
         """Schedule ``event`` for processing at ``time``."""
         heapq.heappush(self._heap, ScheduledItem(time, priority, self._seq, event))
         self._seq += 1
 
+    def cancel(self, event: Event) -> None:
+        """Lazily drop a scheduled (untriggered) event from the queue.
+
+        The caller must have pushed ``event`` exactly once and must not
+        push it again; a cancelled event is silently discarded instead of
+        being processed.
+        """
+        self._defunct.add(id(event))
+
+    def _drop_defunct_head(self) -> None:
+        while self._heap and id(self._heap[0].event) in self._defunct:
+            self._defunct.discard(id(self._heap[0].event))
+            heapq.heappop(self._heap)
+
     def peek_time(self) -> float:
-        """Time of the next item; raises ``IndexError`` when empty."""
+        """Time of the next live item; raises ``IndexError`` when empty."""
+        if self._defunct:
+            self._drop_defunct_head()
         return self._heap[0].time
 
     def pop(self) -> ScheduledItem:
-        """Pop the next item in (time, priority, seq) order."""
+        """Pop the next live item in (time, priority, seq) order."""
+        if self._defunct:
+            self._drop_defunct_head()
         return heapq.heappop(self._heap)

@@ -1,0 +1,43 @@
+"""Parallel sweep engine: declarative run specs, process fan-out, caching.
+
+The experiment harnesses describe every simulation as a :class:`RunSpec`
+and hand the list to a :class:`SweepRunner`, which deduplicates, consults
+the on-disk result cache, and fans cache misses out over worker processes.
+
+Typical use::
+
+    from repro.sweep import RunSpec, SweepRunner
+
+    specs = [
+        RunSpec(params={
+            "workload": {"name": "layered", "kernel": "matmul",
+                         "parallelism": p, "total": 640},
+            "machine": "jetson_tx2",
+            "scheduler": sched,
+            "scenario": {"name": "tx2_corunner", "kernel": "matmul"},
+        }, metrics=("throughput",))
+        for p in (2, 3, 4) for sched in ("rws", "dam-c")
+    ]
+    rows = SweepRunner(jobs=4).run(specs)
+"""
+
+from repro.sweep.engine import (
+    SweepRunner,
+    SweepStats,
+    default_cache_dir,
+    pop_stats,
+)
+from repro.sweep.registry import execute_spec
+from repro.sweep.spec import RunSpec, data_to_place, derive_seed, place_to_data
+
+__all__ = [
+    "RunSpec",
+    "SweepRunner",
+    "SweepStats",
+    "data_to_place",
+    "default_cache_dir",
+    "derive_seed",
+    "execute_spec",
+    "place_to_data",
+    "pop_stats",
+]

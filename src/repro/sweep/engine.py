@@ -1,0 +1,199 @@
+"""The parallel sweep engine with a content-addressed result cache.
+
+:class:`SweepRunner` executes a list of :class:`RunSpec`\\ s and returns
+their metric dicts in input order.  Identical specs are executed once;
+results are looked up in (and written back to) an on-disk JSON cache keyed
+by the spec's content hash — which includes the package version, so a
+version bump invalidates everything.  Misses fan out over a
+``multiprocessing`` pool; because every run is a pure function of its
+spec (each worker builds its own environment and RNGs from the spec's
+seed), parallel results are bit-identical to serial ones regardless of
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sweep.registry import execute_spec
+from repro.sweep.spec import RunSpec
+
+#: Default cache location; overridable per-runner or via the environment.
+DEFAULT_CACHE_DIR = "~/.cache/repro-sweeps"
+
+_CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The result-cache directory honouring ``$REPRO_SWEEP_CACHE``."""
+    return Path(os.environ.get(_CACHE_ENV_VAR, DEFAULT_CACHE_DIR)).expanduser()
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one :meth:`SweepRunner.run` call."""
+
+    label: str
+    specs: int = 0
+    unique: int = 0
+    hits: int = 0
+    executed: int = 0
+    jobs: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.unique if self.unique else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.specs} runs ({self.unique} unique): "
+            f"{self.hits} cached, {self.executed} executed on "
+            f"{self.jobs} worker{'s' if self.jobs != 1 else ''} "
+            f"in {self.elapsed:.1f}s (hit rate {self.hit_rate:.0%})"
+        )
+
+
+#: Stats of completed sweeps, drained by the CLI for per-figure summaries.
+_STATS_LOG: List[SweepStats] = []
+
+
+def pop_stats() -> List[SweepStats]:
+    """Return and clear the stats accumulated since the last call."""
+    drained = list(_STATS_LOG)
+    _STATS_LOG.clear()
+    return drained
+
+
+def _pool_execute(payload: Tuple[str, RunSpec]) -> Tuple[str, Dict[str, Any]]:
+    """Top-level worker entry point (must be picklable)."""
+    key, spec = payload
+    return key, execute_spec(spec)
+
+
+class SweepRunner:
+    """Fans :class:`RunSpec` lists out over processes, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means ``os.cpu_count()``.  ``1`` runs
+        in-process (no pool).
+    cache_dir:
+        Result-cache directory; default ``~/.cache/repro-sweeps`` (or
+        ``$REPRO_SWEEP_CACHE``).
+    use_cache:
+        When False, neither reads nor writes the cache.
+    label:
+        Name used in progress lines and stats (e.g. the figure name).
+    progress:
+        Emit ``[sweep:<label>] ...`` progress lines on stderr.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        use_cache: bool = True,
+        label: str = "sweep",
+        progress: bool = True,
+    ) -> None:
+        self.jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.use_cache = use_cache
+        self.label = label
+        self.progress = progress
+        self.last_stats: Optional[SweepStats] = None
+
+    # -- cache ----------------------------------------------------------
+    def _cache_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def _cache_load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._cache_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("key") != key:
+            return None
+        return entry.get("metrics")
+
+    def _cache_store(self, spec: RunSpec, key: str, metrics: Dict[str, Any]) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        entry = {"key": key, "identity": spec.identity(), "metrics": metrics}
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    # -- execution ------------------------------------------------------
+    def _log(self, message: str) -> None:
+        if self.progress:
+            print(f"[sweep:{self.label}] {message}", file=sys.stderr, flush=True)
+
+    def run(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
+        """Execute ``specs``; returns one metrics dict per spec, in order."""
+        start = time.perf_counter()
+        keys = [spec.key() for spec in specs]
+        unique: Dict[str, RunSpec] = {}
+        for key, spec in zip(keys, specs):
+            unique.setdefault(key, spec)
+
+        results: Dict[str, Dict[str, Any]] = {}
+        if self.use_cache:
+            for key in unique:
+                cached = self._cache_load(key)
+                if cached is not None:
+                    results[key] = cached
+        hits = len(results)
+        pending = [(key, spec) for key, spec in unique.items() if key not in results]
+
+        workers = min(self.jobs, len(pending)) if pending else 0
+        self._log(
+            f"{len(specs)} runs ({len(unique)} unique): {hits} cached, "
+            f"{len(pending)} to execute"
+            + (f" on {workers} workers" if workers > 1 else "")
+        )
+        if workers > 1:
+            with multiprocessing.Pool(processes=workers) as pool:
+                done = 0
+                for key, metrics in pool.imap_unordered(_pool_execute, pending):
+                    results[key] = metrics
+                    if self.use_cache:
+                        self._cache_store(unique[key], key, metrics)
+                    done += 1
+                    if done % 25 == 0:
+                        self._log(f"{done}/{len(pending)} executed")
+        else:
+            for key, spec in pending:
+                results[key] = execute_spec(spec)
+                if self.use_cache:
+                    self._cache_store(spec, key, results[key])
+
+        elapsed = time.perf_counter() - start
+        stats = SweepStats(
+            label=self.label,
+            specs=len(specs),
+            unique=len(unique),
+            hits=hits,
+            executed=len(pending),
+            jobs=max(workers, 1),
+            elapsed=elapsed,
+        )
+        self.last_stats = stats
+        _STATS_LOG.append(stats)
+        self._log(stats.summary())
+        return [results[key] for key in keys]

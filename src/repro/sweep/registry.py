@@ -1,0 +1,294 @@
+"""Registries turning declarative :class:`RunSpec` data back into objects.
+
+Every piece of a run that a spec references by name lives in one of the
+tables below: DAG factories (``WORKLOADS``), machine presets
+(``MACHINES``), interference scenarios (``SCENARIOS``), metric extractors
+(``METRICS``) and whole-run executors (``EXECUTORS``).  :func:`execute_spec`
+is the single entry point the sweep engine (and its worker processes)
+call: it dispatches on ``spec.kind`` and returns a JSON-serializable
+metrics dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.sweep.spec import RunSpec, place_to_data
+
+# ----------------------------------------------------------------------
+# kernels & workloads
+# ----------------------------------------------------------------------
+
+#: Per-kernel default tile sizes, matching the paper_*_dag defaults.
+_KERNEL_TILES = {"matmul": 64, "copy": 1024, "stencil": 1024}
+
+
+def make_kernel(name: str, tile: Optional[int] = None):
+    """Instantiate a synthetic kernel by name, with its paper-default tile."""
+    from repro.kernels.copy import CopyKernel
+    from repro.kernels.matmul import MatMulKernel
+    from repro.kernels.stencil import StencilKernel
+
+    classes = {"matmul": MatMulKernel, "copy": CopyKernel, "stencil": StencilKernel}
+    if name not in classes:
+        raise ConfigurationError(f"unknown kernel {name!r}")
+    return classes[name](tile=tile if tile is not None else _KERNEL_TILES[name])
+
+
+def _layered_workload(kernel: str, parallelism: int, total: int,
+                      tile: Optional[int] = None):
+    from repro.graph.generators import layered_synthetic_dag
+
+    return layered_synthetic_dag(make_kernel(kernel, tile), parallelism, total)
+
+
+WORKLOADS: Dict[str, Callable] = {
+    "layered": _layered_workload,
+}
+
+
+def build_workload(data: Mapping[str, Any]):
+    """Instantiate the task graph described by a workload mapping."""
+    kwargs = dict(data)
+    name = kwargs.pop("name", None)
+    if name not in WORKLOADS:
+        raise ConfigurationError(f"unknown workload {name!r}")
+    return WORKLOADS[name](**kwargs)
+
+
+# ----------------------------------------------------------------------
+# machines
+# ----------------------------------------------------------------------
+
+def _machines():
+    from repro.machine import presets
+
+    return {
+        "jetson_tx2": presets.jetson_tx2,
+        "haswell16": presets.haswell16,
+        "haswell_node": presets.haswell_node,
+    }
+
+
+def build_machine(name: str):
+    """Instantiate a machine preset by registry name."""
+    machines = _machines()
+    if name not in machines:
+        raise ConfigurationError(f"unknown machine preset {name!r}")
+    return machines[name]()
+
+
+# ----------------------------------------------------------------------
+# interference scenarios
+# ----------------------------------------------------------------------
+
+def _tx2_corunner(kernel: str):
+    from repro.experiments.common import tx2_corunner
+
+    return tx2_corunner(kernel)
+
+
+def _corunner(**kwargs):
+    from repro.interference.corunner import CorunnerInterference
+
+    return CorunnerInterference(**kwargs)
+
+
+def _dvfs(cores=None, high_scale: float = 1.0, low_scale: float = 345.0 / 2035.0,
+          half_period: float = 5.0, until: Optional[float] = None):
+    from repro.interference.dvfs_events import DvfsInterference
+    from repro.machine.dvfs import PeriodicSquareWave
+
+    wave = PeriodicSquareWave(
+        high_scale=high_scale, low_scale=low_scale, half_period=half_period
+    )
+    return DvfsInterference(cores=cores, wave=wave, until=until)
+
+
+def _live_corunner(core: int, kernel: str):
+    from repro.interference.live import LiveCorunner
+
+    return LiveCorunner(core=core, kernel=make_kernel(kernel))
+
+
+SCENARIOS: Dict[str, Callable] = {
+    "tx2_corunner": _tx2_corunner,
+    "corunner": _corunner,
+    "dvfs": _dvfs,
+    "live_corunner": _live_corunner,
+}
+
+
+def build_scenario(data: Optional[Mapping[str, Any]]):
+    """Instantiate the interference scenario, or None for no interference."""
+    if data is None:
+        return None
+    kwargs = dict(data)
+    name = kwargs.pop("name", None)
+    if name not in SCENARIOS:
+        raise ConfigurationError(f"unknown scenario {name!r}")
+    return SCENARIOS[name](**kwargs)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+
+def _m_priority_place_distribution(result) -> list:
+    from repro.metrics.analysis import place_distribution
+
+    dist = place_distribution(result.collector.records, high_priority_only=True)
+    return [[place_to_data(p), frac] for p, frac in sorted(dist.items())]
+
+
+def _m_core_busy(result) -> Dict[str, float]:
+    return {str(core): busy for core, busy in result.collector.core_busy.items()}
+
+
+METRICS: Dict[str, Callable] = {
+    "makespan": lambda result: result.makespan,
+    "tasks_completed": lambda result: result.tasks_completed,
+    "throughput": lambda result: result.throughput,
+    "priority_place_distribution": _m_priority_place_distribution,
+    "core_busy": _m_core_busy,
+}
+
+
+def extract_metrics(result, names) -> Dict[str, Any]:
+    """Evaluate the named metric extractors against a RunResult."""
+    out: Dict[str, Any] = {}
+    for name in names:
+        if name not in METRICS:
+            raise ConfigurationError(f"unknown metric {name!r}")
+        out[name] = METRICS[name](result)
+    return out
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+
+EXECUTORS: Dict[str, Callable[[RunSpec], Dict[str, Any]]] = {}
+
+
+def executor(name: str):
+    """Class-of-run registration decorator for :data:`EXECUTORS`."""
+    def register(fn):
+        EXECUTORS[name] = fn
+        return fn
+
+    return register
+
+
+@executor("single")
+def _execute_single(spec: RunSpec) -> Dict[str, Any]:
+    """The generic run: graph x machine x scheduler x scenario x config."""
+    from repro.core.policies.registry import make_scheduler
+    from repro.machine.speed import SpeedModel
+    from repro.runtime.config import RuntimeConfig
+    from repro.runtime.executor import SimulatedRuntime
+    from repro.sim.environment import Environment
+
+    p = spec.params
+    graph = build_workload(p["workload"])
+    machine = build_machine(p["machine"])
+    policy = make_scheduler(p["scheduler"], **(p.get("scheduler_kwargs") or {}))
+    scenario = build_scenario(p.get("scenario"))
+    config = RuntimeConfig(**(p.get("config") or {}))
+
+    env = Environment()
+    speed = SpeedModel(env, machine)
+    if scenario is not None:
+        scenario.install(env, speed, machine)
+    runtime = SimulatedRuntime(
+        env, machine, graph, policy, config=config, speed=speed, seed=spec.seed
+    )
+    result = runtime.run()
+    return extract_metrics(result, spec.metrics)
+
+
+@executor("kmeans_window")
+def _execute_kmeans_window(spec: RunSpec) -> Dict[str, Any]:
+    """Fig. 9's dynamic K-means with a windowed co-runner on socket 0."""
+    from repro.apps.kmeans import KMeansConfig, build_kmeans_graph
+    from repro.core.policies.registry import make_scheduler
+    from repro.interference.corunner import CorunnerInterference
+    from repro.machine.speed import SpeedModel
+    from repro.metrics.analysis import iteration_series, place_distribution_counts
+    from repro.runtime.executor import SimulatedRuntime
+    from repro.sim.environment import Environment
+
+    p = spec.params
+    lo, hi = p["window"]
+    machine = build_machine(p.get("machine", "haswell16"))
+    socket0 = list(machine.cluster("socket0").core_ids)
+    corunner = CorunnerInterference(
+        cores=socket0, cpu_share=0.5, memory_demand=1.5, start=None
+    )
+    hooks = {lo: lambda _i: corunner.activate(), hi: lambda _i: corunner.deactivate()}
+    graph = build_kmeans_graph(
+        KMeansConfig(iterations=p["iterations"]), iteration_hooks=hooks
+    )
+
+    env = Environment()
+    speed = SpeedModel(env, machine)
+    corunner.install(env, speed, machine)
+    runtime = SimulatedRuntime(
+        env, machine, graph, make_scheduler(p["scheduler"]),
+        speed=speed, seed=spec.seed,
+    )
+    result = runtime.run()
+    records = result.collector.records
+    in_window = [
+        r for r in records if lo <= r.metadata.get("iteration", -1) < hi
+    ]
+    counts = place_distribution_counts(in_window, high_priority_only=False)
+    return {
+        "iteration_series": [[it, t] for it, t in iteration_series(records)],
+        "window_place_counts": [
+            [place_to_data(place), n] for place, n in sorted(counts.items())
+        ],
+        "throughput": result.throughput,
+        "makespan": result.makespan,
+    }
+
+
+@executor("heat_cluster")
+def _execute_heat_cluster(spec: RunSpec) -> Dict[str, Any]:
+    """Fig. 10's distributed 2D heat over a multi-node Haswell cluster."""
+    from repro.apps.heat import HeatConfig, build_heat_graph_builder
+    from repro.distributed.cluster_runtime import DistributedRuntime
+    from repro.interference.corunner import CorunnerInterference
+
+    p = spec.params
+    nodes = p["nodes"]
+    config = HeatConfig(nodes=nodes, iterations=p["iterations"])
+    scenarios = {}
+    corunner = p.get("corunner")
+    if corunner is not None:
+        scenarios[corunner.get("node", 0)] = CorunnerInterference(
+            cores=corunner["cores"],
+            cpu_share=corunner.get("cpu_share", 0.5),
+            memory_demand=corunner.get("memory_demand", 0.0),
+        )
+    runtime = DistributedRuntime(
+        [build_machine(p.get("machine", "haswell_node")) for _ in range(nodes)],
+        p["scheduler"],
+        build_heat_graph_builder(config),
+        scenarios=scenarios,
+        seed=spec.seed,
+    )
+    result = runtime.run()
+    return {
+        "throughput": result.throughput,
+        "makespan": result.makespan,
+        "tasks_completed": result.tasks_completed,
+    }
+
+
+def execute_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Run one spec to completion and return its metrics dict."""
+    if spec.kind not in EXECUTORS:
+        raise ConfigurationError(f"unknown spec kind {spec.kind!r}")
+    return EXECUTORS[spec.kind](spec)

@@ -65,6 +65,30 @@ class TestEventQueue:
         assert q.pop().event is events[0]
         assert q.pop().event is events[2]
 
+    def test_cancel_drops_event_lazily(self):
+        q = EventQueue()
+        env = Environment()
+        keep, cancelled = Event(env), Event(env)
+        q.push(1.0, 1, cancelled)
+        q.push(2.0, 1, keep)
+        q.cancel(cancelled)
+        assert len(q) == 1
+        assert q.peek_time() == 2.0
+        assert q.pop().event is keep
+        assert len(q) == 0
+
+    def test_cancel_all_leaves_queue_empty(self):
+        q = EventQueue()
+        env = Environment()
+        events = [Event(env) for _ in range(3)]
+        for i, event in enumerate(events):
+            q.push(float(i), 1, event)
+        for event in events:
+            q.cancel(event)
+        assert len(q) == 0
+        with pytest.raises(IndexError):
+            q.peek_time()
+
 
 class TestTimeoutAndRun:
     def test_timeout_advances_clock(self):
@@ -147,6 +171,22 @@ class TestProcess:
         env.process(proc())
         env.run()
         assert stamps == [2.0, 4.0, 6.0]
+
+    def test_is_alive_tracks_completion(self):
+        """``is_alive`` is exactly "not yet triggered" — true while the
+        generator still runs, false from the moment it returns."""
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run(until=1.5)
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
 
     def test_yield_non_event_raises(self):
         env = Environment()
