@@ -78,6 +78,40 @@ def test_runtime_task_throughput(benchmark):
     assert result.tasks_completed == 1000
 
 
+def test_runtime_task_throughput_tracer_off(benchmark):
+    """The zero-overhead-when-off contract of repro.trace.
+
+    Same DAG as ``test_runtime_task_throughput`` with an explicit (still
+    disabled) NullTracer.  ``compare_baseline.py`` gates this case
+    *relatively* — its min must stay within 2% of the plain case measured
+    in the same session — so the instrumentation's ``tracer.enabled``
+    guards can never grow into a real cost without CI noticing.
+    """
+    from repro.trace import NullTracer
+
+    def run_dag():
+        graph = layered_synthetic_dag(MatMulKernel(), 4, 1000)
+        return run_graph(graph, jetson_tx2(), "dam-c", tracer=NullTracer())
+
+    result = benchmark.pedantic(run_dag, rounds=5, iterations=1)
+    assert result.tasks_completed == 1000
+
+
+def test_runtime_task_throughput_traced(benchmark):
+    """Cost of full tracing (reported, ungated: tracing is opt-in)."""
+    from repro.trace import FullTracer
+
+    def run_dag():
+        graph = layered_synthetic_dag(MatMulKernel(), 4, 1000)
+        tracer = FullTracer()
+        result = run_graph(graph, jetson_tx2(), "dam-c", tracer=tracer)
+        assert len(tracer.events()) > 1000
+        return result
+
+    result = benchmark.pedantic(run_dag, rounds=3, iterations=1)
+    assert result.tasks_completed == 1000
+
+
 def test_speed_model_retime(benchmark):
     """Cost of a rate change with many in-flight work items."""
     env = Environment()

@@ -11,6 +11,13 @@ statistic) against ``benchmarks/baseline_micro.json``.  Exits non-zero
 when any *gated* benchmark regressed beyond the baseline's
 ``max_regression`` ratio; other benchmarks are reported but only warn,
 since absolute timings vary across CI hosts.
+
+The baseline's ``relative_gates`` entries (``[candidate, reference,
+max_ratio]``) compare two benchmarks *within the same fresh run* — both
+measured on the same host seconds apart, so a tight ratio holds where an
+absolute cross-host gate would flake.  The tracer-off overhead gate
+(``test_runtime_task_throughput_tracer_off`` within 2% of
+``test_runtime_task_throughput``) is enforced this way.
 """
 
 from __future__ import annotations
@@ -52,9 +59,25 @@ def compare(fresh_path: str, baseline_path: str = str(DEFAULT_BASELINE)) -> int:
             f"{' [gated]' if name in gated else ''})"
         )
 
+    for candidate, reference, max_ratio in baseline.get("relative_gates", []):
+        missing = [n for n in (candidate, reference) if n not in fresh]
+        if missing:
+            print(f"MISSING  relative gate: {', '.join(missing)} not in "
+                  "fresh results")
+            failures.append(candidate)
+            continue
+        ratio = fresh[candidate]["min"] / fresh[reference]["min"]
+        status = "ok" if ratio <= max_ratio else "REGRESSED"
+        if ratio > max_ratio:
+            failures.append(candidate)
+        print(
+            f"{status:16s} {candidate} vs {reference}: "
+            f"{fresh[candidate]['min']:.6g}s / {fresh[reference]['min']:.6g}s "
+            f"({ratio:.3f}x, gate {max_ratio}x [relative])"
+        )
+
     if failures:
-        print(f"\nFAIL: gated benchmark(s) regressed >"
-              f"{(threshold - 1):.0%}: {', '.join(failures)}")
+        print(f"\nFAIL: gated benchmark(s) regressed: {', '.join(failures)}")
         return 1
     print("\nOK: no gated benchmark regression")
     return 0

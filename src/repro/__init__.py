@@ -46,6 +46,7 @@ from repro.machine import (
 from repro.runtime import RunResult, RuntimeConfig, SimulatedRuntime
 from repro.sim import Environment
 from repro.session import run_graph, quick_run
+from repro.trace import FullTracer, NullTracer, RingBufferTracer, Tracer
 
 __all__ = [
     "__version__",
@@ -86,4 +87,9 @@ __all__ = [
     # sessions
     "run_graph",
     "quick_run",
+    # tracing
+    "Tracer",
+    "NullTracer",
+    "FullTracer",
+    "RingBufferTracer",
 ]

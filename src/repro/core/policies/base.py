@@ -26,6 +26,7 @@ from repro.core.ptt import PerformanceTraceTable, PttStore
 from repro.errors import SchedulingError
 from repro.graph.task import Task
 from repro.machine.topology import ExecutionPlace, Machine
+from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.util.rng import SeedLike, make_rng
 
 
@@ -49,6 +50,7 @@ class SchedulerPolicy(abc.ABC):
         self.rng: Optional[np.random.Generator] = None
         self._clock = None
         self.backlog = None
+        self.tracer: Tracer = NULL_TRACER
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -57,22 +59,27 @@ class SchedulerPolicy(abc.ABC):
         return True
 
     def bind(
-        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None
+        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """Attach the policy to a machine before a run.
 
         ``clock`` is a zero-argument callable returning simulated time
         (needed by finish-time estimators like dHEFT).  ``backlog`` is an
         optional per-core load estimate used to break near-ties in global
-        searches.
+        searches.  ``tracer`` (default: the shared null tracer) is carried
+        into the policy's PTT store so cell updates become trace events;
+        it never influences decisions.
         """
         self.machine = machine
         self.rng = make_rng(rng)
         self._clock = clock or (lambda: 0.0)
         self.backlog = backlog
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.uses_ptt:
             self.ptt = PttStore(
-                machine, self.ptt_new_weight, self.ptt_total_weight
+                machine, self.ptt_new_weight, self.ptt_total_weight,
+                tracer=self.tracer,
             )
         else:
             self.ptt = None

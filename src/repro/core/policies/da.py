@@ -48,9 +48,10 @@ class DaScheduler(SchedulerPolicy):
         self._single_places = ()
 
     def bind(
-        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None
+        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None,
+        tracer=None,
     ) -> None:
-        super().bind(machine, rng, clock, backlog)
+        super().bind(machine, rng, clock, backlog, tracer)
         self._single_places = tuple(width_one_places(machine))
 
     def _best_single_core(self, task: Task) -> ExecutionPlace:
@@ -87,8 +88,8 @@ class DamCScheduler(SchedulerPolicy):
         self.scalable_search = bool(scalable_search)
         self._indexes: dict = {}
 
-    def bind(self, machine, rng=0, clock=None, backlog=None) -> None:
-        super().bind(machine, rng, clock, backlog)
+    def bind(self, machine, rng=0, clock=None, backlog=None, tracer=None) -> None:
+        super().bind(machine, rng, clock, backlog, tracer)
         self._indexes = {}
 
     def _index(self, task: Task):

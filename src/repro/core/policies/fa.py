@@ -35,9 +35,10 @@ class FaScheduler(SchedulerPolicy):
         return False
 
     def bind(
-        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None
+        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None,
+        tracer=None,
     ) -> None:
-        super().bind(machine, rng, clock, backlog)
+        super().bind(machine, rng, clock, backlog, tracer)
         top = machine.max_base_speed()
         self._fast_cores = tuple(
             c.core_id for c in machine.cores if c.base_speed == top

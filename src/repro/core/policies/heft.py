@@ -38,9 +38,10 @@ class DheftScheduler(SchedulerPolicy):
         return False
 
     def bind(
-        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None
+        self, machine: Machine, rng: SeedLike = 0, clock=None, backlog=None,
+        tracer=None,
     ) -> None:
-        super().bind(machine, rng, clock, backlog)
+        super().bind(machine, rng, clock, backlog, tracer)
         self._profile = {}
         self._available = [0.0] * machine.num_cores
 

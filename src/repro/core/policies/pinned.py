@@ -32,8 +32,8 @@ class PinnedScheduler(SchedulerPolicy):
         return False
 
     def bind(self, machine: Machine, rng: SeedLike = 0, clock=None,
-             backlog=None) -> None:
-        super().bind(machine, rng, clock, backlog)
+             backlog=None, tracer=None) -> None:
+        super().bind(machine, rng, clock, backlog, tracer)
         machine._check_core(self.core)
 
     def on_ready(self, task: Task, waker_core: int) -> int:

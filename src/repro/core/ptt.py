@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.machine.topology import ExecutionPlace, Machine
+from repro.trace.events import PttUpdateEvent
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class PerformanceTraceTable:
@@ -32,6 +34,10 @@ class PerformanceTraceTable:
         The folding ratio: ``updated = ((total-new)*old + new*sample) /
         total``.  The paper's default is 1:4, i.e. ``new_weight=1,
         total_weight=5`` (written "1/5" in Fig. 8).
+    tracer / label:
+        An enabled tracer makes every :meth:`update` emit a
+        :class:`~repro.trace.events.PttUpdateEvent` tagged with ``label``
+        (the owning task type) — the raw data of PTT-convergence curves.
     """
 
     def __init__(
@@ -39,6 +45,8 @@ class PerformanceTraceTable:
         machine: Machine,
         new_weight: int = 1,
         total_weight: int = 5,
+        tracer: Tracer = NULL_TRACER,
+        label: str = "",
     ) -> None:
         if not (0 < new_weight <= total_weight):
             raise ConfigurationError(
@@ -48,6 +56,8 @@ class PerformanceTraceTable:
         self.machine = machine
         self.new_weight = int(new_weight)
         self.total_weight = int(total_weight)
+        self.tracer = tracer
+        self.label = label
         self._index: Dict[ExecutionPlace, int] = {
             place: i for i, place in enumerate(machine.places)
         }
@@ -81,15 +91,28 @@ class PerformanceTraceTable:
         if observed < 0:
             raise ConfigurationError(f"observed time must be >= 0, got {observed}")
         slot = self._slot(place)
+        old = float(self._values[slot])
         if self._samples[slot] == 0:
             value = float(observed)
         else:
-            old = self._values[slot]
             w_new = self.new_weight
             w_old = self.total_weight - w_new
             value = (w_old * old + w_new * observed) / self.total_weight
         self._values[slot] = value
         self._samples[slot] += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                PttUpdateEvent(
+                    t=self.tracer.now(),
+                    type_name=self.label,
+                    leader=place.leader,
+                    width=place.width,
+                    observed=float(observed),
+                    old=old,
+                    new=value,
+                    samples=int(self._samples[slot]),
+                )
+            )
         return value
 
     def entries(self) -> Iterator[Tuple[ExecutionPlace, float]]:
@@ -116,10 +139,12 @@ class PttStore:
         machine: Machine,
         new_weight: int = 1,
         total_weight: int = 5,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.machine = machine
         self.new_weight = int(new_weight)
         self.total_weight = int(total_weight)
+        self.tracer = tracer
         self._tables: Dict[str, PerformanceTraceTable] = {}
 
     def table(self, type_name: str) -> PerformanceTraceTable:
@@ -127,7 +152,8 @@ class PttStore:
         table = self._tables.get(type_name)
         if table is None:
             table = PerformanceTraceTable(
-                self.machine, self.new_weight, self.total_weight
+                self.machine, self.new_weight, self.total_weight,
+                tracer=self.tracer, label=type_name,
             )
             self._tables[type_name] = table
         return table

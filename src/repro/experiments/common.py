@@ -47,6 +47,11 @@ class ExperimentSettings:
     process count, result-cache directory, and whether cached results are
     reused at all.  The defaults — serial and uncached — keep direct
     harness calls (tests, notebooks) hermetic; the CLI turns both on.
+
+    ``trace_out`` turns on structured tracing (see :mod:`repro.trace`):
+    every run of every sweep exports Chrome-trace JSON + JSONL into
+    ``<trace_out>/<label>/`` alongside a ``manifest.json``.  Traced runs
+    bypass the result cache.
     """
 
     scale: float = 0.05
@@ -54,6 +59,7 @@ class ExperimentSettings:
     jobs: int = 1
     cache_dir: Optional[str] = None
     use_cache: bool = False
+    trace_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not (0 < self.scale <= 1.0):
@@ -114,6 +120,13 @@ def run_one(
     return runtime.run()
 
 
+def _spec_trace_label(spec, index: int) -> str:
+    """Unique, human-readable file stem for one traced spec."""
+    parts = [str(spec.tags[k]) for k in sorted(spec.tags)]
+    suffix = "-".join(parts) if parts else spec.kind
+    return f"{index:03d}-{suffix}"
+
+
 def sweep(specs, settings: ExperimentSettings, label: str):
     """Execute a harness's :class:`~repro.sweep.spec.RunSpec` list.
 
@@ -121,15 +134,41 @@ def sweep(specs, settings: ExperimentSettings, label: str):
     controls parallelism and caching everywhere.  Returns one metrics
     dict per spec, in order.  Progress lines are suppressed for plain
     serial, uncached runs (the test/notebook default).
+
+    When ``settings.trace_out`` is set, every spec gains a ``trace``
+    params entry routing its event stream to
+    ``<trace_out>/<label>/<index>-<tags>.{chrome.json,jsonl}`` and the
+    sweep writes a run manifest next to the exports.
     """
+    import os.path
+    from dataclasses import replace
+
     from repro.sweep import SweepRunner
 
+    manifest_dir = None
+    if settings.trace_out:
+        out_dir = os.path.join(settings.trace_out, label)
+        manifest_dir = out_dir
+        specs = [
+            replace(
+                spec,
+                params={
+                    **dict(spec.params),
+                    "trace": {
+                        "out_dir": out_dir,
+                        "label": _spec_trace_label(spec, i),
+                    },
+                },
+            )
+            for i, spec in enumerate(specs)
+        ]
     runner = SweepRunner(
         jobs=settings.jobs,
         cache_dir=settings.cache_dir,
         use_cache=settings.use_cache,
         label=label,
         progress=settings.jobs > 1 or settings.use_cache,
+        manifest_dir=manifest_dir,
     )
     return runner.run(specs)
 

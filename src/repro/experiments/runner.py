@@ -6,6 +6,14 @@ Examples::
     python -m repro.experiments fig4 --scale 0.05 --seed 1
     python -m repro.experiments all --scale 0.02 --jobs 8
     python -m repro.experiments all --scale 0.02 --no-cache
+    python -m repro.experiments trace fig4 --trace-out traces/
+    python -m repro.experiments fig7 --trace
+
+``trace <fig>`` re-runs one harness with structured tracing on: every
+simulation exports a Chrome-trace JSON (open in Perfetto or
+``chrome://tracing``) and a JSONL event stream, plus a per-sweep
+``manifest.json``.  ``--trace`` does the same for a normal subcommand.
+Traced runs bypass the result cache.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -51,8 +59,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_HARNESSES) + ["all"],
-        help="which artifact to regenerate",
+        choices=sorted(_HARNESSES) + ["all", "trace"],
+        help="which artifact to regenerate ('trace <fig>' re-runs one "
+        "harness with structured tracing on)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="the harness to trace (only with the 'trace' subcommand)",
     )
     parser.add_argument(
         "--scale",
@@ -79,7 +94,39 @@ def main(argv=None) -> int:
         action="store_true",
         help="neither read nor write the on-disk result cache",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record structured traces for every run (implies --trace-out "
+        "traces/ unless given; traced runs bypass the result cache)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="trace export directory (Chrome JSON + JSONL + manifest per "
+        "sweep; implies --trace)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        if args.target not in _HARNESSES:
+            parser.error(
+                "trace needs a harness to re-run, e.g. 'trace fig4' "
+                f"(choose from {', '.join(sorted(_HARNESSES))})"
+            )
+        args.trace = True
+        names = [args.target]
+    elif args.target is not None:
+        parser.error("a target is only valid with the 'trace' subcommand")
+    elif args.experiment == "all":
+        # "verify" re-runs every harness; keep it a separate command.
+        names = sorted(n for n in _HARNESSES if n != "verify")
+    else:
+        names = [args.experiment]
+    trace_out = args.trace_out if args.trace_out else (
+        "traces" if args.trace else None
+    )
 
     settings = ExperimentSettings(
         scale=args.scale,
@@ -87,12 +134,8 @@ def main(argv=None) -> int:
         jobs=args.jobs if args.jobs is not None else (os.cpu_count() or 1),
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        trace_out=trace_out,
     )
-    if args.experiment == "all":
-        # "verify" re-runs every harness; keep it a separate command.
-        names = sorted(n for n in _HARNESSES if n != "verify")
-    else:
-        names = [args.experiment]
     pop_stats()  # drop anything accumulated before this invocation
     for name in names:
         start = time.perf_counter()
@@ -107,6 +150,11 @@ def main(argv=None) -> int:
             else ""
         )
         print(f"[{name} regenerated in {elapsed:.1f}s wall{cache_note}]")
+        if trace_out:
+            print(
+                f"[traces + manifests under {trace_out}/<sweep>/ — open the "
+                ".chrome.json files in Perfetto]"
+            )
         print()
     return 0
 

@@ -28,6 +28,8 @@ from repro.errors import ConfigurationError, RuntimeStateError
 from repro.machine.topology import Machine
 from repro.sim.environment import Environment
 from repro.sim.events import Event
+from repro.trace.events import SpeedEvent
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 _EPS = 1e-9
 
@@ -96,11 +98,21 @@ class ActiveWork:
 
 
 class SpeedModel:
-    """Tracks dynamic core rates and integrates work over them."""
+    """Tracks dynamic core rates and integrates work over them.
 
-    def __init__(self, env: Environment, machine: Machine) -> None:
+    An enabled ``tracer`` turns every dynamic-asymmetry transition (DVFS
+    frequency scale, co-runner CPU share, external bandwidth demand) into
+    a :class:`~repro.trace.events.SpeedEvent`.  The attribute may also be
+    attached after construction (the runtime does this when it carries a
+    tracer and shares an existing speed model).
+    """
+
+    def __init__(
+        self, env: Environment, machine: Machine, tracer: Tracer = NULL_TRACER
+    ) -> None:
         self.env = env
         self.machine = machine
+        self.tracer = tracer
         n = machine.num_cores
         self._freq_scale: List[float] = [1.0] * n
         self._cpu_share: List[float] = [1.0] * n
@@ -154,6 +166,27 @@ class SpeedModel:
     def cpu_share(self, core_id: int) -> float:
         return self._cpu_share[core_id]
 
+    def domain_factor(self, domain: str) -> float:
+        """Current bandwidth share factor of ``domain`` (1 = no pressure)."""
+        return self._domain_factor(domain)
+
+    def estimate_time(
+        self, cores: Sequence[int], work: float, memory_intensity: float = 0.0
+    ) -> float:
+        """Idealized wall time for ``work`` on ``cores`` at *current* rates.
+
+        Assumes rates and bandwidth pressure stay frozen and ignores
+        queueing — the instantaneous oracle the tracing layer compares
+        scheduler decisions against.  Returns ``inf`` for a zero rate.
+        """
+        compute_rate = min(self.core_rate(c) for c in cores)
+        factor = self._domain_factor(self.machine.domain_of(cores[0]))
+        m = memory_intensity
+        rate = compute_rate * ((1.0 - m) + m * factor)
+        if rate <= 0:
+            return float("inf")
+        return work / rate
+
     def set_freq_scale(self, core_ids: Iterable[int], scale: float) -> None:
         """Set the DVFS frequency scale of ``core_ids`` to ``scale`` in (0, 1]."""
         if not (0 < scale <= 1.0):
@@ -171,6 +204,13 @@ class SpeedModel:
             self._advance()
         for cid in core_ids:
             self._freq_scale[cid] = scale
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SpeedEvent(
+                    t=self.env.now, kind="freq_scale",
+                    cores=tuple(core_ids), domain="", value=scale,
+                )
+            )
         if affected:
             self._retime()
 
@@ -193,6 +233,13 @@ class SpeedModel:
             self._advance()
         for cid in core_ids:
             self._cpu_share[cid] = share
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SpeedEvent(
+                    t=self.env.now, kind="cpu_share",
+                    cores=tuple(core_ids), domain="", value=share,
+                )
+            )
         if affected:
             self._retime()
 
@@ -207,6 +254,13 @@ class SpeedModel:
             self._advance()
         self._external_demand[domain] += amount
         self._demand_totals[domain] += amount
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SpeedEvent(
+                    t=self.env.now, kind="demand", cores=(),
+                    domain=domain, value=self._external_demand[domain],
+                )
+            )
         if affected:
             self._retime()
 
@@ -227,6 +281,13 @@ class SpeedModel:
             # Clamp rounding residue to zero, keeping the totals aligned.
             self._demand_totals[domain] -= self._external_demand[domain]
             self._external_demand[domain] = 0.0
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SpeedEvent(
+                    t=self.env.now, kind="demand", cores=(),
+                    domain=domain, value=self._external_demand[domain],
+                )
+            )
         if affected:
             self._retime()
 

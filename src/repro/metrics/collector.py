@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from repro.metrics.records import TaskRecord
 
@@ -12,17 +12,41 @@ class TraceCollector:
 
     def __init__(self, num_cores: int) -> None:
         self.records: List[TaskRecord] = []
-        #: Seconds each core spent inside task assemblies (kernel work
-        #: time, excluding runtime activity and idleness — paper Fig. 6).
+        #: Seconds each core spent occupied by task assemblies (paper
+        #: Fig. 6): from the instant the core joined the assembly's
+        #: rendezvous until the task committed.  For the leader (and every
+        #: on-time member) this equals the kernel work time; a member that
+        #: arrived early is additionally charged its synchronization wait,
+        #: during which the core cannot run anything else.
         self.core_busy: Dict[int, float] = {c: 0.0 for c in range(num_cores)}
         self.steals = 0
         self.failed_steal_scans = 0
 
-    def record_task(self, record: TaskRecord, member_cores) -> None:
-        """Add a task record and charge busy time to all member cores."""
+    def record_task(
+        self,
+        record: TaskRecord,
+        member_cores,
+        joined_at: Optional[Mapping[int, float]] = None,
+    ) -> None:
+        """Add a task record and charge each member its occupancy window.
+
+        ``joined_at`` maps member cores to their rendezvous arrival time;
+        each core is charged ``exec_end - joined_at[core]`` — its actual
+        occupancy — rather than a uniform ``record.duration``, which
+        undercharges members that joined before the last straggler.
+        Without ``joined_at`` (detached/synthetic records) every member is
+        charged the execution window.
+        """
         self.records.append(record)
-        for core in member_cores:
-            self.core_busy[core] += record.duration
+        if joined_at is None:
+            for core in member_cores:
+                self.core_busy[core] += record.duration
+        else:
+            end = record.exec_end
+            for core in member_cores:
+                self.core_busy[core] += end - joined_at.get(
+                    core, record.exec_start
+                )
 
     def record_steal(self) -> None:
         self.steals += 1

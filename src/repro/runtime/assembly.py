@@ -28,6 +28,7 @@ class Assembly:
 
     __slots__ = (
         "assembly_id",
+        "env",
         "task",
         "place",
         "cores",
@@ -36,7 +37,7 @@ class Assembly:
         "exec_start",
         "exec_end",
         "completed",
-        "_joined",
+        "joined_at",
     )
 
     def __init__(
@@ -48,6 +49,7 @@ class Assembly:
         profile: WorkProfile,
     ) -> None:
         self.assembly_id = next(Assembly._ids)
+        self.env = env
         self.task = task
         self.place = place
         self.cores = cores
@@ -58,7 +60,10 @@ class Assembly:
         #: Succeeds when the task has committed (bookkeeping done); all
         #: member workers wait on this.
         self.completed: Event = Event(env)
-        self._joined: set = set()
+        #: Per-core arrival time at the rendezvous; a member occupies its
+        #: core from this instant until completion (the occupancy window
+        #: the metrics layer charges).
+        self.joined_at: dict = {}
 
     @property
     def leader(self) -> int:
@@ -75,19 +80,19 @@ class Assembly:
                 f"core {core} is not a member of assembly {self.assembly_id} "
                 f"on {self.place}"
             )
-        if core in self._joined:
+        if core in self.joined_at:
             raise RuntimeStateError(
                 f"core {core} joined assembly {self.assembly_id} twice"
             )
-        self._joined.add(core)
-        return len(self._joined) == len(self.cores)
+        self.joined_at[core] = self.env.now
+        return len(self.joined_at) == len(self.cores)
 
     @property
     def all_joined(self) -> bool:
-        return len(self._joined) == len(self.cores)
+        return len(self.joined_at) == len(self.cores)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<Assembly #{self.assembly_id} task={self.task.task_id} "
-            f"{self.place} joined={len(self._joined)}/{len(self.cores)}>"
+            f"{self.place} joined={len(self.joined_at)}/{len(self.cores)}>"
         )

@@ -38,6 +38,15 @@ from repro.runtime.config import RuntimeConfig
 from repro.runtime.queues import WorkStealingQueue
 from repro.sim.environment import Environment
 from repro.sim.events import Event
+from repro.trace.events import (
+    DecisionEvent,
+    QueueSampleEvent,
+    RunMarkEvent,
+    StealEvent,
+    TaskExecEvent,
+    WorkerStateEvent,
+)
+from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.util.rng import SeedLike, make_rng, spawn_rngs
 
 
@@ -79,6 +88,13 @@ class SimulatedRuntime:
         Seed of the stealing / noise randomness.
     name:
         Label used in error messages and traces.
+    tracer:
+        A :class:`repro.trace.Tracer`; the default shared
+        :data:`~repro.trace.NULL_TRACER` records nothing and keeps the
+        run bit-identical to an untraced one (tracing never consumes
+        randomness or schedules events).  An enabled tracer is threaded
+        into the policy's PTT store and the speed model, and receives
+        worker-state, queue-depth, steal, decision and task events.
     """
 
     def __init__(
@@ -91,6 +107,7 @@ class SimulatedRuntime:
         speed: Optional[SpeedModel] = None,
         seed: SeedLike = 0,
         name: str = "runtime",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.env = env
         self.machine = machine
@@ -100,12 +117,21 @@ class SimulatedRuntime:
         self.speed = speed or SpeedModel(env, machine)
         self.name = name
         self.collector = TraceCollector(machine.num_cores)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
+        if self._tracing:
+            self.tracer.clock = lambda: env.now
+            # Share the tracer with a speed model built elsewhere (e.g. by
+            # an interference harness) unless it already carries one.
+            if not self.speed.tracer.enabled:
+                self.speed.tracer = self.tracer
 
         scheduler.bind(
             machine,
             rng=make_rng(seed),
             clock=lambda: env.now,
             backlog=self._backlog,
+            tracer=self.tracer,
         )
 
         n = machine.num_cores
@@ -117,6 +143,11 @@ class SimulatedRuntime:
         self.wsqs: List[WorkStealingQueue] = [WorkStealingQueue(c) for c in range(n)]
         self.aqs: List[Deque[Assembly]] = [deque() for _ in range(n)]
         self._core_busy_now: List[bool] = [False] * n
+        #: Worker loop states ("exec"/"poll"/"steal"/"idle"); the same
+        #: transitions feed :meth:`snapshot` and (when enabled) the tracer,
+        #: so live polling and a recorded trace always agree.
+        self._worker_state: List[str] = ["idle"] * n
+        self._current_assembly: List[Optional[Assembly]] = [None] * n
         self._idle_events: Dict[int, Event] = {}
         self._ready_time: Dict[int, float] = {}
         self._shutdown = False
@@ -138,6 +169,10 @@ class SimulatedRuntime:
             raise RuntimeStateError(f"{self.name} already started")
         self._started = True
         self._start_time = self.env.now
+        if self._tracing:
+            self.tracer.emit(
+                RunMarkEvent(t=self.env.now, label="start", detail=self.name)
+            )
         for task in sorted(self.graph.drain_ready(), key=lambda t: t.priority):
             self._enqueue_ready(task, waker_core=self._next_root_core())
         for core in range(self.machine.num_cores):
@@ -193,8 +228,12 @@ class SimulatedRuntime:
     def snapshot(self) -> Dict[str, object]:
         """Debug view of the runtime's current state.
 
-        Queue depths, per-core busy flags and graph progress — useful when
-        diagnosing a stalled custom policy or workload.
+        Per-core queue depths, worker loop states, the assembly each core
+        is currently inside, and graph progress — useful when diagnosing a
+        stalled custom policy or workload.  ``worker_states`` and
+        ``current_assembly`` read the exact state the tracer's
+        worker-state events are emitted from, so a live poll and a
+        recorded trace can never disagree.
         """
         return {
             "now": self.env.now,
@@ -203,6 +242,15 @@ class SimulatedRuntime:
             "wsq_depths": [len(q) for q in self.wsqs],
             "aq_depths": [len(q) for q in self.aqs],
             "busy": list(self._core_busy_now),
+            "worker_states": list(self._worker_state),
+            "current_assembly": [
+                None if a is None else a.assembly_id
+                for a in self._current_assembly
+            ],
+            "current_task": [
+                None if a is None else a.task.task_id
+                for a in self._current_assembly
+            ],
             "idle_workers": sorted(self._idle_events),
             "steals": self.collector.steals,
         }
@@ -210,6 +258,15 @@ class SimulatedRuntime:
     # ------------------------------------------------------------------
     # worker loop
     # ------------------------------------------------------------------
+    def _set_state(self, core: int, state: str) -> None:
+        """Record a worker loop-state transition (snapshot + tracer)."""
+        if self._worker_state[core] != state:
+            self._worker_state[core] = state
+            if self._tracing:
+                self.tracer.emit(
+                    WorkerStateEvent(t=self.env.now, core=core, state=state)
+                )
+
     def _worker(self, core: int):
         config = self.config
         wsq = self.wsqs[core]
@@ -223,27 +280,46 @@ class SimulatedRuntime:
 
             if aq and not has_urgent:
                 assembly = aq.popleft()
+                self._set_state(core, "exec")
+                self._current_assembly[core] = assembly
+                if self._tracing:
+                    self.tracer.emit(
+                        QueueSampleEvent(
+                            t=self.env.now, core=core,
+                            wsq=len(wsq), aq=len(aq), op="aq_pop",
+                        )
+                    )
                 self._core_busy_now[core] = True
                 if assembly.join(core):
                     self._start_assembly(assembly)
                 yield assembly.completed
                 self._core_busy_now[core] = False
+                self._current_assembly[core] = None
                 continue
 
             task = wsq.pop_local()
             if task is not None:
+                self._set_state(core, "poll")
+                if self._tracing:
+                    self.tracer.emit(
+                        QueueSampleEvent(
+                            t=self.env.now, core=core,
+                            wsq=len(wsq), aq=len(aq), op="pop",
+                        )
+                    )
                 if config.dispatch_overhead > 0:
                     yield self.env.timeout(config.dispatch_overhead)
                 place = self.scheduler.choose_place(task, core)
-                self._dispatch(task, place, stolen=False)
+                self._dispatch(task, place, core, stolen=False)
                 continue
 
+            self._set_state(core, "steal")
             stolen = self._try_steal(core)
             if stolen is not None:
                 if config.steal_overhead > 0:
                     yield self.env.timeout(config.steal_overhead)
                 place = self.scheduler.place_after_steal(stolen, core)
-                self._dispatch(stolen, place, stolen=True)
+                self._dispatch(stolen, place, core, stolen=True)
                 continue
 
             if any(len(q) for q in self.wsqs):
@@ -252,6 +328,7 @@ class SimulatedRuntime:
                 # spinning work-stealing loop.
                 yield self.env.timeout(config.steal_backoff)
             else:
+                self._set_state(core, "idle")
                 yield self._register_idle(core)
 
     def _try_steal(self, thief: int) -> Optional[Task]:
@@ -269,18 +346,47 @@ class SimulatedRuntime:
             task = self.wsqs[victim].steal(self.scheduler.allow_steal)
             if task is not None:
                 self.collector.record_steal()
+                if self._tracing:
+                    self.tracer.emit(
+                        StealEvent(
+                            t=self.env.now, thief=thief, victim=victim,
+                            task_id=task.task_id, outcome="hit",
+                        )
+                    )
+                    self.tracer.emit(
+                        QueueSampleEvent(
+                            t=self.env.now, core=victim,
+                            wsq=len(self.wsqs[victim]),
+                            aq=len(self.aqs[victim]), op="stolen",
+                        )
+                    )
                 return task
         self.collector.record_failed_scan()
+        if self._tracing:
+            self.tracer.emit(
+                StealEvent(
+                    t=self.env.now, thief=thief, victim=-1,
+                    task_id=-1, outcome="miss",
+                )
+            )
         return None
 
     # ------------------------------------------------------------------
     # dispatch & execution
     # ------------------------------------------------------------------
-    def _dispatch(self, task: Task, place: ExecutionPlace, stolen: bool) -> None:
+    def _dispatch(
+        self,
+        task: Task,
+        place: ExecutionPlace,
+        deciding_core: int,
+        stolen: bool,
+    ) -> None:
         """Wrap ``task`` in an assembly at ``place`` and enqueue it."""
         self.machine.validate_place(place)
         cores = self.machine.place_cores(place)
         profile = task.kernel.profile(self.machine, place)
+        if self._tracing:
+            self._emit_decision(task, place, deciding_core, stolen)
         assembly = Assembly(self.env, task, place, cores, profile)
         assembly.task.metadata.setdefault("_dequeue_time", self.env.now)
         task.metadata["_stolen"] = stolen
@@ -290,7 +396,66 @@ class SimulatedRuntime:
         # rendezvous).
         for member in cores:
             self.aqs[member].append(assembly)
+            if self._tracing:
+                self.tracer.emit(
+                    QueueSampleEvent(
+                        t=self.env.now, core=member,
+                        wsq=len(self.wsqs[member]),
+                        aq=len(self.aqs[member]), op="aq_push",
+                    )
+                )
         self._wake(cores)
+
+    def _emit_decision(
+        self,
+        task: Task,
+        place: ExecutionPlace,
+        deciding_core: int,
+        stolen: bool,
+    ) -> None:
+        """Trace one placement decision (tracer-enabled path only).
+
+        Captures the per-place PTT predictions the policy saw, whether the
+        chosen place was unexplored (exploration vs exploitation), and the
+        rate-oracle's fastest place for the decision-quality metric.
+        Everything here is pure reads — no randomness, no sim events.
+        """
+        predictions: tuple = ()
+        exploration = False
+        if self.scheduler.ptt is not None:
+            table = self.scheduler.ptt.table(task.type_name)
+            predictions = tuple(
+                (p.leader, p.width, table.predict(p))
+                for p in self.machine.places
+            )
+            exploration = table.samples(place) == 0
+        oracle_leader, oracle_width = -1, -1
+        best = float("inf")
+        for p in self.machine.places:
+            prof = task.kernel.profile(self.machine, p)
+            est = self.speed.estimate_time(
+                self.machine.place_cores(p), prof.work,
+                memory_intensity=prof.memory_intensity,
+            )
+            if est < best:
+                best = est
+                oracle_leader, oracle_width = p.leader, p.width
+        self.tracer.emit(
+            DecisionEvent(
+                t=self.env.now,
+                task_id=task.task_id,
+                type_name=task.type_name,
+                core=deciding_core,
+                leader=place.leader,
+                width=place.width,
+                kind="steal" if stolen else "dequeue",
+                priority="high" if task.is_high_priority else "low",
+                exploration=exploration,
+                predictions=predictions,
+                oracle_leader=oracle_leader,
+                oracle_width=oracle_width,
+            )
+        )
 
     def _start_assembly(self, assembly: Assembly) -> None:
         """All members joined: run the task's work (or communication op)."""
@@ -353,7 +518,24 @@ class SimulatedRuntime:
                 k: v for k, v in task.metadata.items() if not k.startswith("_")
             },
         )
-        self.collector.record_task(record, assembly.cores)
+        self.collector.record_task(
+            record, assembly.cores, joined_at=assembly.joined_at
+        )
+        if self._tracing:
+            self.tracer.emit(
+                TaskExecEvent(
+                    t=self.env.now,
+                    task_id=task.task_id,
+                    type_name=task.type_name,
+                    leader=assembly.leader,
+                    width=assembly.width,
+                    cores=assembly.cores,
+                    exec_start=assembly.exec_start,
+                    exec_end=assembly.exec_end,
+                    priority="high" if task.is_high_priority else "low",
+                    stolen=record.stolen,
+                )
+            )
         for observer in self.on_task_commit:
             observer(record)
 
@@ -367,6 +549,12 @@ class SimulatedRuntime:
         assembly.completed.succeed()
         if self.graph.is_finished:
             self._shutdown = True
+            if self._tracing:
+                self.tracer.emit(
+                    RunMarkEvent(
+                        t=self.env.now, label="finish", detail=self.name
+                    )
+                )
             self._wake_all_idle()
 
     def _enqueue_ready(self, task: Task, waker_core: int) -> None:
@@ -378,6 +566,14 @@ class SimulatedRuntime:
                 f"{self.scheduler.name}.on_ready returned invalid core {target}"
             )
         self.wsqs[target].push(task)
+        if self._tracing:
+            self.tracer.emit(
+                QueueSampleEvent(
+                    t=self.env.now, core=target,
+                    wsq=len(self.wsqs[target]),
+                    aq=len(self.aqs[target]), op="push",
+                )
+            )
         # Only workers that can act on the push are woken: the target core
         # always; the other (idle) workers only when the task is actually
         # stealable — a steal-exempt task would just bounce them through a

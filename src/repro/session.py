@@ -22,6 +22,7 @@ from repro.machine.topology import Machine
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.executor import RunResult, SimulatedRuntime
 from repro.sim.environment import Environment
+from repro.trace.tracer import Tracer
 
 
 def run_graph(
@@ -31,11 +32,14 @@ def run_graph(
     scenario: Optional[InterferenceScenario] = None,
     config: Optional[RuntimeConfig] = None,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Execute ``graph`` on ``machine`` under ``scheduler`` and a scenario.
 
     ``scheduler`` may be a Table 1 name (``"dam-c"``) or a policy
-    instance.  The interference scenario defaults to none.
+    instance.  The interference scenario defaults to none.  Pass an
+    enabled ``tracer`` (e.g. :class:`repro.trace.FullTracer`) to record
+    the run's structured event stream; results stay bit-identical.
     """
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler)
@@ -44,7 +48,7 @@ def run_graph(
     (scenario or NullScenario()).install(env, speed, machine)
     runtime = SimulatedRuntime(
         env, machine, graph, scheduler,
-        config=config, speed=speed, seed=seed,
+        config=config, speed=speed, seed=seed, tracer=tracer,
     )
     return runtime.run()
 
@@ -64,6 +68,7 @@ def quick_run(
     machine: Optional[Machine] = None,
     scenario: Optional[InterferenceScenario] = None,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Run the paper's synthetic layered DAG with minimal ceremony."""
     if kernel not in _KERNELS:
@@ -77,4 +82,5 @@ def quick_run(
         scheduler,
         scenario=scenario,
         seed=seed,
+        tracer=tracer,
     )

@@ -73,10 +73,27 @@ def pop_stats() -> List[SweepStats]:
     return drained
 
 
-def _pool_execute(payload: Tuple[str, RunSpec]) -> Tuple[str, Dict[str, Any]]:
-    """Top-level worker entry point (must be picklable)."""
+def _pool_execute(payload: Tuple[str, RunSpec]) -> Tuple[str, Dict[str, Any], float]:
+    """Top-level worker entry point (must be picklable).
+
+    Returns ``(key, metrics, wall_time)`` — the per-run wall time feeds
+    the sweep manifest.
+    """
     key, spec = payload
-    return key, execute_spec(spec)
+    start = time.perf_counter()
+    metrics = execute_spec(spec)
+    return key, metrics, time.perf_counter() - start
+
+
+def _is_traced(spec: RunSpec) -> bool:
+    """Whether the spec requests tracing (always bypasses the cache).
+
+    The trace config already alters the cache key (it lives in
+    ``params``), but a traced run's side effects — the exported files —
+    must be regenerated even when its metrics were cached, so traced
+    specs skip the cache entirely.
+    """
+    return spec.params.get("trace") is not None
 
 
 class SweepRunner:
@@ -96,6 +113,10 @@ class SweepRunner:
         Name used in progress lines and stats (e.g. the figure name).
     progress:
         Emit ``[sweep:<label>] ...`` progress lines on stderr.
+    manifest_dir:
+        When set, :meth:`run` writes ``manifest.json`` there: one entry
+        per spec with its cache key, kind, tags, seed, package version,
+        per-run wall time and whether it was served from the cache.
     """
 
     def __init__(
@@ -105,6 +126,7 @@ class SweepRunner:
         use_cache: bool = True,
         label: str = "sweep",
         progress: bool = True,
+        manifest_dir: Optional[os.PathLike] = None,
     ) -> None:
         self.jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
         if self.jobs < 1:
@@ -113,6 +135,7 @@ class SweepRunner:
         self.use_cache = use_cache
         self.label = label
         self.progress = progress
+        self.manifest_dir = Path(manifest_dir) if manifest_dir else None
         self.last_stats: Optional[SweepStats] = None
 
     # -- cache ----------------------------------------------------------
@@ -153,8 +176,11 @@ class SweepRunner:
             unique.setdefault(key, spec)
 
         results: Dict[str, Dict[str, Any]] = {}
+        walls: Dict[str, float] = {}
         if self.use_cache:
-            for key in unique:
+            for key, spec in unique.items():
+                if _is_traced(spec):
+                    continue
                 cached = self._cache_load(key)
                 if cached is not None:
                     results[key] = cached
@@ -170,17 +196,20 @@ class SweepRunner:
         if workers > 1:
             with multiprocessing.Pool(processes=workers) as pool:
                 done = 0
-                for key, metrics in pool.imap_unordered(_pool_execute, pending):
+                for key, metrics, wall in pool.imap_unordered(
+                    _pool_execute, pending
+                ):
                     results[key] = metrics
-                    if self.use_cache:
+                    walls[key] = wall
+                    if self.use_cache and not _is_traced(unique[key]):
                         self._cache_store(unique[key], key, metrics)
                     done += 1
                     if done % 25 == 0:
                         self._log(f"{done}/{len(pending)} executed")
         else:
             for key, spec in pending:
-                results[key] = execute_spec(spec)
-                if self.use_cache:
+                _, results[key], walls[key] = _pool_execute((key, spec))
+                if self.use_cache and not _is_traced(spec):
                     self._cache_store(spec, key, results[key])
 
         elapsed = time.perf_counter() - start
@@ -196,4 +225,38 @@ class SweepRunner:
         self.last_stats = stats
         _STATS_LOG.append(stats)
         self._log(stats.summary())
+        if self.manifest_dir is not None:
+            self._write_manifest(specs, keys, walls)
         return [results[key] for key in keys]
+
+    def _write_manifest(
+        self,
+        specs: Sequence[RunSpec],
+        keys: Sequence[str],
+        walls: Dict[str, float],
+    ) -> Path:
+        """Write ``manifest.json`` describing every run of this sweep."""
+        from repro._version import __version__
+
+        entries = [
+            {
+                "key": key,
+                "kind": spec.kind,
+                "tags": dict(spec.tags),
+                "seed": spec.seed,
+                "version": __version__,
+                "wall_time": walls.get(key),
+                "cached": key not in walls,
+            }
+            for key, spec in zip(keys, specs)
+        ]
+        self.manifest_dir.mkdir(parents=True, exist_ok=True)
+        path = self.manifest_dir / "manifest.json"
+        payload = {
+            "label": self.label,
+            "version": __version__,
+            "runs": entries,
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        return path

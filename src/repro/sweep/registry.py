@@ -166,6 +166,55 @@ def extract_metrics(result, names) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+
+def build_tracer(params: Mapping[str, Any]):
+    """Tracer requested by ``params["trace"]``, or None when absent.
+
+    The trace mapping holds ``out_dir`` (export directory), an optional
+    ``label`` (file stem, default ``"run"``), and the optional
+    :func:`repro.trace.make_tracer` knobs ``buffer`` / ``limit``.  Being
+    part of ``params`` it is automatically in the spec's cache key; the
+    sweep engine additionally bypasses the cache for traced specs so the
+    export files are always regenerated.
+    """
+    trace = params.get("trace")
+    if trace is None:
+        return None
+    from repro.trace.tracer import make_tracer
+
+    return make_tracer(
+        buffer=trace.get("buffer", "full"), limit=int(trace.get("limit", 0))
+    )
+
+
+def export_trace(tracer, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Write a finished run's trace per ``params["trace"]``.
+
+    Emits ``<label>.chrome.json`` (Perfetto / ``chrome://tracing``) and
+    ``<label>.jsonl`` (loss-free stream) into ``out_dir``; returns the
+    ``trace_events`` / ``trace_files`` metric entries.
+    """
+    if tracer is None:
+        return {}
+    from pathlib import Path
+
+    from repro.trace.export import write_chrome_trace, write_jsonl
+
+    trace = params["trace"]
+    out_dir = Path(trace["out_dir"])
+    label = trace.get("label", "run")
+    events = tracer.events()
+    chrome = write_chrome_trace(out_dir / f"{label}.chrome.json", events, label)
+    jsonl = write_jsonl(out_dir / f"{label}.jsonl", events)
+    return {
+        "trace_events": len(events),
+        "trace_files": [str(chrome), str(jsonl)],
+    }
+
+
+# ----------------------------------------------------------------------
 # executors
 # ----------------------------------------------------------------------
 
@@ -201,11 +250,15 @@ def _execute_single(spec: RunSpec) -> Dict[str, Any]:
     speed = SpeedModel(env, machine)
     if scenario is not None:
         scenario.install(env, speed, machine)
+    tracer = build_tracer(p)
     runtime = SimulatedRuntime(
-        env, machine, graph, policy, config=config, speed=speed, seed=spec.seed
+        env, machine, graph, policy, config=config, speed=speed,
+        seed=spec.seed, tracer=tracer,
     )
     result = runtime.run()
-    return extract_metrics(result, spec.metrics)
+    metrics = extract_metrics(result, spec.metrics)
+    metrics.update(export_trace(tracer, p))
+    return metrics
 
 
 @executor("kmeans_window")
@@ -234,9 +287,10 @@ def _execute_kmeans_window(spec: RunSpec) -> Dict[str, Any]:
     env = Environment()
     speed = SpeedModel(env, machine)
     corunner.install(env, speed, machine)
+    tracer = build_tracer(p)
     runtime = SimulatedRuntime(
         env, machine, graph, make_scheduler(p["scheduler"]),
-        speed=speed, seed=spec.seed,
+        speed=speed, seed=spec.seed, tracer=tracer,
     )
     result = runtime.run()
     records = result.collector.records
@@ -244,7 +298,7 @@ def _execute_kmeans_window(spec: RunSpec) -> Dict[str, Any]:
         r for r in records if lo <= r.metadata.get("iteration", -1) < hi
     ]
     counts = place_distribution_counts(in_window, high_priority_only=False)
-    return {
+    metrics = {
         "iteration_series": [[it, t] for it, t in iteration_series(records)],
         "window_place_counts": [
             [place_to_data(place), n] for place, n in sorted(counts.items())
@@ -252,6 +306,8 @@ def _execute_kmeans_window(spec: RunSpec) -> Dict[str, Any]:
         "throughput": result.throughput,
         "makespan": result.makespan,
     }
+    metrics.update(export_trace(tracer, p))
+    return metrics
 
 
 @executor("heat_cluster")
@@ -262,6 +318,13 @@ def _execute_heat_cluster(spec: RunSpec) -> Dict[str, Any]:
     from repro.interference.corunner import CorunnerInterference
 
     p = spec.params
+    if p.get("trace") is not None:
+        # The distributed runtime multiplexes several per-node runtimes
+        # over one environment; a single-run trace stream would interleave
+        # them misleadingly.  Fail loudly instead of silently ignoring.
+        raise ConfigurationError(
+            "the heat_cluster executor does not support tracing"
+        )
     nodes = p["nodes"]
     config = HeatConfig(nodes=nodes, iterations=p["iterations"])
     scenarios = {}

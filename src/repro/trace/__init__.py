@@ -1,0 +1,92 @@
+"""repro.trace — structured scheduler tracing.
+
+A zero-overhead-when-off event bus threaded through the runtime, the
+policies, the Performance Trace Table and the speed model.  The default
+:data:`NULL_TRACER` records nothing; pass a :class:`FullTracer` (or a
+bounded :class:`RingBufferTracer`) to :class:`~repro.runtime.executor.
+SimulatedRuntime` to capture worker timelines, queue depths, steal
+attempts, placement decisions with their PTT snapshots, PTT cell updates
+and interference/DVFS transitions.  See ``docs/observability.md``.
+
+Quick use::
+
+    from repro import quick_run
+    from repro.trace import FullTracer, write_chrome_trace, summarize
+
+    tracer = FullTracer()
+    result = quick_run(scheduler="dam-c", tracer=tracer)
+    write_chrome_trace("run.chrome.json", tracer.events())  # open in Perfetto
+    print(summarize(tracer.events()))
+"""
+
+from repro.trace.analysis import (
+    decision_quality,
+    ptt_convergence,
+    ptt_series,
+    steal_breakdown,
+    summarize,
+    worker_breakdown,
+)
+from repro.trace.events import (
+    EVENT_TYPES,
+    DecisionEvent,
+    PttUpdateEvent,
+    QueueSampleEvent,
+    RunMarkEvent,
+    SpeedEvent,
+    StealEvent,
+    TaskExecEvent,
+    TraceEvent,
+    WorkerStateEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.trace.export import (
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.trace.tracer import (
+    NULL_TRACER,
+    FullTracer,
+    NullTracer,
+    RingBufferTracer,
+    Tracer,
+    make_tracer,
+)
+
+__all__ = [
+    # tracers
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "FullTracer",
+    "RingBufferTracer",
+    "make_tracer",
+    # events
+    "TraceEvent",
+    "WorkerStateEvent",
+    "QueueSampleEvent",
+    "StealEvent",
+    "DecisionEvent",
+    "PttUpdateEvent",
+    "SpeedEvent",
+    "TaskExecEvent",
+    "RunMarkEvent",
+    "EVENT_TYPES",
+    "event_to_dict",
+    "event_from_dict",
+    # export
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    # analysis
+    "worker_breakdown",
+    "steal_breakdown",
+    "ptt_series",
+    "ptt_convergence",
+    "decision_quality",
+    "summarize",
+]

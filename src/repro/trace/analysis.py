@@ -1,0 +1,223 @@
+"""Analysis over recorded trace events.
+
+Three families of questions the raw event stream answers:
+
+* **Where did worker time go?** — :func:`worker_breakdown` integrates the
+  ``WorkerStateEvent`` timeline into per-worker exec / poll / steal / idle
+  seconds (the observable behind the paper's Fig. 6 work-time plots).
+* **How fast did the PTT converge?** — :func:`ptt_series` extracts each
+  table cell's value over time; :func:`ptt_convergence` reduces that to a
+  time-to-within-``rel_tol``-of-final per place (optionally aggregated per
+  cluster), which is the quantity separating DAS from RWS in Figs. 4-8.
+* **How good were the decisions?** — :func:`decision_quality` compares
+  each placement against the rate-oracle-fastest place recorded at
+  decision time, and reports the exploration fraction.
+
+All helpers accept a plain event sequence — a live
+:meth:`~repro.trace.tracer.FullTracer.events` list or one re-read through
+:func:`~repro.trace.export.read_jsonl`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.events import (
+    DecisionEvent,
+    PttUpdateEvent,
+    StealEvent,
+    TraceEvent,
+    WorkerStateEvent,
+)
+
+PlaceKey = Tuple[int, int]  # (leader, width)
+
+
+def worker_breakdown(
+    events: Sequence[TraceEvent], until: Optional[float] = None
+) -> Dict[int, Dict[str, float]]:
+    """Per-worker seconds spent in each loop state.
+
+    The last open state of each worker is closed at ``until`` (default:
+    the latest event timestamp in the trace).  Returns
+    ``{core: {"exec": s, "poll": s, "steal": s, "idle": s}}``.
+    """
+    transitions: Dict[int, List[WorkerStateEvent]] = defaultdict(list)
+    horizon = 0.0
+    for event in events:
+        horizon = max(horizon, event.t)
+        if isinstance(event, WorkerStateEvent):
+            transitions[event.core].append(event)
+    if until is None:
+        until = horizon
+    out: Dict[int, Dict[str, float]] = {}
+    for core, seq in transitions.items():
+        acc = {"exec": 0.0, "poll": 0.0, "steal": 0.0, "idle": 0.0}
+        for event, end in zip(seq, [e.t for e in seq[1:]] + [until]):
+            if end > event.t:
+                acc[event.state] = acc.get(event.state, 0.0) + (end - event.t)
+        out[core] = acc
+    return dict(sorted(out.items()))
+
+
+def steal_breakdown(events: Sequence[TraceEvent]) -> Dict[int, Dict[str, int]]:
+    """Per-thief counts of steal hits and failed scans."""
+    out: Dict[int, Dict[str, int]] = defaultdict(lambda: {"hit": 0, "miss": 0})
+    for event in events:
+        if isinstance(event, StealEvent):
+            out[event.thief][event.outcome] += 1
+    return dict(sorted(out.items()))
+
+
+def ptt_series(
+    events: Sequence[TraceEvent], type_name: Optional[str] = None
+) -> Dict[Tuple[str, PlaceKey], List[Tuple[float, float]]]:
+    """Each PTT cell's ``(t, value)`` trajectory.
+
+    Keyed by ``(type_name, (leader, width))``; restricted to one task type
+    when ``type_name`` is given.
+    """
+    out: Dict[Tuple[str, PlaceKey], List[Tuple[float, float]]] = defaultdict(list)
+    for event in events:
+        if not isinstance(event, PttUpdateEvent):
+            continue
+        if type_name is not None and event.type_name != type_name:
+            continue
+        out[(event.type_name, (event.leader, event.width))].append(
+            (event.t, event.new)
+        )
+    return dict(out)
+
+
+def _settle_time(
+    series: Sequence[Tuple[float, float]], rel_tol: float
+) -> Optional[float]:
+    """Earliest time from which every later value stays within
+    ``rel_tol`` of the final value; None for an empty series."""
+    if not series:
+        return None
+    final = series[-1][1]
+    if final <= 0:
+        return series[-1][0]
+    settled = series[0][0]
+    inside = False
+    for t, value in series:
+        if abs(value - final) <= rel_tol * final:
+            if not inside:
+                settled = t
+                inside = True
+        else:
+            inside = False
+    return settled if inside else series[-1][0]
+
+
+def ptt_convergence(
+    events: Sequence[TraceEvent],
+    rel_tol: float = 0.1,
+    machine=None,
+    type_name: Optional[str] = None,
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Time for each PTT cell to settle within ``rel_tol`` of its final
+    prediction, aggregated per task type.
+
+    Returns ``{type_name: {place_label: settle_time, ..., "all": worst}}``
+    where ``place_label`` is ``"C<leader>x<width>"``.  With a ``machine``,
+    cluster-level aggregates (``"cluster:<name>"`` = worst settle time
+    among that cluster's places) are added — the paper's "PTT converges on
+    the fast cluster" claim made measurable.
+    """
+    out: Dict[str, Dict[str, Optional[float]]] = {}
+    by_type: Dict[str, Dict[PlaceKey, Optional[float]]] = defaultdict(dict)
+    for (tname, place), series in ptt_series(events, type_name).items():
+        by_type[tname][place] = _settle_time(series, rel_tol)
+    for tname, places in by_type.items():
+        entry: Dict[str, Optional[float]] = {
+            f"C{leader}x{width}": settle
+            for (leader, width), settle in sorted(places.items())
+        }
+        settles = [s for s in places.values() if s is not None]
+        entry["all"] = max(settles) if settles else None
+        if machine is not None:
+            per_cluster: Dict[str, List[float]] = defaultdict(list)
+            for (leader, _width), settle in places.items():
+                if settle is not None:
+                    per_cluster[machine.cluster_of(leader).name].append(settle)
+            for cluster, values in sorted(per_cluster.items()):
+                entry[f"cluster:{cluster}"] = max(values)
+        out[tname] = entry
+    return out
+
+
+def decision_quality(
+    events: Sequence[TraceEvent], high_priority_only: bool = False
+) -> Dict[str, float]:
+    """Fraction of placements matching the rate-oracle-fastest place.
+
+    ``oracle_match`` counts a decision as matched when the chosen place
+    equals the place the speed model's instantaneous core rates ranked
+    fastest at decision time (queueing excluded).  Also reports the
+    exploration fraction (decisions that picked a PTT cell with no
+    samples yet).  Decisions without an oracle (``oracle_leader == -1``)
+    are excluded from the match rate but counted in ``decisions``.
+    """
+    decisions = matched = explored = with_oracle = 0
+    for event in events:
+        if not isinstance(event, DecisionEvent):
+            continue
+        if high_priority_only and event.priority != "high":
+            continue
+        decisions += 1
+        if event.exploration:
+            explored += 1
+        if event.oracle_leader >= 0:
+            with_oracle += 1
+            if (event.leader, event.width) == (
+                event.oracle_leader,
+                event.oracle_width,
+            ):
+                matched += 1
+    return {
+        "decisions": float(decisions),
+        "oracle_match": (matched / with_oracle) if with_oracle else 0.0,
+        "exploration_fraction": (explored / decisions) if decisions else 0.0,
+    }
+
+
+def summarize(events: Sequence[TraceEvent], machine=None) -> str:
+    """Human-readable digest: breakdowns, steals, decision quality."""
+    lines: List[str] = []
+    breakdown = worker_breakdown(events)
+    if breakdown:
+        lines.append("worker time breakdown [s]:")
+        for core, acc in breakdown.items():
+            lines.append(
+                f"  core {core}: exec={acc['exec']:.4f} poll={acc['poll']:.4f} "
+                f"steal={acc['steal']:.4f} idle={acc['idle']:.4f}"
+            )
+    steals = steal_breakdown(events)
+    if steals:
+        hits = sum(s["hit"] for s in steals.values())
+        misses = sum(s["miss"] for s in steals.values())
+        lines.append(f"steals: {hits} hits, {misses} failed scans")
+    quality = decision_quality(events)
+    if quality["decisions"]:
+        lines.append(
+            f"decisions: {int(quality['decisions'])} "
+            f"(oracle match {quality['oracle_match']:.0%}, "
+            f"exploration {quality['exploration_fraction']:.0%})"
+        )
+    convergence = ptt_convergence(events, machine=machine)
+    for tname, entry in sorted(convergence.items()):
+        settle = entry.get("all")
+        detail = "never" if settle is None else f"{settle:.4f}s"
+        clusters = ", ".join(
+            f"{key.split(':', 1)[1]}={value:.4f}s"
+            for key, value in sorted(entry.items())
+            if key.startswith("cluster:") and value is not None
+        )
+        lines.append(
+            f"ptt[{tname}] settled (±10%) by {detail}"
+            + (f" ({clusters})" if clusters else "")
+        )
+    return "\n".join(lines) if lines else "(empty trace)"

@@ -1,0 +1,191 @@
+"""Typed scheduler-trace events.
+
+Every event carries ``t``, the simulated time it was emitted at, plus the
+fields of its kind.  Events are plain slotted dataclasses so that a traced
+run stays cheap (no dict churn per event) and deterministic (emission never
+consumes randomness or schedules simulation events — tracing is strictly
+write-only observation).
+
+The taxonomy follows the decision lifecycle of the paper's Figure 3:
+
+``WorkerStateEvent``
+    A worker's loop-state transition (``exec`` / ``poll`` / ``steal`` /
+    ``idle``) — the raw material of busy/idle/steal timelines.
+``QueueSampleEvent``
+    WSQ/AQ depths of one core, sampled at a queue operation.
+``StealEvent``
+    One steal attempt: thief, victim, and whether a task moved.
+``DecisionEvent``
+    One Algorithm-1 placement decision: the chosen execution place, the
+    per-place PTT predictions the policy saw at that instant, whether the
+    choice was exploration (an unsampled place), and the oracle-fastest
+    place under the speed model's true current rates.
+``PttUpdateEvent``
+    One Performance Trace Table cell folding in an observation.
+``SpeedEvent``
+    A dynamic-asymmetry transition in the speed model (DVFS frequency
+    scale, co-runner CPU share, memory-bandwidth demand).
+``TaskExecEvent``
+    One committed task assembly: place, member cores, exec window.
+``RunMarkEvent``
+    Run lifecycle marks (start / finish) for framing exports.
+
+``event_to_dict`` / ``event_from_dict`` give a loss-free JSON round-trip
+(the JSONL stream exporter and its reader are built on them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Tuple, Type
+
+from repro.errors import ConfigurationError
+
+#: Worker loop states, in the order they appear in the worker loop.
+WORKER_STATES: Tuple[str, ...] = ("exec", "poll", "steal", "idle")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base of all trace events; ``t`` is the simulated emission time."""
+
+    t: float
+
+
+@dataclass(frozen=True)
+class WorkerStateEvent(TraceEvent):
+    core: int
+    state: str  # one of WORKER_STATES
+
+
+@dataclass(frozen=True)
+class QueueSampleEvent(TraceEvent):
+    core: int
+    wsq: int
+    aq: int
+    op: str  # "push" | "pop" | "stolen" | "aq_push" | "aq_pop"
+
+
+@dataclass(frozen=True)
+class StealEvent(TraceEvent):
+    thief: int
+    victim: int  # -1 for a failed scan (no victim yielded a task)
+    task_id: int  # -1 when nothing was stolen
+    outcome: str  # "hit" | "miss"
+
+
+@dataclass(frozen=True)
+class DecisionEvent(TraceEvent):
+    task_id: int
+    type_name: str
+    core: int  # the deciding worker
+    leader: int  # chosen place
+    width: int
+    kind: str  # "dequeue" | "steal"
+    priority: str  # "high" | "low"
+    exploration: bool  # chosen place had no PTT sample yet
+    #: ``((leader, width, predicted_seconds), ...)`` over the machine's
+    #: places as the policy's PTT saw them at decision time (empty for
+    #: policies without a PTT).
+    predictions: Tuple[Tuple[int, int, float], ...]
+    oracle_leader: int  # rate-oracle-fastest place (-1 when unavailable)
+    oracle_width: int
+
+
+@dataclass(frozen=True)
+class PttUpdateEvent(TraceEvent):
+    type_name: str
+    leader: int
+    width: int
+    observed: float
+    old: float
+    new: float
+    samples: int  # including this observation
+
+
+@dataclass(frozen=True)
+class SpeedEvent(TraceEvent):
+    kind: str  # "freq_scale" | "cpu_share" | "demand"
+    cores: Tuple[int, ...]  # empty for domain-wide demand events
+    domain: str  # "" for core events
+    value: float
+
+
+@dataclass(frozen=True)
+class TaskExecEvent(TraceEvent):
+    task_id: int
+    type_name: str
+    leader: int
+    width: int
+    cores: Tuple[int, ...]
+    exec_start: float
+    exec_end: float
+    priority: str
+    stolen: bool
+
+
+@dataclass(frozen=True)
+class RunMarkEvent(TraceEvent):
+    label: str  # "start" | "finish"
+    detail: str = ""
+
+
+#: kind-string <-> class registry for serialization.
+EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    "worker_state": WorkerStateEvent,
+    "queue": QueueSampleEvent,
+    "steal": StealEvent,
+    "decision": DecisionEvent,
+    "ptt_update": PttUpdateEvent,
+    "speed": SpeedEvent,
+    "task_exec": TaskExecEvent,
+    "run_mark": RunMarkEvent,
+}
+
+_KIND_BY_TYPE: Dict[Type[TraceEvent], str] = {
+    cls: kind for kind, cls in EVENT_TYPES.items()
+}
+
+
+def event_kind(event: TraceEvent) -> str:
+    """The registry kind-string of ``event``."""
+    try:
+        return _KIND_BY_TYPE[type(event)]
+    except KeyError:
+        raise ConfigurationError(
+            f"{type(event).__name__} is not a registered trace event"
+        ) from None
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    """Serialize one event to a JSON-able dict.
+
+    The registry kind-string goes under the ``"event"`` key — not
+    ``"kind"``, which is a payload field of :class:`DecisionEvent` and
+    :class:`SpeedEvent`.
+    """
+    payload = asdict(event)
+    payload["event"] = event_kind(event)
+    return payload
+
+
+def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
+    """Inverse of :func:`event_to_dict`."""
+    kind = data.get("event")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown trace event kind {kind!r}")
+    kwargs = {}
+    for spec in fields(cls):
+        if spec.name not in data:
+            raise ConfigurationError(
+                f"trace event {kind!r} is missing field {spec.name!r}"
+            )
+        value = data[spec.name]
+        # JSON flattens tuples to lists; restore the declared shapes.
+        if spec.name == "cores":
+            value = tuple(int(c) for c in value)
+        elif spec.name == "predictions":
+            value = tuple((int(l), int(w), float(v)) for l, w, v in value)
+        kwargs[spec.name] = value
+    return cls(**kwargs)

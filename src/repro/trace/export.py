@@ -1,0 +1,221 @@
+"""Trace exporters: Chrome trace-event JSON and a JSONL event stream.
+
+The Chrome export follows the Trace Event Format (the ``traceEvents``
+array consumed by ``chrome://tracing`` and Perfetto):
+
+* one *thread* (``tid``) per core under one *process* (``pid`` 0,
+  named after the run) — task assemblies appear as complete (``"X"``)
+  slices on every member core's track;
+* steal attempts and placement decisions as instant (``"i"``) events on
+  the acting core's track;
+* counter (``"C"``) tracks for per-core queue depths (``queue cN``),
+  per-core DVFS frequency scale (``freq cN``), per-domain external
+  bandwidth demand (``demand <dom>``), and per-task-type PTT predictions
+  (``ptt <type>``, one series per execution place).
+
+Simulated seconds are scaled to the format's microseconds.
+
+The JSONL export writes one :func:`~repro.trace.events.event_to_dict`
+payload per line — the loss-free archival format the analysis helpers and
+the round-trip reader consume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.trace.events import (
+    DecisionEvent,
+    PttUpdateEvent,
+    QueueSampleEvent,
+    SpeedEvent,
+    StealEvent,
+    TaskExecEvent,
+    TraceEvent,
+    WorkerStateEvent,
+    event_from_dict,
+    event_to_dict,
+)
+
+#: Simulated seconds -> trace-format microseconds.
+_US = 1e6
+
+
+def _cores_in(events: Sequence[TraceEvent]) -> List[int]:
+    cores = set()
+    for event in events:
+        if isinstance(event, (WorkerStateEvent, QueueSampleEvent)):
+            cores.add(event.core)
+        elif isinstance(event, TaskExecEvent):
+            cores.update(event.cores)
+        elif isinstance(event, StealEvent):
+            cores.add(event.thief)
+    return sorted(cores)
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent], label: str = "repro"
+) -> Dict[str, Any]:
+    """Convert a recorded event list into a Chrome trace-event payload."""
+    out: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": label},
+        }
+    ]
+    for core in _cores_in(events):
+        out.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": core,
+                "name": "thread_name",
+                "args": {"name": f"core {core}"},
+            }
+        )
+
+    for event in events:
+        ts = event.t * _US
+        if isinstance(event, TaskExecEvent):
+            dur = (event.exec_end - event.exec_start) * _US
+            for core in event.cores:
+                out.append(
+                    {
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": core,
+                        "name": event.type_name,
+                        "cat": "task",
+                        "ts": event.exec_start * _US,
+                        "dur": dur,
+                        "args": {
+                            "task_id": event.task_id,
+                            "place": f"C{event.leader}x{event.width}",
+                            "priority": event.priority,
+                            "stolen": event.stolen,
+                            "leader": core == event.leader,
+                        },
+                    }
+                )
+        elif isinstance(event, QueueSampleEvent):
+            out.append(
+                {
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": event.core,
+                    "name": f"queue c{event.core}",
+                    "ts": ts,
+                    "args": {"wsq": event.wsq, "aq": event.aq},
+                }
+            )
+        elif isinstance(event, PttUpdateEvent):
+            out.append(
+                {
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": 0,
+                    "name": f"ptt {event.type_name}",
+                    "ts": ts,
+                    "args": {f"C{event.leader}x{event.width}": event.new},
+                }
+            )
+        elif isinstance(event, SpeedEvent):
+            if event.kind == "demand":
+                out.append(
+                    {
+                        "ph": "C",
+                        "pid": 0,
+                        "tid": 0,
+                        "name": f"demand {event.domain}",
+                        "ts": ts,
+                        "args": {"demand": event.value},
+                    }
+                )
+            else:
+                for core in event.cores:
+                    out.append(
+                        {
+                            "ph": "C",
+                            "pid": 0,
+                            "tid": core,
+                            "name": f"{event.kind} c{core}",
+                            "ts": ts,
+                            "args": {event.kind: event.value},
+                        }
+                    )
+        elif isinstance(event, StealEvent):
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": event.thief,
+                    "name": f"steal {event.outcome}",
+                    "cat": "steal",
+                    "ts": ts,
+                    "s": "t",
+                    "args": {"victim": event.victim, "task_id": event.task_id},
+                }
+            )
+        elif isinstance(event, DecisionEvent):
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": event.core,
+                    "name": f"decide {event.type_name}",
+                    "cat": "decision",
+                    "ts": ts,
+                    "s": "t",
+                    "args": {
+                        "task_id": event.task_id,
+                        "place": f"C{event.leader}x{event.width}",
+                        "kind": event.kind,
+                        "priority": event.priority,
+                        "exploration": event.exploration,
+                        "oracle": f"C{event.oracle_leader}x{event.oracle_width}",
+                    },
+                }
+            )
+        # WorkerStateEvent / RunMarkEvent timelines are derivable from the
+        # slices and are kept out of the Chrome payload to bound its size;
+        # the JSONL stream retains them for analysis.
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path, events: Sequence[TraceEvent], label: str = "repro"
+) -> Path:
+    """Write the Chrome trace-event JSON for ``events`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(events, label=label), fh)
+    return path
+
+
+def write_jsonl(path, events: Iterable[TraceEvent]) -> Path:
+    """Write one JSON event dict per line (loss-free archival stream)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def read_jsonl(path) -> List[TraceEvent]:
+    """Inverse of :func:`write_jsonl`; skips blank lines."""
+    out: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(event_from_dict(json.loads(line)))
+    return out

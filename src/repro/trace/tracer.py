@@ -1,0 +1,133 @@
+"""Tracer implementations — the event bus's receiving end.
+
+A *tracer* is any object with two attributes:
+
+``enabled``
+    Bool; every instrumented hot path guards its event construction with
+    this flag, so a disabled tracer costs one attribute read per site
+    (the zero-overhead-when-off contract, gated by
+    ``benchmarks/bench_micro.py``).
+``emit(event)``
+    Receives a :class:`~repro.trace.events.TraceEvent`.
+
+plus a ``clock`` callable (simulated-time source) that the runtime binds
+at construction so components without an environment handle — the PTT,
+a policy — can still stamp their events.
+
+Three implementations:
+
+* :class:`NullTracer` — the default; ``enabled`` is False and ``emit``
+  discards.  A single module-level :data:`NULL_TRACER` instance is shared
+  so identity checks (``tracer is NULL_TRACER``) are cheap.
+* :class:`FullTracer` — appends every event to an in-memory list.
+* :class:`RingBufferTracer` — keeps only the newest ``capacity`` events
+  (bounded memory for very long runs; oldest events fall off).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, List
+
+from repro.errors import ConfigurationError
+from repro.trace.events import TraceEvent
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Tracer:
+    """Base tracer: disabled, discards everything."""
+
+    __slots__ = ("clock",)
+
+    enabled: bool = False
+
+    def __init__(self, clock: Callable[[], float] = _zero_clock) -> None:
+        #: Simulated-time source; rebound by the runtime that carries this
+        #: tracer (``tracer.clock = lambda: env.now``).
+        self.clock = clock
+
+    def now(self) -> float:
+        """Current simulated time, for emitters without an environment."""
+        return self.clock()
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+    def events(self) -> List[TraceEvent]:
+        """The recorded events (empty for non-recording tracers)."""
+        return []
+
+    def __len__(self) -> int:
+        return len(self.events())
+
+
+class NullTracer(Tracer):
+    """The default tracer: records nothing, costs (almost) nothing."""
+
+    __slots__ = ()
+
+
+#: Shared disabled tracer; components default to this instance.
+NULL_TRACER = NullTracer()
+
+
+class FullTracer(Tracer):
+    """Records every emitted event in order."""
+
+    __slots__ = ("_events",)
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = _zero_clock) -> None:
+        super().__init__(clock)
+        self._events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Bulk-append (used when merging streams in tests/tools)."""
+        self._events.extend(events)
+
+
+class RingBufferTracer(Tracer):
+    """Keeps the newest ``capacity`` events; older ones are dropped."""
+
+    __slots__ = ("_events", "capacity")
+
+    enabled = True
+
+    def __init__(
+        self, capacity: int, clock: Callable[[], float] = _zero_clock
+    ) -> None:
+        super().__init__(clock)
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._events: deque = deque(maxlen=self.capacity)
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+
+def make_tracer(buffer: str = "full", limit: int = 0) -> Tracer:
+    """Build a recording tracer from declarative config.
+
+    ``buffer`` is ``"full"`` or ``"ring"``; ``limit`` is the ring
+    capacity (required > 0 for ``"ring"``).  Used by the sweep registry to
+    reconstruct tracers from :class:`~repro.sweep.spec.RunSpec` data.
+    """
+    if buffer == "full":
+        return FullTracer()
+    if buffer == "ring":
+        return RingBufferTracer(limit)
+    raise ConfigurationError(f"unknown tracer buffer {buffer!r}")

@@ -1,0 +1,119 @@
+"""Validate exported Chrome trace JSON against the checked-in schema.
+
+The container ships no ``jsonschema`` dependency, so this module
+implements the small schema subset ``docs/trace_schema.json`` uses:
+``type``, ``required``, ``properties``, ``items``, ``enum``,
+``minItems`` and ``oneOf``.  CI's trace smoke job runs::
+
+    python -m repro.trace.validate out/fig4.chrome.json
+
+which exits non-zero (listing the first errors) when the export drifts
+from the documented format.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, List
+
+from repro.errors import ConfigurationError
+
+#: The checked-in schema the CI smoke job validates against.
+DEFAULT_SCHEMA = Path(__file__).resolve().parents[3] / "docs" / "trace_schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+}
+
+
+def _check(value: Any, schema: dict, path: str, errors: List[str]) -> None:
+    if "oneOf" in schema:
+        branches = schema["oneOf"]
+        for branch in branches:
+            trial: List[str] = []
+            _check(value, branch, path, trial)
+            if not trial:
+                break
+        else:
+            errors.append(f"{path}: matches none of the {len(branches)} variants")
+        return
+
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES.get(expected)
+        if py_type is None:
+            raise ConfigurationError(f"unsupported schema type {expected!r}")
+        if isinstance(value, bool) and expected in ("integer", "number"):
+            errors.append(f"{path}: expected {expected}, got boolean")
+            return
+        if not isinstance(value, py_type):
+            errors.append(
+                f"{path}: expected {expected}, got {type(value).__name__}"
+            )
+            return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+        return
+
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                _check(value[name], sub, f"{path}.{name}", errors)
+
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            errors.append(
+                f"{path}: needs >= {schema['minItems']} items, has {len(value)}"
+            )
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                _check(item, items, f"{path}[{i}]", errors)
+
+
+def validate_payload(payload: Any, schema: dict) -> List[str]:
+    """All schema violations in ``payload`` (empty list = valid)."""
+    errors: List[str] = []
+    _check(payload, schema, "$", errors)
+    return errors
+
+
+def validate_file(trace_path, schema_path=None) -> List[str]:
+    """Validate a Chrome trace JSON file; returns the violation list."""
+    with open(trace_path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    with open(schema_path or DEFAULT_SCHEMA, "r", encoding="utf-8") as fh:
+        schema = json.load(fh)
+    return validate_payload(payload, schema)
+
+
+def main(argv=None) -> int:
+    """CLI entry: validate ``trace.json [schema.json]``; exit status 0/1/2."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv or len(argv) > 2:
+        print(__doc__)
+        return 2
+    errors = validate_file(*argv)
+    if errors:
+        for error in errors[:25]:
+            print(f"INVALID  {error}")
+        if len(errors) > 25:
+            print(f"... and {len(errors) - 25} more")
+        return 1
+    print(f"OK: {argv[0]} conforms to the trace schema")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,414 @@
+"""Tests for the structured trace event bus (repro.trace).
+
+Covers the PR's acceptance criteria: bit-identity of traced vs untraced
+runs, Chrome-trace/JSONL export round-trips, analysis reductions,
+sweep-cache bypass for traced specs, and snapshot/tracer agreement.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies.registry import SCHEDULER_NAMES, make_scheduler
+from repro.errors import ConfigurationError
+from repro.graph.generators import random_layered_dag
+from repro.interference.dvfs_events import DvfsInterference
+from repro.kernels.fixed import FixedWorkKernel
+from repro.machine.dvfs import PeriodicSquareWave
+from repro.machine.presets import jetson_tx2
+from repro.machine.topology import ExecutionPlace
+from repro.metrics.collector import TraceCollector
+from repro.metrics.records import TaskRecord
+from repro.runtime.executor import SimulatedRuntime
+from repro.session import quick_run
+from repro.sim.environment import Environment
+from repro.sweep import RunSpec, SweepRunner
+from repro.trace import (
+    DecisionEvent,
+    FullTracer,
+    NULL_TRACER,
+    PttUpdateEvent,
+    QueueSampleEvent,
+    RingBufferTracer,
+    SpeedEvent,
+    StealEvent,
+    TaskExecEvent,
+    WorkerStateEvent,
+    decision_quality,
+    event_from_dict,
+    event_to_dict,
+    make_tracer,
+    ptt_convergence,
+    read_jsonl,
+    steal_breakdown,
+    summarize,
+    to_chrome_trace,
+    worker_breakdown,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.trace.validate import DEFAULT_SCHEMA, validate_payload
+
+KERNELS = [
+    FixedWorkKernel("small", work=2e-4, parallel_fraction=0.5),
+    FixedWorkKernel("big", work=2e-3, parallel_fraction=0.95,
+                    memory_intensity=0.4),
+]
+
+
+def _run(scheduler: str, seed: int, layers: int, width: int, tracer=None):
+    graph = random_layered_dag(KERNELS, layers, width, seed=seed)
+    env = Environment()
+    runtime = SimulatedRuntime(
+        env, jetson_tx2(), graph, make_scheduler(scheduler),
+        seed=seed, tracer=tracer,
+    )
+    return runtime, runtime.run()
+
+
+def _fingerprint(runtime, result):
+    """Everything observable about a run: records, steals, RNG states."""
+    records = tuple(
+        (r.task_id, r.type_name, r.place, r.ready_time, r.dequeue_time,
+         r.exec_start, r.exec_end, r.observed, r.stolen)
+        for r in result.collector.records
+    )
+    rng_draws = tuple(
+        float(rng.random()) for rng in runtime._steal_rngs
+    ) + (float(runtime._noise_rng.random()), float(runtime._wake_rng.random()))
+    return (
+        result.makespan,
+        result.tasks_completed,
+        records,
+        dict(result.collector.core_busy),
+        result.collector.steals,
+        result.collector.failed_steal_scans,
+        rng_draws,
+    )
+
+
+class TestBitIdentity:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        scheduler=st.sampled_from(SCHEDULER_NAMES),
+        seed=st.integers(min_value=0, max_value=10_000),
+        layers=st.integers(min_value=1, max_value=6),
+        width=st.integers(min_value=1, max_value=5),
+    )
+    def test_traced_run_bit_identical_to_untraced(
+        self, scheduler, seed, layers, width
+    ):
+        """An enabled tracer changes nothing: same RunResult, same records,
+        same post-run RNG states (tracing never consumes randomness)."""
+        base_rt, base = _run(scheduler, seed, layers, width, tracer=None)
+        traced_rt, traced = _run(
+            scheduler, seed, layers, width, tracer=FullTracer()
+        )
+        assert _fingerprint(base_rt, base) == _fingerprint(traced_rt, traced)
+        assert len(traced_rt.tracer.events()) > 0
+
+    def test_null_tracer_records_nothing(self):
+        runtime, _ = _run("dam-c", seed=3, layers=4, width=4, tracer=None)
+        assert runtime.tracer is NULL_TRACER
+        assert len(runtime.tracer) == 0
+
+
+@pytest.fixture(scope="module")
+def fig4_scale_trace():
+    """One fig4-scale traced run (DAM-C, P=4, DVFS interference)."""
+    tracer = FullTracer()
+    wave = PeriodicSquareWave(high_scale=1.0, low_scale=0.3, half_period=0.05)
+    result = quick_run(
+        scheduler="dam-c", parallelism=4, total_tasks=150,
+        scenario=DvfsInterference(cores=(0, 1), wave=wave, until=2.0),
+        tracer=tracer,
+    )
+    return tracer.events(), result
+
+
+class TestExport:
+    def test_jsonl_round_trip_preserves_events(self, fig4_scale_trace, tmp_path):
+        events, _ = fig4_scale_trace
+        path = write_jsonl(tmp_path / "run.jsonl", events)
+        back = read_jsonl(path)
+        assert back == list(events)
+
+    def test_chrome_trace_counts_and_order(self, fig4_scale_trace):
+        events, _ = fig4_scale_trace
+        payload = to_chrome_trace(events, label="test")
+        trace = payload["traceEvents"]
+        slices = [e for e in trace if e.get("ph") == "X"]
+        # One "X" slice per member core of every executed assembly.
+        expected = sum(
+            len(e.cores) for e in events if isinstance(e, TaskExecEvent)
+        )
+        assert len(slices) == expected
+        # Slices appear in commit order (the event-stream order).
+        exec_events = [e for e in events if isinstance(e, TaskExecEvent)]
+        slice_ids = [s["args"]["task_id"] for s in slices]
+        expanded = [
+            e.task_id for e in exec_events for _ in e.cores
+        ]
+        assert slice_ids == expanded
+        # Per-core thread-name metadata covers every participating core.
+        named = {
+            e["tid"] for e in trace
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert named == {c for e in exec_events for c in e.cores}
+        # DVFS transitions surfaced as freq counter samples.
+        assert any(
+            e.get("ph") == "C" and e["name"].startswith("freq_scale c")
+            for e in trace
+        )
+        # PTT predictions surfaced as a counter track (DAM-C trains one).
+        assert any(
+            e.get("ph") == "C" and e["name"].startswith("ptt ")
+            for e in trace
+        )
+
+    def test_chrome_trace_validates_against_schema(
+        self, fig4_scale_trace, tmp_path
+    ):
+        events, _ = fig4_scale_trace
+        path = write_chrome_trace(tmp_path / "run.chrome.json", events)
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        with open(DEFAULT_SCHEMA, "r", encoding="utf-8") as fh:
+            schema = json.load(fh)
+        assert validate_payload(payload, schema) == []
+
+    def test_schema_rejects_malformed_payload(self):
+        with open(DEFAULT_SCHEMA, "r", encoding="utf-8") as fh:
+            schema = json.load(fh)
+        bad = {"traceEvents": [{"ph": "X", "pid": 0}]}
+        assert validate_payload(bad, schema)
+
+    def test_event_dict_round_trip(self):
+        events = [
+            WorkerStateEvent(t=0.1, core=2, state="steal"),
+            QueueSampleEvent(t=0.2, core=1, wsq=3, aq=0, op="push"),
+            StealEvent(t=0.3, thief=1, victim=0, task_id=7, outcome="hit"),
+            DecisionEvent(
+                t=0.4, task_id=7, type_name="k", core=1, leader=0, width=2,
+                kind="steal", priority="high", exploration=True,
+                predictions=((0, 1, 0.5), (0, 2, 0.3)),
+                oracle_leader=0, oracle_width=2,
+            ),
+            PttUpdateEvent(t=0.5, type_name="k", leader=0, width=2,
+                           observed=0.2, old=0.3, new=0.28, samples=4),
+            SpeedEvent(t=0.6, kind="freq_scale", cores=(0, 1), domain="",
+                       value=0.25),
+            TaskExecEvent(t=0.7, task_id=7, type_name="k", leader=0, width=2,
+                          cores=(0, 1), exec_start=0.4, exec_end=0.7,
+                          priority="high", stolen=True),
+        ]
+        for event in events:
+            assert event_from_dict(event_to_dict(event)) == event
+
+
+class TestAnalysis:
+    def test_worker_breakdown_covers_cores_and_is_nonnegative(
+        self, fig4_scale_trace
+    ):
+        events, result = fig4_scale_trace
+        breakdown = worker_breakdown(events)
+        assert breakdown  # at least the cores that did anything
+        for acc in breakdown.values():
+            assert set(acc) == {"exec", "poll", "steal", "idle"}
+            assert all(v >= -1e-12 for v in acc.values())
+            assert sum(acc.values()) <= result.makespan + 1e-9
+
+    def test_steal_breakdown_matches_collector(self, fig4_scale_trace):
+        events, result = fig4_scale_trace
+        steals = steal_breakdown(events)
+        assert sum(s["hit"] for s in steals.values()) == result.collector.steals
+        assert (
+            sum(s["miss"] for s in steals.values())
+            == result.collector.failed_steal_scans
+        )
+
+    def test_decision_quality_bounds(self, fig4_scale_trace):
+        events, _ = fig4_scale_trace
+        quality = decision_quality(events)
+        n_decisions = sum(1 for e in events if isinstance(e, DecisionEvent))
+        assert quality["decisions"] == float(n_decisions) > 0
+        assert 0.0 <= quality["oracle_match"] <= 1.0
+        assert 0.0 < quality["exploration_fraction"] <= 1.0
+
+    def test_ptt_convergence_reports_da_tables(self, fig4_scale_trace):
+        events, _ = fig4_scale_trace
+        convergence = ptt_convergence(events, machine=jetson_tx2())
+        assert convergence  # DAM-C trains a PTT for the matmul type
+        for entry in convergence.values():
+            assert "all" in entry
+            assert any(key.startswith("cluster:") for key in entry)
+
+    def test_summarize_is_human_readable(self, fig4_scale_trace):
+        events, _ = fig4_scale_trace
+        text = summarize(events, machine=jetson_tx2())
+        assert "worker time breakdown" in text
+        assert "decisions:" in text
+        assert "ptt[" in text
+
+
+class TestSnapshotAgreement:
+    def test_snapshot_reports_worker_states_and_assemblies(self):
+        graph = random_layered_dag(KERNELS, 4, 4, seed=5)
+        env = Environment()
+        runtime = SimulatedRuntime(
+            env, jetson_tx2(), graph, make_scheduler("dam-c"), seed=5,
+            tracer=FullTracer(),
+        )
+        runtime.start()
+        seen_exec = False
+        while not runtime.finished:
+            env.step()
+            snap = runtime.snapshot()
+            states = snap["worker_states"]
+            assert all(
+                s in ("exec", "poll", "steal", "idle") for s in states
+            )
+            for state, aid, tid in zip(
+                states, snap["current_assembly"], snap["current_task"]
+            ):
+                # A worker inside an assembly reports both ids; the ids
+                # are always paired.
+                assert (aid is None) == (tid is None)
+                if aid is not None:
+                    seen_exec = True
+            # Snapshot state equals the state the tracer last emitted.
+            last: dict = {}
+            for event in runtime.tracer.events():
+                if isinstance(event, WorkerStateEvent):
+                    last[event.core] = event.state
+            for core, state in last.items():
+                assert states[core] == state
+        assert seen_exec
+
+
+class TestCollectorOccupancy:
+    def _record(self, start=1.0, end=3.0):
+        return TaskRecord(
+            task_id=1, type_name="k", priority=0,
+            place=ExecutionPlace(0, 2), ready_time=0.0, dequeue_time=0.5,
+            exec_start=start, exec_end=end, observed=end - start,
+            stolen=False, metadata={},
+        )
+
+    def test_members_charged_their_occupancy_window(self):
+        collector = TraceCollector(4)
+        # Core 1 arrived at t=0.5 and waited for core 0 (joined at t=1.0,
+        # when execution started); both are occupied until t=3.0.
+        collector.record_task(
+            self._record(), (0, 1), joined_at={0: 1.0, 1: 0.5}
+        )
+        assert collector.core_busy[0] == pytest.approx(2.0)
+        assert collector.core_busy[1] == pytest.approx(2.5)
+        assert collector.core_busy[2] == 0.0
+
+    def test_without_joined_at_charges_duration(self):
+        collector = TraceCollector(2)
+        collector.record_task(self._record(), (0, 1))
+        assert collector.core_busy[0] == pytest.approx(2.0)
+        assert collector.core_busy[1] == pytest.approx(2.0)
+
+
+class TestSweepTraceIntegration:
+    def _spec(self, tmp_path=None, label="run"):
+        params = {
+            "workload": {"name": "layered", "kernel": "matmul",
+                         "parallelism": 2, "total": 30},
+            "machine": "jetson_tx2",
+            "scheduler": "dam-c",
+        }
+        if tmp_path is not None:
+            params["trace"] = {"out_dir": str(tmp_path), "label": label}
+        return RunSpec(kind="single", params=params, seed=1,
+                       metrics=("throughput",))
+
+    def test_traced_spec_bypasses_cache(self, tmp_path):
+        runner = SweepRunner(
+            jobs=1, cache_dir=tmp_path / "cache", use_cache=True,
+            progress=False,
+        )
+        spec = self._spec(tmp_path / "out")
+        runner.run([spec])
+        assert runner.last_stats.executed == 1
+        # No cache entry was written; a second run executes again.
+        assert not (tmp_path / "cache" / f"{spec.key()}.json").exists()
+        runner.run([spec])
+        assert runner.last_stats.hits == 0
+        assert runner.last_stats.executed == 1
+        assert (tmp_path / "out" / "run.chrome.json").exists()
+        assert (tmp_path / "out" / "run.jsonl").exists()
+
+    def test_untraced_spec_still_cached(self, tmp_path):
+        runner = SweepRunner(
+            jobs=1, cache_dir=tmp_path / "cache", use_cache=True,
+            progress=False,
+        )
+        spec = self._spec()
+        first = runner.run([spec])
+        second = runner.run([spec])
+        assert first == second
+        assert runner.last_stats.hits == 1
+
+    def test_trace_config_alters_cache_key(self, tmp_path):
+        assert self._spec().key() != self._spec(tmp_path).key()
+
+    def test_traced_metrics_match_untraced(self, tmp_path):
+        runner = SweepRunner(jobs=1, use_cache=False, progress=False)
+        traced = runner.run([self._spec(tmp_path)])[0]
+        plain = runner.run([self._spec()])[0]
+        assert traced["throughput"] == plain["throughput"]
+        assert traced["trace_events"] > 0
+
+    def test_manifest_written(self, tmp_path):
+        runner = SweepRunner(
+            jobs=1, use_cache=False, progress=False,
+            manifest_dir=tmp_path / "out",
+        )
+        runner.run([self._spec(tmp_path / "out", label="a")])
+        with open(tmp_path / "out" / "manifest.json") as fh:
+            manifest = json.load(fh)
+        assert len(manifest["runs"]) == 1
+        run = manifest["runs"][0]
+        assert run["cached"] is False
+        assert run["wall_time"] > 0
+        assert run["kind"] == "single"
+        assert "version" in run
+
+    def test_heat_cluster_rejects_tracing(self, tmp_path):
+        from repro.sweep.registry import execute_spec
+
+        spec = RunSpec(
+            kind="heat_cluster",
+            params={"nodes": 2, "iterations": 2, "scheduler": "dam-c",
+                    "trace": {"out_dir": str(tmp_path)}},
+            seed=0,
+        )
+        with pytest.raises(ConfigurationError, match="does not support"):
+            execute_spec(spec)
+
+
+class TestTracers:
+    def test_make_tracer_variants(self):
+        assert isinstance(make_tracer("full"), FullTracer)
+        ring = make_tracer("ring", limit=3)
+        assert isinstance(ring, RingBufferTracer)
+        for i in range(5):
+            ring.emit(WorkerStateEvent(t=float(i), core=0, state="idle"))
+        assert len(ring) == 3
+        assert ring.events()[0].t == 2.0
+        with pytest.raises(ConfigurationError):
+            make_tracer("bogus")
+
+    def test_ring_buffer_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferTracer(0)
