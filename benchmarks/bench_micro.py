@@ -112,6 +112,31 @@ def test_runtime_task_throughput_traced(benchmark):
     assert result.tasks_completed == 1000
 
 
+def test_sweep_tiny_fig4(benchmark):
+    """End-to-end sweep path: specs -> registry -> runs -> metric dicts.
+
+    A two-cell fig4 slice through the real :class:`SweepRunner` (serial,
+    uncached), covering spec hashing, dispatch ordering and result
+    assembly on top of the simulator — the path every experiment harness
+    takes.  Gated: a regression here is a regression of the product.
+    """
+    from repro.experiments.common import ExperimentSettings
+    from repro.experiments.fig4_corunner import fig4_spec
+    from repro.sweep import SweepRunner
+
+    settings = ExperimentSettings(scale=0.01)
+    specs = [
+        fig4_spec(settings, "matmul", 2, sched) for sched in ("rws", "dam-c")
+    ]
+
+    def run_sweep():
+        return SweepRunner(jobs=1, use_cache=False, progress=False).run(specs)
+
+    rows = benchmark.pedantic(run_sweep, rounds=3, iterations=1)
+    assert len(rows) == 2
+    assert all(row["throughput"] > 0 for row in rows)
+
+
 def test_speed_model_retime(benchmark):
     """Cost of a rate change with many in-flight work items."""
     env = Environment()

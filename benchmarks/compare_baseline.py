@@ -4,7 +4,12 @@ Usage::
 
     pytest benchmarks/bench_micro.py --benchmark-only \
         --benchmark-json=fresh.json
-    python benchmarks/compare_baseline.py fresh.json
+    python benchmarks/compare_baseline.py fresh.json [baseline.json] \
+        [--json comparison.json]
+
+``--json`` additionally writes the full comparison (per-benchmark ratios
+and gate verdicts) as machine-readable JSON — CI uploads it as a
+workflow artifact so regressions can be inspected without re-running.
 
 Compares each benchmark's ``min`` (the most machine-noise-resistant
 statistic) against ``benchmarks/baseline_micro.json``.  Exits non-zero
@@ -22,14 +27,20 @@ absolute cross-host gate would flake.  The tracer-off overhead gate
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Optional
 
 DEFAULT_BASELINE = Path(__file__).parent / "baseline_micro.json"
 
 
-def compare(fresh_path: str, baseline_path: str = str(DEFAULT_BASELINE)) -> int:
+def compare(
+    fresh_path: str,
+    baseline_path: str = str(DEFAULT_BASELINE),
+    json_out: Optional[str] = None,
+) -> int:
     """Return a process exit code: 0 when no gated benchmark regressed."""
     with open(fresh_path, "r", encoding="utf-8") as fh:
         fresh = {
@@ -41,6 +52,7 @@ def compare(fresh_path: str, baseline_path: str = str(DEFAULT_BASELINE)) -> int:
     threshold = baseline["max_regression"]
     gated = set(baseline["gated"])
     failures = []
+    rows = []
     for name, base_stats in sorted(baseline["benchmarks"].items()):
         if name not in fresh:
             print(f"MISSING  {name}: not in fresh results")
@@ -53,6 +65,16 @@ def compare(fresh_path: str, baseline_path: str = str(DEFAULT_BASELINE)) -> int:
             status = "REGRESSED" if name in gated else "slower (ungated)"
             if name in gated:
                 failures.append(name)
+        rows.append({
+            "benchmark": name,
+            "kind": "absolute",
+            "baseline_min": base_stats["min"],
+            "fresh_min": fresh[name]["min"],
+            "ratio": ratio,
+            "gate": threshold,
+            "gated": name in gated,
+            "status": status,
+        })
         print(
             f"{status:16s} {name}: min {base_stats['min']:.6g}s -> "
             f"{fresh[name]['min']:.6g}s ({ratio:.2f}x, gate {threshold}x"
@@ -70,11 +92,34 @@ def compare(fresh_path: str, baseline_path: str = str(DEFAULT_BASELINE)) -> int:
         status = "ok" if ratio <= max_ratio else "REGRESSED"
         if ratio > max_ratio:
             failures.append(candidate)
+        rows.append({
+            "benchmark": candidate,
+            "kind": "relative",
+            "reference": reference,
+            "fresh_min": fresh[candidate]["min"],
+            "reference_min": fresh[reference]["min"],
+            "ratio": ratio,
+            "gate": max_ratio,
+            "gated": True,
+            "status": status,
+        })
         print(
             f"{status:16s} {candidate} vs {reference}: "
             f"{fresh[candidate]['min']:.6g}s / {fresh[reference]['min']:.6g}s "
             f"({ratio:.3f}x, gate {max_ratio}x [relative])"
         )
+
+    if json_out:
+        payload = {
+            "baseline": str(baseline_path),
+            "max_regression": threshold,
+            "comparisons": rows,
+            "failures": failures,
+            "ok": not failures,
+        }
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\ncomparison written to {json_out}")
 
     if failures:
         print(f"\nFAIL: gated benchmark(s) regressed: {', '.join(failures)}")
@@ -83,8 +128,17 @@ def compare(fresh_path: str, baseline_path: str = str(DEFAULT_BASELINE)) -> int:
     return 0
 
 
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="fresh --benchmark-json output")
+    parser.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="also write the comparison as JSON (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    return compare(args.fresh, args.baseline, json_out=args.json_out)
+
+
 if __name__ == "__main__":
-    if len(sys.argv) < 2:
-        print(__doc__)
-        sys.exit(2)
-    sys.exit(compare(*sys.argv[1:3]))
+    sys.exit(main())

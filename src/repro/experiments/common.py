@@ -52,6 +52,12 @@ class ExperimentSettings:
     every run of every sweep exports Chrome-trace JSON + JSONL into
     ``<trace_out>/<label>/`` alongside a ``manifest.json``.  Traced runs
     bypass the result cache.
+
+    ``adaptive`` switches every sweep to variance-aware replication (see
+    :mod:`repro.sweep.adaptive`): each cell is re-run over derived seeds
+    until the relative CI of its scalar metrics drops below ``ci``,
+    bounded by ``min_seeds``/``max_seeds``.  Off by default — the plain
+    path is bit-identical to a non-adaptive build.
     """
 
     scale: float = 0.05
@@ -60,12 +66,35 @@ class ExperimentSettings:
     cache_dir: Optional[str] = None
     use_cache: bool = False
     trace_out: Optional[str] = None
+    adaptive: bool = False
+    ci: float = 0.02
+    min_seeds: int = 3
+    max_seeds: int = 12
 
     def __post_init__(self) -> None:
         if not (0 < self.scale <= 1.0):
             raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.adaptive and self.trace_out:
+            raise ConfigurationError(
+                "adaptive replication and tracing are mutually exclusive "
+                "(a trace captures one concrete run, not a seed average)"
+            )
+
+    def adaptive_policy(self):
+        """The :class:`~repro.sweep.adaptive.AdaptivePolicy` in force.
+
+        ``None`` when adaptive replication is off — the sweep funnel
+        routes through the plain (bit-identical) path.
+        """
+        if not self.adaptive:
+            return None
+        from repro.sweep import AdaptivePolicy
+
+        return AdaptivePolicy(
+            ci=self.ci, min_seeds=self.min_seeds, max_seeds=self.max_seeds
+        )
 
     def task_count(self, paper_total: int, parallelism: int) -> int:
         return max(parallelism * 10, int(paper_total * self.scale))
@@ -170,7 +199,7 @@ def sweep(specs, settings: ExperimentSettings, label: str):
         progress=settings.jobs > 1 or settings.use_cache,
         manifest_dir=manifest_dir,
     )
-    return runner.run(specs)
+    return runner.run_adaptive(specs, settings.adaptive_policy())
 
 
 def tx2_corunner(kernel_name: str) -> CorunnerInterference:

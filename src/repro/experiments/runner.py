@@ -95,6 +95,34 @@ def main(argv=None) -> int:
         help="neither read nor write the on-disk result cache",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="variance-aware replication: re-run each sweep cell over "
+        "derived seeds until its scalar metrics' relative CI is below "
+        "--ci (see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--ci",
+        type=float,
+        default=0.02,
+        metavar="FRAC",
+        help="adaptive target: relative 95%% CI half-width per cell "
+        "(default 0.02 = ±2%%)",
+    )
+    parser.add_argument(
+        "--min-seeds",
+        type=int,
+        default=3,
+        help="adaptive: replicates every cell gets before the CI rule "
+        "applies (default 3)",
+    )
+    parser.add_argument(
+        "--max-seeds",
+        type=int,
+        default=12,
+        help="adaptive: hard per-cell replicate budget (default 12)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="record structured traces for every run (implies --trace-out "
@@ -135,6 +163,10 @@ def main(argv=None) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         trace_out=trace_out,
+        adaptive=args.adaptive,
+        ci=args.ci,
+        min_seeds=args.min_seeds,
+        max_seeds=args.max_seeds,
     )
     pop_stats()  # drop anything accumulated before this invocation
     for name in names:

@@ -94,10 +94,14 @@ class CorunnerInterference(InterferenceScenario):
         if self._active:
             return
         self._active = True
-        self._speed.set_cpu_share(self.cores, self.cpu_share)
-        if self.memory_demand > 0:
-            for domain in self._domains:
-                self._speed.add_external_demand(domain, self.memory_demand)
+        # One batched transition: the CPU-share change and the bandwidth
+        # demand of every affected domain re-time in-flight work in a
+        # single grouped pass instead of 1 + len(domains) passes.
+        with self._speed.batch():
+            self._speed.set_cpu_share(self.cores, self.cpu_share)
+            if self.memory_demand > 0:
+                for domain in self._domains:
+                    self._speed.add_external_demand(domain, self.memory_demand)
 
     def deactivate(self) -> None:
         """Remove the co-runner's effects now."""
@@ -106,10 +110,11 @@ class CorunnerInterference(InterferenceScenario):
         if not self._active:
             return
         self._active = False
-        self._speed.set_cpu_share(self.cores, 1.0)
-        if self.memory_demand > 0:
-            for domain in self._domains:
-                self._speed.remove_external_demand(domain, self.memory_demand)
+        with self._speed.batch():
+            self._speed.set_cpu_share(self.cores, 1.0)
+            if self.memory_demand > 0:
+                for domain in self._domains:
+                    self._speed.remove_external_demand(domain, self.memory_demand)
 
     @property
     def active(self) -> bool:

@@ -3,17 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 from repro.util.validation import require_positive
 
 
+@lru_cache(maxsize=None)
 def divisor_widths(n: int) -> Tuple[int, ...]:
     """All divisors of ``n`` — the legal resource widths within a cluster.
 
     A width is legal when assemblies of that width tile the cluster exactly
     (XiTAO's aligned elastic places).  E.g. a 4-core cluster supports widths
-    (1, 2, 4); a 10-core socket supports (1, 2, 5, 10).
+    (1, 2, 4); a 10-core socket supports (1, 2, 5, 10).  Cached: the
+    result is pure in ``n`` and the schedulers query widths on every
+    placement decision.
     """
     if n <= 0:
         raise ValueError(f"cluster size must be positive, got {n}")

@@ -22,7 +22,8 @@ is what the runtime's Performance Trace Table observes.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, RuntimeStateError
 from repro.machine.topology import Machine
@@ -121,22 +122,38 @@ class SpeedModel:
             d: 0.0 for d in machine.memory_bandwidth
         }
         self._active: Dict[int, ActiveWork] = {}
-        #: Number of in-flight work items per core.  One runtime never
-        #: oversubscribes a core (a worker runs one assembly at a time),
-        #: but two runtimes sharing this model — a live co-runner — do;
-        #: the OS then time-slices, giving each work 1/k of the core.
-        self._active_per_core: List[int] = [0] * n
-        #: In-flight work items per memory domain, and the total demand
-        #: (external + active items) per domain — maintained incrementally
-        #: so rate changes that cannot touch any in-flight item are
-        #: detected (and skipped) in O(1).
-        self._active_per_domain: Dict[str, int] = {
-            d: 0 for d in machine.memory_bandwidth
+        #: In-flight work items per core, keyed by work id.  One runtime
+        #: never oversubscribes a core (a worker runs one assembly at a
+        #: time), but two runtimes sharing this model — a live co-runner —
+        #: do; the OS then time-slices, giving each work 1/k of the core.
+        #: The index lets a transition touching a few cores re-time only
+        #: the items actually running there.
+        self._core_items: List[Dict[int, ActiveWork]] = [{} for _ in range(n)]
+        #: In-flight work items per memory domain (same role as the
+        #: per-core index, for bandwidth-factor changes), and the total
+        #: demand (external + active items) per domain — maintained
+        #: incrementally so rate changes that cannot touch any in-flight
+        #: item are detected (and skipped) in O(1).
+        self._domain_items: Dict[str, Dict[int, ActiveWork]] = {
+            d: {} for d in machine.memory_bandwidth
         }
         self._demand_totals: Dict[str, float] = {
             d: 0.0 for d in machine.memory_bandwidth
         }
         self._last_update = env.now
+        #: Whether any in-flight item may have run out of work since the
+        #: last :meth:`_complete_finished` sweep.  Items only finish by
+        #: being advanced across zero, so the flag is set in
+        #: :meth:`_advance` and lets every other path skip its O(active)
+        #: finished-item scan.
+        self._maybe_finished = False
+        # Batched-transition state (see :meth:`batch`): while a batch is
+        # open, transitions accumulate affected cores and pre-mutation
+        # domain factors here instead of re-timing immediately.
+        self._batch_depth = 0
+        self._batch_dirty = False
+        self._batch_cores: set = set()
+        self._batch_factors: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # dynamic state
@@ -148,7 +165,7 @@ class SpeedModel:
         the core (live co-runners).
         """
         spec = self.machine.cores[core_id]
-        timeshare = 1.0 / max(1, self._active_per_core[core_id])
+        timeshare = 1.0 / max(1, len(self._core_items[core_id]))
         return (
             spec.base_speed
             * self._freq_scale[core_id]
@@ -158,7 +175,7 @@ class SpeedModel:
 
     def active_on_core(self, core_id: int) -> int:
         """Number of in-flight work items occupying ``core_id``."""
-        return self._active_per_core[core_id]
+        return len(self._core_items[core_id])
 
     def freq_scale(self, core_id: int) -> float:
         return self._freq_scale[core_id]
@@ -187,32 +204,89 @@ class SpeedModel:
             return float("inf")
         return work / rate
 
+    @contextmanager
+    def batch(self):
+        """Coalesce several transitions into one grouped re-timing pass.
+
+        An interference transition often mutates several knobs at once —
+        a co-runner arriving changes the CPU share of N cores *and* adds
+        bandwidth demand to their domain.  Applied naively, each call
+        re-times the affected in-flight work separately.  Inside a
+        ``with speed.batch():`` block the mutations apply immediately
+        (state reads stay consistent) but the re-timing is deferred and
+        performed once, over the union of affected cores and domains,
+        when the outermost batch closes.  A batch must not span simulated
+        time (no yields inside the block).
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                cores = self._batch_cores
+                factors = self._batch_factors
+                dirty = self._batch_dirty
+                self._batch_cores = set()
+                self._batch_factors = {}
+                self._batch_dirty = False
+                if dirty:
+                    self._retime_affected(cores, factors)
+
+    def _after_transition(
+        self,
+        cores: Sequence[int] = (),
+        factors_before: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Re-time after a transition, or defer it to the open batch.
+
+        ``cores`` are the cores whose per-core rate inputs changed while
+        hosting in-flight work; ``factors_before`` maps each mutated
+        domain to its bandwidth factor *before* the mutation.
+        """
+        if self._batch_depth:
+            self._batch_cores.update(cores)
+            if factors_before:
+                for domain, factor in factors_before.items():
+                    # Keep the earliest pre-mutation snapshot: a batch
+                    # whose net demand change is zero needs no re-time.
+                    self._batch_factors.setdefault(domain, factor)
+            self._batch_dirty = True
+        else:
+            self._retime_affected(cores, factors_before or {})
+
+    def _transition_cores(
+        self, table: List[float], core_ids: Iterable[int], value: float, kind: str
+    ) -> None:
+        """Apply a per-core rate-input change and re-time what it touched."""
+        core_ids = list(core_ids)
+        for cid in core_ids:
+            self.machine._check_core(cid)
+        # Only cores that host in-flight work *and* actually change value
+        # can alter an active rate; everything else is a pure table write.
+        affected = [
+            cid for cid in core_ids
+            if self._core_items[cid] and table[cid] != value
+        ]
+        if affected:
+            self._advance()
+        for cid in core_ids:
+            table[cid] = value
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SpeedEvent(
+                    t=self.env.now, kind=kind,
+                    cores=tuple(core_ids), domain="", value=value,
+                )
+            )
+        if affected:
+            self._after_transition(cores=affected)
+
     def set_freq_scale(self, core_ids: Iterable[int], scale: float) -> None:
         """Set the DVFS frequency scale of ``core_ids`` to ``scale`` in (0, 1]."""
         if not (0 < scale <= 1.0):
             raise ConfigurationError(f"freq scale must be in (0, 1], got {scale}")
-        core_ids = list(core_ids)
-        for cid in core_ids:
-            self.machine._check_core(cid)
-        # A change that touches no core with in-flight work (or changes no
-        # value) cannot alter any active rate: skip the full re-time.
-        affected = any(
-            self._active_per_core[cid] and self._freq_scale[cid] != scale
-            for cid in core_ids
-        )
-        if affected:
-            self._advance()
-        for cid in core_ids:
-            self._freq_scale[cid] = scale
-        if self.tracer.enabled:
-            self.tracer.emit(
-                SpeedEvent(
-                    t=self.env.now, kind="freq_scale",
-                    cores=tuple(core_ids), domain="", value=scale,
-                )
-            )
-        if affected:
-            self._retime()
+        self._transition_cores(self._freq_scale, core_ids, scale, "freq_scale")
 
     def set_cpu_share(self, core_ids: Iterable[int], share: float) -> None:
         """Set the CPU time share available to the runtime on ``core_ids``.
@@ -222,26 +296,7 @@ class SpeedModel:
         """
         if not (0 < share <= 1.0):
             raise ConfigurationError(f"cpu share must be in (0, 1], got {share}")
-        core_ids = list(core_ids)
-        for cid in core_ids:
-            self.machine._check_core(cid)
-        affected = any(
-            self._active_per_core[cid] and self._cpu_share[cid] != share
-            for cid in core_ids
-        )
-        if affected:
-            self._advance()
-        for cid in core_ids:
-            self._cpu_share[cid] = share
-        if self.tracer.enabled:
-            self.tracer.emit(
-                SpeedEvent(
-                    t=self.env.now, kind="cpu_share",
-                    cores=tuple(core_ids), domain="", value=share,
-                )
-            )
-        if affected:
-            self._retime()
+        self._transition_cores(self._cpu_share, core_ids, share, "cpu_share")
 
     def add_external_demand(self, domain: str, amount: float) -> None:
         """Register persistent memory-bandwidth demand (e.g. a co-runner)."""
@@ -249,9 +304,10 @@ class SpeedModel:
             raise ConfigurationError(f"unknown memory domain {domain!r}")
         if amount < 0:
             raise ConfigurationError(f"demand must be >= 0, got {amount}")
-        affected = amount > 0 and self._active_per_domain[domain] > 0
+        affected = amount > 0 and bool(self._domain_items[domain])
         if affected:
             self._advance()
+            factor_before = self._domain_factor(domain)
         self._external_demand[domain] += amount
         self._demand_totals[domain] += amount
         if self.tracer.enabled:
@@ -262,15 +318,16 @@ class SpeedModel:
                 )
             )
         if affected:
-            self._retime()
+            self._after_transition(factors_before={domain: factor_before})
 
     def remove_external_demand(self, domain: str, amount: float) -> None:
         """Remove previously registered external demand."""
         if domain not in self._external_demand:
             raise ConfigurationError(f"unknown memory domain {domain!r}")
-        affected = amount > 0 and self._active_per_domain[domain] > 0
+        affected = amount > 0 and bool(self._domain_items[domain])
         if affected:
             self._advance()
+            factor_before = self._domain_factor(domain)
         self._external_demand[domain] -= amount
         self._demand_totals[domain] -= amount
         if self._external_demand[domain] < -_EPS:
@@ -289,7 +346,7 @@ class SpeedModel:
                 )
             )
         if affected:
-            self._retime()
+            self._after_transition(factors_before={domain: factor_before})
 
     def external_demand(self, domain: str) -> float:
         return self._external_demand[domain]
@@ -340,23 +397,28 @@ class SpeedModel:
         # through the domain's bandwidth factor.  When neither moves — the
         # overwhelmingly common case for a single runtime on undersubscribed
         # memory — only the new item needs (re)timing.
-        finished_pending = any(
-            other.remaining <= _EPS for other in self._active.values()
-        )
+        finished_pending = self._maybe_finished
         shared_core = False
         for core in cores:
-            self._active_per_core[core] += 1
-            if self._active_per_core[core] > 1:
+            members = self._core_items[core]
+            if members:
                 shared_core = True
+            members[item.work_id] = item
         domain = item.domain
         factor_before = self._domain_factor(domain)
-        self._active_per_domain[domain] += 1
+        self._domain_items[domain][item.work_id] = item
         self._demand_totals[domain] += item.demand
-        factor_after = self._domain_factor(domain)
+        factor_changed = self._domain_factor(domain) != factor_before
         self._active[item.work_id] = item
 
-        if finished_pending or shared_core or factor_after != factor_before:
-            self._retime()
+        if finished_pending or shared_core or factor_changed:
+            self._retime_affected(
+                cores if shared_core else (),
+                {domain: factor_before} if factor_changed else {},
+            )
+            if not (shared_core or factor_changed):
+                # Neither selection criterion covers the new item itself.
+                self._set_rate_and_check(item)
         else:
             self._set_rate_and_check(item)
         return item
@@ -383,43 +445,52 @@ class SpeedModel:
         if dt < 0:
             raise RuntimeStateError("simulation time moved backwards")
         if dt > 0:
+            maybe_finished = self._maybe_finished
             for item in self._active.values():
-                item.remaining -= dt * item._rate
-                if item.remaining < 0:
-                    item.remaining = 0.0
+                remaining = item.remaining - dt * item._rate
+                if remaining <= _EPS:
+                    maybe_finished = True
+                    if remaining < 0:
+                        remaining = 0.0
+                item.remaining = remaining
+            self._maybe_finished = maybe_finished
         self._last_update = now
 
     def _complete_finished(self) -> tuple:
         """Remove and trigger every item whose work has run out.
 
-        Returns ``(shared, factors_before)``: whether any finished item was
-        time-slicing a core with a survivor, and the pre-removal bandwidth
-        factor of each touched domain — the ingredients for deciding
-        whether survivors need re-timing.  ``done`` events are only
-        *triggered* here — their callbacks run from the environment loop,
-        so no runtime bookkeeping re-enters this method mid-update.
+        Returns ``(freed, factors_before)``: the cores a finished item was
+        time-slicing with a survivor, and the pre-removal bandwidth factor
+        of each touched domain — the ingredients for deciding which
+        survivors need re-timing.  ``done`` events are only *triggered*
+        here — their callbacks run from the environment loop, so no
+        runtime bookkeeping re-enters this method mid-update.
         """
+        if not self._maybe_finished:
+            return (), {}
         finished = [
             item for item in self._active.values() if item.remaining <= _EPS
         ]
+        self._maybe_finished = False
         if not finished:
-            return False, {}
-        shared = False
+            return (), {}
+        freed: set = set()
         factors_before: Dict[str, float] = {}
         for item in finished:
             factors_before.setdefault(item.domain, self._domain_factor(item.domain))
             del self._active[item.work_id]
             for core in item.cores:
-                if self._active_per_core[core] > 1:
-                    shared = True
-                self._active_per_core[core] -= 1
-            self._active_per_domain[item.domain] -= 1
+                members = self._core_items[core]
+                del members[item.work_id]
+                if members:
+                    freed.add(core)
+            del self._domain_items[item.domain][item.work_id]
             self._demand_totals[item.domain] -= item.demand
             self._cancel_marker(item)
         for item in finished:
             item._version += 1
             item.done.succeed(self.env.now - item.started_at)
-        return shared, factors_before
+        return freed, factors_before
 
     def _settle(self) -> None:
         """Complete finished items; re-time survivors only when needed.
@@ -427,22 +498,66 @@ class SpeedModel:
         A completion changes a survivor's rate only by freeing a shared
         core or by relaxing an oversubscribed domain; otherwise every
         surviving item's pending completion check is still exact and the
-        full re-computation is skipped.
+        re-computation is skipped entirely.
         """
-        shared, factors_before = self._complete_finished()
+        self._retime_affected((), {})
+
+    def _retime_affected(
+        self,
+        cores: Sequence[int] = (),
+        factors_before: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Complete finished items, then re-time only touched survivors.
+
+        ``cores`` are cores whose rate inputs changed; ``factors_before``
+        maps mutated domains to their pre-mutation bandwidth factors.
+        Completions discovered here widen the selection with the cores
+        they freed and the domains they relaxed.
+        """
+        freed, completion_factors = self._complete_finished()
+        merged = dict(factors_before) if factors_before else {}
+        for domain, factor in completion_factors.items():
+            # The earliest snapshot wins: a net-zero factor move needs no
+            # re-time even when intermediate mutations touched the domain.
+            merged.setdefault(domain, factor)
         if not self._active:
             return
-        if shared or any(
-            self._domain_factor(d) != f for d, f in factors_before.items()
-        ):
-            for item in self._active.values():
-                self._set_rate_and_check(item)
+        to_retime: Dict[int, ActiveWork] = {}
+        for core in cores:
+            to_retime.update(self._core_items[core])
+        for core in sorted(freed):
+            to_retime.update(self._core_items[core])
+        for domain in sorted(merged):
+            if self._domain_factor(domain) != merged[domain]:
+                to_retime.update(self._domain_items[domain])
+        if to_retime:
+            self._retime_items(to_retime)
 
-    def _retime(self) -> None:
-        """Complete finished items, then recompute all rates and checks."""
-        self._complete_finished()
-        for item in self._active.values():
-            self._set_rate_and_check(item)
+    def _retime_items(self, to_retime: Dict[int, ActiveWork]) -> None:
+        """One grouped pass re-timing ``to_retime`` (keyed by work id).
+
+        The slowest-member compute rate is evaluated once per distinct
+        core-set and the bandwidth factor once per domain, and items are
+        visited in work-id order so the pass is deterministic regardless
+        of how the selection was assembled.
+        """
+        compute_rates: Dict[Tuple[int, ...], float] = {}
+        factors: Dict[str, float] = {}
+        for work_id in sorted(to_retime):
+            item = to_retime[work_id]
+            cores = item.cores
+            compute_rate = compute_rates.get(cores)
+            if compute_rate is None:
+                if len(cores) == 1:
+                    compute_rate = self.core_rate(cores[0])
+                else:
+                    compute_rate = min(self.core_rate(c) for c in cores)
+                compute_rates[cores] = compute_rate
+            factor = factors.get(item.domain)
+            if factor is None:
+                factor = self._domain_factor(item.domain)
+                factors[item.domain] = factor
+            self._apply_rate(item, compute_rate, factor)
 
     def _set_rate_and_check(self, item: ActiveWork) -> None:
         """Recompute one item's rate and (re)schedule its completion check."""
@@ -451,12 +566,24 @@ class SpeedModel:
             compute_rate = self.core_rate(cores[0])
         else:
             compute_rate = min(self.core_rate(c) for c in cores)
-        factor = self._domain_factor(item.domain)
+        self._apply_rate(item, compute_rate, self._domain_factor(item.domain))
+
+    def _apply_rate(
+        self, item: ActiveWork, compute_rate: float, factor: float
+    ) -> None:
+        """Store ``item``'s new rate and refresh its completion check.
+
+        An unchanged rate with a still-pending check is a no-op: the
+        scheduled completion time is still exact (the rate was constant
+        since it was computed), so the marker needs no heap churn.
+        """
         m = item.memory_intensity
         rate = compute_rate * ((1.0 - m) + m * factor)
+        marker = item._marker
+        if rate == item._rate and marker is not None and not marker.processed:
+            return
         item._rate = rate
         item._version += 1
-        marker = item._marker
         if marker is not None:
             item._marker = None
             if not marker.processed:

@@ -116,6 +116,7 @@ class Machine:
                     places.append(ExecutionPlace(leader, width))
         places.sort()
         self._places: Tuple[ExecutionPlace, ...] = tuple(places)
+        self._valid_places = frozenset(places)
         self._places_by_leader: Dict[int, Tuple[ExecutionPlace, ...]] = {}
         for cid in range(len(self.cores)):
             self._places_by_leader[cid] = tuple(
@@ -157,12 +158,7 @@ class Machine:
 
     def is_valid_place(self, place: ExecutionPlace) -> bool:
         """Whether ``place`` is aligned, in-range, and within one cluster."""
-        if not (0 <= place.leader < len(self.cores)):
-            return False
-        cluster = self._cluster_of_core[place.leader]
-        if place.width not in cluster.widths:
-            return False
-        return (place.leader - cluster.first_core) % place.width == 0
+        return place in self._valid_places
 
     def validate_place(self, place: ExecutionPlace) -> ExecutionPlace:
         """Return ``place`` or raise :class:`TopologyError`."""

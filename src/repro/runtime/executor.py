@@ -29,6 +29,7 @@ from repro.core.policies.base import SchedulerPolicy
 from repro.errors import RuntimeStateError, SchedulingError
 from repro.graph.dag import TaskGraph
 from repro.graph.task import Task
+from repro.kernels.base import WorkProfile
 from repro.machine.speed import SpeedModel
 from repro.machine.topology import ExecutionPlace, Machine
 from repro.metrics.collector import TraceCollector
@@ -150,6 +151,12 @@ class SimulatedRuntime:
         self._current_assembly: List[Optional[Assembly]] = [None] * n
         self._idle_events: Dict[int, Event] = {}
         self._ready_time: Dict[int, float] = {}
+        #: Memoized kernel cost profiles.  ``KernelModel.profile`` is pure
+        #: in (kernel, machine, place) and the machine is fixed for the
+        #: executor's lifetime, so profiles are computed once per distinct
+        #: (kernel instance, place) pair.  Keying on the kernel object
+        #: itself (identity hash) keeps it alive, so ids cannot be reused.
+        self._profile_cache: Dict[tuple, WorkProfile] = {}
         self._shutdown = False
         self._started = False
         self._start_time = 0.0
@@ -374,6 +381,15 @@ class SimulatedRuntime:
     # ------------------------------------------------------------------
     # dispatch & execution
     # ------------------------------------------------------------------
+    def _profile_for(self, kernel, place: ExecutionPlace) -> WorkProfile:
+        """Cached :meth:`KernelModel.profile` for this machine."""
+        key = (kernel, place)
+        profile = self._profile_cache.get(key)
+        if profile is None:
+            profile = kernel.profile(self.machine, place)
+            self._profile_cache[key] = profile
+        return profile
+
     def _dispatch(
         self,
         task: Task,
@@ -384,7 +400,7 @@ class SimulatedRuntime:
         """Wrap ``task`` in an assembly at ``place`` and enqueue it."""
         self.machine.validate_place(place)
         cores = self.machine.place_cores(place)
-        profile = task.kernel.profile(self.machine, place)
+        profile = self._profile_for(task.kernel, place)
         if self._tracing:
             self._emit_decision(task, place, deciding_core, stolen)
         assembly = Assembly(self.env, task, place, cores, profile)
@@ -432,7 +448,7 @@ class SimulatedRuntime:
         oracle_leader, oracle_width = -1, -1
         best = float("inf")
         for p in self.machine.places:
-            prof = task.kernel.profile(self.machine, p)
+            prof = self._profile_for(task.kernel, p)
             est = self.speed.estimate_time(
                 self.machine.place_cores(p), prof.work,
                 memory_intensity=prof.memory_intensity,

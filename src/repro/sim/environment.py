@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.sim.events import NORMAL, URGENT, Event, EventQueue
+from repro.sim.events import NORMAL, PENDING, URGENT, Event, EventQueue
 
 
 class Interrupt(Exception):
@@ -171,10 +171,6 @@ class Environment:
         if event.triggered:
             raise RuntimeError("event already triggered")
         event._ok = True
-        if event._value is None:
-            event._value = None
-        from repro.sim.events import PENDING
-
         if event._value is PENDING:
             event._value = None
         self._queue.push(time, NORMAL, event)

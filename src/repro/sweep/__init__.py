@@ -21,6 +21,13 @@ Typical use::
     rows = SweepRunner(jobs=4).run(specs)
 """
 
+from repro.sweep.adaptive import (
+    ADAPTIVE_KEY,
+    AdaptivePolicy,
+    aggregate_replicates,
+    replicate_spec,
+)
+from repro.sweep.cost import CostModel
 from repro.sweep.engine import (
     SweepRunner,
     SweepStats,
@@ -31,13 +38,18 @@ from repro.sweep.registry import execute_spec
 from repro.sweep.spec import RunSpec, data_to_place, derive_seed, place_to_data
 
 __all__ = [
+    "ADAPTIVE_KEY",
+    "AdaptivePolicy",
+    "CostModel",
     "RunSpec",
     "SweepRunner",
     "SweepStats",
+    "aggregate_replicates",
     "data_to_place",
     "default_cache_dir",
     "derive_seed",
     "execute_spec",
     "place_to_data",
     "pop_stats",
+    "replicate_spec",
 ]

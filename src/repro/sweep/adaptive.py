@@ -1,0 +1,173 @@
+"""Variance-aware adaptive replication for sweeps.
+
+A *cell* is one base :class:`~repro.sweep.spec.RunSpec`; replicates of a
+cell re-run it with seeds derived deterministically from the base seed
+(:func:`replicate_spec`).  :class:`AdaptivePolicy` describes the stopping
+rule: every cell gets at least ``min_seeds`` replicates, then grows —
+round by round — until the Student-t confidence interval of every scalar
+metric is narrower than ``ci`` (relative to the mean), or ``max_seeds``
+is reached.
+
+Aggregation (:func:`aggregate_replicates`) averages scalar metrics over
+the replicates; non-scalar metrics keep replicate 0's value.  Auxiliary
+convergence data lands under the reserved ``"adaptive"`` key of the
+returned metrics dict.  With a single replicate the aggregate equals
+replicate 0's metrics bit-for-bit (plus the auxiliary key), which is what
+makes ``min_seeds == max_seeds == 1`` indistinguishable from a plain
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sweep.spec import RunSpec, derive_seed
+from repro.util.stats import Welford
+
+#: Reserved metrics key carrying adaptive-replication bookkeeping.
+ADAPTIVE_KEY = "adaptive"
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Stopping rule of the variance-aware replication loop.
+
+    Attributes
+    ----------
+    ci:
+        Target *relative* CI half-width (e.g. ``0.02`` = ±2% of the
+        mean at 95% confidence).  ``0`` never converges early, so every
+        cell runs the full ``max_seeds``.
+    min_seeds:
+        Replicates every cell gets before the stopping rule is consulted
+        (at least 1; CIs need 2+ to be finite).
+    max_seeds:
+        Hard per-cell replicate budget.
+    confidence:
+        Confidence level of the Student-t interval.
+    growth:
+        Replicates added to each unconverged cell per round.
+    """
+
+    ci: float = 0.02
+    min_seeds: int = 3
+    max_seeds: int = 12
+    confidence: float = 0.95
+    growth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ci < 0:
+            raise ConfigurationError(f"ci must be >= 0, got {self.ci}")
+        if self.min_seeds < 1:
+            raise ConfigurationError(
+                f"min_seeds must be >= 1, got {self.min_seeds}"
+            )
+        if self.max_seeds < self.min_seeds:
+            raise ConfigurationError(
+                f"max_seeds ({self.max_seeds}) < min_seeds ({self.min_seeds})"
+            )
+        if not (0.0 < self.confidence < 1.0):
+            raise ConfigurationError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.growth < 1:
+            raise ConfigurationError(f"growth must be >= 1, got {self.growth}")
+
+
+def replicate_spec(spec: RunSpec, rep: int) -> RunSpec:
+    """The ``rep``-th replicate of ``spec``.
+
+    Replicate 0 *is* the base spec, unchanged — its cache entry is shared
+    with non-adaptive sweeps of the same cell.  Higher replicates derive
+    their seed from the base seed (stable across processes) and carry a
+    ``replicate`` tag for bookkeeping.
+    """
+    if rep < 0:
+        raise ConfigurationError(f"replicate index must be >= 0, got {rep}")
+    if rep == 0:
+        return spec
+    return replace(
+        spec,
+        seed=derive_seed(spec.seed, "replicate", rep),
+        tags={**dict(spec.tags), "replicate": rep},
+    )
+
+
+def _is_scalar(value: Any) -> bool:
+    """Whether a metric value participates in averaging."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def scalar_accumulators(
+    results: Sequence[Dict[str, Any]]
+) -> Dict[str, Welford]:
+    """Welford accumulators of every scalar metric, folded in rep order.
+
+    Only metrics that are scalar in *every* replicate are averaged; the
+    scalar/non-scalar split is decided by replicate 0.
+    """
+    if not results:
+        raise ConfigurationError("no replicate results to aggregate")
+    accs: Dict[str, Welford] = {}
+    for name, value in results[0].items():
+        if name != ADAPTIVE_KEY and _is_scalar(value):
+            accs[name] = Welford()
+    for result in results:
+        for name, acc in accs.items():
+            value = result.get(name)
+            if not _is_scalar(value):
+                raise ConfigurationError(
+                    f"metric {name!r} is scalar in replicate 0 but "
+                    f"{value!r} in a later replicate"
+                )
+            acc.add(value)
+    return accs
+
+
+def converged(
+    accs: Dict[str, Welford], policy: AdaptivePolicy
+) -> bool:
+    """Whether every scalar metric meets the relative-CI target."""
+    return all(
+        acc.relative_ci(policy.confidence) <= policy.ci for acc in accs.values()
+    )
+
+
+def aggregate_replicates(
+    results: Sequence[Dict[str, Any]], policy: AdaptivePolicy
+) -> Dict[str, Any]:
+    """Combine per-replicate metric dicts into one cell result.
+
+    Scalar metrics become their mean over replicates; everything else
+    keeps replicate 0's value.  Convergence bookkeeping (replicate count,
+    per-metric relative CI, whether the target was met) is attached under
+    :data:`ADAPTIVE_KEY`.
+    """
+    accs = scalar_accumulators(results)
+    out: Dict[str, Any] = dict(results[0])
+    cis: Dict[str, float] = {}
+    for name, acc in accs.items():
+        # A single replicate keeps the original value (and its type: an
+        # int metric stays int) — the replicates-off identity guarantee.
+        out[name] = results[0][name] if acc.count == 1 else acc.mean
+        rel = acc.relative_ci(policy.confidence)
+        cis[name] = rel if rel != float("inf") else None
+    out[ADAPTIVE_KEY] = {
+        "replicates": len(results),
+        "relative_ci": cis,
+        "target_ci": policy.ci,
+        "converged": converged(accs, policy),
+    }
+    return out
+
+
+__all__ = [
+    "ADAPTIVE_KEY",
+    "AdaptivePolicy",
+    "aggregate_replicates",
+    "converged",
+    "replicate_spec",
+    "scalar_accumulators",
+]

@@ -9,6 +9,17 @@ version bump invalidates everything.  Misses fan out over a
 spec (each worker builds its own environment and RNGs from the spec's
 seed), parallel results are bit-identical to serial ones regardless of
 scheduling order.
+
+Two throughput layers sit on top of the plain fan-out:
+
+* **Predictive dispatch** — a persistent :class:`~repro.sweep.cost.CostModel`
+  learns per-spec wall times and orders pool submission longest-first, so
+  the slowest run never starts last.  Advisory only: submission order
+  cannot change any result (results are keyed by content hash).
+* **Adaptive replication** (:meth:`SweepRunner.run_adaptive`) — replicate
+  each cell across derived seeds until the confidence interval of its
+  scalar metrics is tighter than the policy's target, instead of paying a
+  fixed worst-case seed count everywhere.
 """
 
 from __future__ import annotations
@@ -23,6 +34,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sweep.adaptive import (
+    AdaptivePolicy,
+    aggregate_replicates,
+    converged,
+    replicate_spec,
+    scalar_accumulators,
+)
+from repro.sweep.cost import COST_MODEL_FILE, CostModel
 from repro.sweep.registry import execute_spec
 from repro.sweep.spec import RunSpec
 
@@ -48,18 +67,47 @@ class SweepStats:
     executed: int = 0
     jobs: int = 1
     elapsed: float = 0.0
+    #: Adaptive replication only: distinct cells, replicates run beyond
+    #: the per-cell minimum, and replicates avoided against the per-cell
+    #: maximum.  All zero for plain sweeps.
+    cells: int = 0
+    seeds_added: int = 0
+    seeds_saved: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.unique if self.unique else 0.0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.specs} runs ({self.unique} unique): "
             f"{self.hits} cached, {self.executed} executed on "
             f"{self.jobs} worker{'s' if self.jobs != 1 else ''} "
             f"in {self.elapsed:.1f}s (hit rate {self.hit_rate:.0%})"
         )
+        if self.cells:
+            text += (
+                f"; adaptive: {self.cells} cells, "
+                f"+{self.seeds_added} seeds grown, "
+                f"{self.seeds_saved} seeds saved"
+            )
+        return text
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (feeds the sweep manifest)."""
+        return {
+            "label": self.label,
+            "specs": self.specs,
+            "unique": self.unique,
+            "hits": self.hits,
+            "executed": self.executed,
+            "hit_rate": self.hit_rate,
+            "jobs": self.jobs,
+            "elapsed": self.elapsed,
+            "cells": self.cells,
+            "seeds_added": self.seeds_added,
+            "seeds_saved": self.seeds_saved,
+        }
 
 
 #: Stats of completed sweeps, drained by the CLI for per-figure summaries.
@@ -77,7 +125,7 @@ def _pool_execute(payload: Tuple[str, RunSpec]) -> Tuple[str, Dict[str, Any], fl
     """Top-level worker entry point (must be picklable).
 
     Returns ``(key, metrics, wall_time)`` — the per-run wall time feeds
-    the sweep manifest.
+    the sweep manifest and the cost model.
     """
     key, spec = payload
     start = time.perf_counter()
@@ -108,7 +156,8 @@ class SweepRunner:
         Result-cache directory; default ``~/.cache/repro-sweeps`` (or
         ``$REPRO_SWEEP_CACHE``).
     use_cache:
-        When False, neither reads nor writes the cache.
+        When False, neither reads nor writes the cache (nor persists the
+        cost model — predictions still order dispatch in-memory).
     label:
         Name used in progress lines and stats (e.g. the figure name).
     progress:
@@ -116,7 +165,8 @@ class SweepRunner:
     manifest_dir:
         When set, :meth:`run` writes ``manifest.json`` there: one entry
         per spec with its cache key, kind, tags, seed, package version,
-        per-run wall time and whether it was served from the cache.
+        per-run wall time and whether it was served from the cache, plus
+        the sweep's :class:`SweepStats`.
     """
 
     def __init__(
@@ -137,6 +187,9 @@ class SweepRunner:
         self.progress = progress
         self.manifest_dir = Path(manifest_dir) if manifest_dir else None
         self.last_stats: Optional[SweepStats] = None
+        self.cost_model = CostModel(
+            self.cache_dir / COST_MODEL_FILE if use_cache else None
+        )
 
     # -- cache ----------------------------------------------------------
     def _cache_path(self, key: str) -> Path:
@@ -148,10 +201,15 @@ class SweepRunner:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, json.JSONDecodeError):
+            # Unreadable or corrupt/truncated JSON: treat as a miss — the
+            # run is recomputed and the entry rewritten.
             return None
-        if entry.get("key") != key:
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            # Parseable JSON of the wrong shape (or a hash mismatch) is
+            # corruption too, not an error.
             return None
-        return entry.get("metrics")
+        metrics = entry.get("metrics")
+        return metrics if isinstance(metrics, dict) else None
 
     def _cache_store(self, spec: RunSpec, key: str, metrics: Dict[str, Any]) -> None:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -167,14 +225,16 @@ class SweepRunner:
         if self.progress:
             print(f"[sweep:{self.label}] {message}", file=sys.stderr, flush=True)
 
-    def run(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
-        """Execute ``specs``; returns one metrics dict per spec, in order."""
-        start = time.perf_counter()
-        keys = [spec.key() for spec in specs]
-        unique: Dict[str, RunSpec] = {}
-        for key, spec in zip(keys, specs):
-            unique.setdefault(key, spec)
+    def _execute_unique(
+        self, unique: Dict[str, RunSpec]
+    ) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, float], int, int]:
+        """Resolve every unique spec: cache, then cost-ordered fan-out.
 
+        Returns ``(results, walls, hits, workers)``.  Submission order is
+        chosen by the cost model (unknown first, then longest-first) but
+        results are keyed by content hash, so the order — like the pool's
+        completion order — cannot influence any returned value.
+        """
         results: Dict[str, Dict[str, Any]] = {}
         walls: Dict[str, float] = {}
         if self.use_cache:
@@ -185,22 +245,30 @@ class SweepRunner:
                 if cached is not None:
                     results[key] = cached
         hits = len(results)
-        pending = [(key, spec) for key, spec in unique.items() if key not in results]
+        pending = [
+            (key, spec) for key, spec in unique.items() if key not in results
+        ]
+        pending = self.cost_model.order(pending)
 
         workers = min(self.jobs, len(pending)) if pending else 0
         self._log(
-            f"{len(specs)} runs ({len(unique)} unique): {hits} cached, "
+            f"{len(unique)} unique: {hits} cached, "
             f"{len(pending)} to execute"
             + (f" on {workers} workers" if workers > 1 else "")
         )
         if workers > 1:
+            # Small chunks keep results streaming back (cache writes and
+            # progress happen as runs finish) without paying one IPC
+            # round-trip per run on large sweeps.
+            chunksize = max(1, min(8, len(pending) // (workers * 4)))
             with multiprocessing.Pool(processes=workers) as pool:
                 done = 0
                 for key, metrics, wall in pool.imap_unordered(
-                    _pool_execute, pending
+                    _pool_execute, pending, chunksize=chunksize
                 ):
                     results[key] = metrics
                     walls[key] = wall
+                    self.cost_model.observe(unique[key], wall)
                     if self.use_cache and not _is_traced(unique[key]):
                         self._cache_store(unique[key], key, metrics)
                     done += 1
@@ -209,31 +277,154 @@ class SweepRunner:
         else:
             for key, spec in pending:
                 _, results[key], walls[key] = _pool_execute((key, spec))
+                self.cost_model.observe(spec, walls[key])
                 if self.use_cache and not _is_traced(spec):
                     self._cache_store(spec, key, results[key])
+        if pending:
+            self.cost_model.save()
+        return results, walls, hits, workers
 
-        elapsed = time.perf_counter() - start
+    def run(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
+        """Execute ``specs``; returns one metrics dict per spec, in order."""
+        start = time.perf_counter()
+        keys = [spec.key() for spec in specs]
+        unique: Dict[str, RunSpec] = {}
+        for key, spec in zip(keys, specs):
+            unique.setdefault(key, spec)
+
+        self._log(f"{len(specs)} runs ({len(unique)} unique)")
+        results, walls, hits, workers = self._execute_unique(unique)
+
         stats = SweepStats(
             label=self.label,
             specs=len(specs),
             unique=len(unique),
             hits=hits,
-            executed=len(pending),
+            executed=len(unique) - hits,
             jobs=max(workers, 1),
-            elapsed=elapsed,
+            elapsed=time.perf_counter() - start,
         )
+        self._finish(stats)
+        if self.manifest_dir is not None:
+            self._write_manifest(specs, keys, walls, stats)
+        return [results[key] for key in keys]
+
+    def run_adaptive(
+        self, specs: Sequence[RunSpec], policy: Optional[AdaptivePolicy]
+    ) -> List[Dict[str, Any]]:
+        """Variance-aware replicated execution of ``specs`` (the *cells*).
+
+        Every distinct cell is replicated over derived seeds
+        (:func:`~repro.sweep.adaptive.replicate_spec`): ``min_seeds``
+        up front, then ``growth`` more per round while any scalar metric's
+        relative CI exceeds ``policy.ci``, up to ``max_seeds``.  Returns
+        one *aggregated* metrics dict per input spec — scalar metrics are
+        means over replicates, and convergence bookkeeping sits under the
+        ``"adaptive"`` key.
+
+        ``policy=None`` falls back to :meth:`run` (no replication, no
+        aggregation — bit-identical to a plain sweep).
+        """
+        if policy is None:
+            return self.run(specs)
+        start = time.perf_counter()
+        keys = [spec.key() for spec in specs]
+        cells: Dict[str, RunSpec] = {}
+        for key, spec in zip(keys, specs):
+            cells.setdefault(key, spec)
+
+        rep_results: Dict[str, List[Dict[str, Any]]] = {k: [] for k in cells}
+        manifest_specs: List[RunSpec] = []
+        manifest_keys: List[str] = []
+        all_walls: Dict[str, float] = {}
+        counts: Dict[str, int] = {key: 0 for key in cells}
+        total_hits = total_executed = total_unique = 0
+        max_workers = 0
+
+        self._log(
+            f"{len(specs)} cells ({len(cells)} unique), adaptive: "
+            f"ci<={policy.ci:g} @ {policy.confidence:.0%}, "
+            f"seeds {policy.min_seeds}..{policy.max_seeds}"
+        )
+        active = list(cells.keys())
+        round_no = 0
+        while active:
+            batch: Dict[str, RunSpec] = {}
+            owners: List[Tuple[str, str]] = []  # (cell key, replicate key)
+            for cell_key in active:
+                have = counts[cell_key]
+                target = (
+                    policy.min_seeds
+                    if have == 0
+                    else min(have + policy.growth, policy.max_seeds)
+                )
+                for rep in range(have, target):
+                    rep_spec = replicate_spec(cells[cell_key], rep)
+                    rep_key = rep_spec.key()
+                    batch[rep_key] = rep_spec
+                    owners.append((cell_key, rep_key))
+                    manifest_specs.append(rep_spec)
+                    manifest_keys.append(rep_key)
+                counts[cell_key] = target
+            round_no += 1
+            self._log(
+                f"round {round_no}: {len(active)} cells unconverged, "
+                f"{len(batch)} replicates"
+            )
+            results, walls, hits, workers = self._execute_unique(batch)
+            all_walls.update(walls)
+            total_hits += hits
+            total_executed += len(batch) - hits
+            total_unique += len(batch)
+            max_workers = max(max_workers, workers)
+            for cell_key, rep_key in owners:
+                rep_results[cell_key].append(results[rep_key])
+
+            still_active = []
+            for cell_key in active:
+                if counts[cell_key] >= policy.max_seeds:
+                    continue
+                accs = scalar_accumulators(rep_results[cell_key])
+                if not converged(accs, policy):
+                    still_active.append(cell_key)
+            active = still_active
+
+        aggregated = {
+            key: aggregate_replicates(reps, policy)
+            for key, reps in rep_results.items()
+        }
+        stats = SweepStats(
+            label=self.label,
+            specs=len(specs),
+            unique=total_unique,
+            hits=total_hits,
+            executed=total_executed,
+            jobs=max(max_workers, 1),
+            elapsed=time.perf_counter() - start,
+            cells=len(cells),
+            seeds_added=sum(
+                count - policy.min_seeds for count in counts.values()
+            ),
+            seeds_saved=sum(
+                policy.max_seeds - count for count in counts.values()
+            ),
+        )
+        self._finish(stats)
+        if self.manifest_dir is not None:
+            self._write_manifest(manifest_specs, manifest_keys, all_walls, stats)
+        return [aggregated[key] for key in keys]
+
+    def _finish(self, stats: SweepStats) -> None:
         self.last_stats = stats
         _STATS_LOG.append(stats)
         self._log(stats.summary())
-        if self.manifest_dir is not None:
-            self._write_manifest(specs, keys, walls)
-        return [results[key] for key in keys]
 
     def _write_manifest(
         self,
         specs: Sequence[RunSpec],
         keys: Sequence[str],
         walls: Dict[str, float],
+        stats: Optional[SweepStats] = None,
     ) -> Path:
         """Write ``manifest.json`` describing every run of this sweep."""
         from repro._version import __version__
@@ -257,6 +448,8 @@ class SweepRunner:
             "version": __version__,
             "runs": entries,
         }
+        if stats is not None:
+            payload["stats"] = stats.as_dict()
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         return path

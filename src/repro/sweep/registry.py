@@ -112,11 +112,18 @@ def _live_corunner(core: int, kernel: str):
     return LiveCorunner(core=core, kernel=make_kernel(kernel))
 
 
+def _composite(scenarios):
+    from repro.interference.composite import CompositeScenario
+
+    return CompositeScenario([build_scenario(s) for s in scenarios])
+
+
 SCENARIOS: Dict[str, Callable] = {
     "tx2_corunner": _tx2_corunner,
     "corunner": _corunner,
     "dvfs": _dvfs,
     "live_corunner": _live_corunner,
+    "composite": _composite,
 }
 
 

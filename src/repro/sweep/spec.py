@@ -110,6 +110,23 @@ class RunSpec:
         payload = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    def features(self) -> Dict[str, Any]:
+        """Structural features determining the run's *cost* (not outcome).
+
+        Excludes the seed (replicates of one cell cost the same) and the
+        trace config (orthogonal bookkeeping), so the predictive
+        dispatcher can transfer observed wall times across seeds.
+        """
+        params = {k: v for k, v in self.params.items() if k != "trace"}
+        return {"kind": self.kind, "params": params}
+
+    def cost_key(self) -> str:
+        """Content hash of :meth:`features` — the cost-model key."""
+        payload = json.dumps(
+            canonical(self.features()), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
 
 def place_to_data(place) -> Tuple[int, int]:
     """Serialize an ExecutionPlace for a JSON metric payload."""

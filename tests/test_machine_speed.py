@@ -174,3 +174,118 @@ class TestWorkConservation:
         for (t0, r), (t1, _r2) in zip(schedule, schedule[1:] + [(finish, 0)]):
             total += r * (max(0.0, min(finish, t1) - t0))
         assert total == pytest.approx(5.0, rel=1e-6)
+
+
+class TestBatchedTransitions:
+    """The ``batch()`` context: one grouped re-timing pass per burst."""
+
+    @staticmethod
+    def _drive(tx2, batched):
+        """Run three works through two transition bursts; returns
+        ``(index, finish_time, integrated_work)`` per work."""
+        env = Environment()
+        speed = SpeedModel(env, tx2)
+        works = [
+            speed.begin_work([0], work=4.0),
+            speed.begin_work([2], work=3.0, memory_intensity=1.0,
+                             demand=2.0),
+            speed.begin_work([3], work=2.0, memory_intensity=0.5,
+                             demand=1.0),
+        ]
+        out = []
+        for index, work in enumerate(works):
+            work.done.callbacks.append(
+                lambda e, i=index: out.append((i, env.now, e.value))
+            )
+
+        def burst(apply):
+            if batched:
+                with speed.batch():
+                    apply()
+            else:
+                apply()
+
+        def scenario():
+            yield env.timeout(0.5)
+
+            def degrade():
+                speed.set_cpu_share([0, 2], 0.5)
+                speed.add_external_demand("dram", 3.0)
+                speed.set_freq_scale([3], 0.8)
+            burst(degrade)
+            yield env.timeout(0.7)
+
+            def restore():
+                speed.set_cpu_share([0, 2], 1.0)
+                speed.remove_external_demand("dram", 3.0)
+                speed.set_freq_scale([3], 1.0)
+            burst(restore)
+
+        env.process(scenario())
+        env.run()
+        return sorted(out)
+
+    def test_batch_matches_sequential_transitions(self, tx2):
+        """A batched burst lands every in-flight work at the same times
+        as the same transitions applied one by one."""
+        sequential = self._drive(tx2, batched=False)
+        batched = self._drive(tx2, batched=True)
+        assert len(batched) == len(sequential) == 3
+        for (i_a, t_a, v_a), (i_b, t_b, v_b) in zip(batched, sequential):
+            assert i_a == i_b
+            assert t_a == pytest.approx(t_b, rel=1e-12)
+            assert v_a == pytest.approx(v_b, rel=1e-12)
+
+    def test_net_zero_batch_changes_nothing(self, env, tx2):
+        """Set-then-restore inside one batch must not re-time anyone."""
+        speed = SpeedModel(env, tx2)
+        work = speed.begin_work([0], work=4.0)
+        out = finish_times(env, work)
+
+        def scenario():
+            yield env.timeout(0.5)
+            with speed.batch():
+                speed.set_cpu_share([0], 0.25)
+                speed.add_external_demand("dram", 5.0)
+                speed.remove_external_demand("dram", 5.0)
+                speed.set_cpu_share([0], 1.0)
+
+        env.process(scenario())
+        env.run()
+        assert out[0][1] == pytest.approx(2.0)  # 4 units at rate 2
+
+    def test_nested_batches_flush_once_at_outermost(self, env, tx2):
+        speed = SpeedModel(env, tx2)
+        work = speed.begin_work([0], work=4.0)
+        out = finish_times(env, work)
+
+        def scenario():
+            yield env.timeout(1.0)
+            with speed.batch():
+                with speed.batch():
+                    speed.set_cpu_share([0], 0.5)
+                # Tables mutate immediately; only the re-timing of the
+                # in-flight work waits for the outermost batch to close.
+                assert speed.core_rate(0) == pytest.approx(1.0)
+
+        env.process(scenario())
+        env.run()
+        # 2 units by t=1 at rate 2, then 2 more at rate 1 -> t=3.
+        assert out[0][1] == pytest.approx(3.0)
+
+    def test_transition_on_idle_cores_skips_retiming(self, env, tx2):
+        """Rate changes on cores with no in-flight work are bookkeeping
+        only — in-flight work elsewhere keeps its completion time."""
+        speed = SpeedModel(env, tx2)
+        work = speed.begin_work([0], work=4.0)
+        out = finish_times(env, work)
+
+        def scenario():
+            yield env.timeout(0.5)
+            speed.set_cpu_share([4, 5], 0.3)  # idle A57 cores
+            speed.set_freq_scale([2, 3], 0.7)
+
+        env.process(scenario())
+        env.run()
+        assert out[0][1] == pytest.approx(2.0)
+        assert speed.core_rate(4) == pytest.approx(0.3)

@@ -94,6 +94,40 @@ class TestSweepRunner:
         assert rerun.last_stats.hits == 0
         assert second == first
 
+    @pytest.mark.parametrize(
+        "payload",
+        ["[]", "42", '"a string"', "null", '{"key": "wrong-hash"}',
+         '{"key": null, "metrics": []}'],
+        ids=["list", "int", "str", "null", "wrong-key", "non-dict-metrics"],
+    )
+    def test_wrong_shape_cache_entry_is_recomputed(self, tmp_path, payload):
+        """Valid JSON of the wrong shape is corruption, not a crash."""
+        spec = _fig4_slice()[0]
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, progress=False)
+        (first,) = runner.run([spec])
+        path = tmp_path / f"{spec.key()}.json"
+        path.write_text(payload)
+        rerun = SweepRunner(jobs=1, cache_dir=tmp_path, progress=False)
+        (second,) = rerun.run([spec])
+        assert rerun.last_stats.hits == 0
+        assert second == first
+        # The corrupt entry was rewritten with the recomputed result.
+        entry = json.loads(path.read_text())
+        assert entry["key"] == spec.key()
+        assert entry["metrics"] == first
+
+    def test_truncated_cache_entry_is_recomputed(self, tmp_path):
+        spec = _fig4_slice()[0]
+        runner = SweepRunner(jobs=1, cache_dir=tmp_path, progress=False)
+        (first,) = runner.run([spec])
+        path = tmp_path / f"{spec.key()}.json"
+        path.write_text(path.read_text()[:25])  # torn write
+        rerun = SweepRunner(jobs=1, cache_dir=tmp_path, progress=False)
+        (second,) = rerun.run([spec])
+        assert rerun.last_stats.hits == 0
+        assert second == first
+        assert json.loads(path.read_text())["metrics"] == first
+
     def test_duplicate_specs_executed_once(self, tmp_path):
         spec = _fig4_slice()[0]
         runner = SweepRunner(jobs=1, cache_dir=tmp_path, progress=False)
@@ -112,3 +146,30 @@ class TestSweepRunner:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ConfigurationError):
             SweepRunner(jobs=0)
+
+
+class TestCompositeScenarioSpec:
+    def test_composite_scenario_runs_declaratively(self):
+        """The 'composite' registry entry nests other scenario specs."""
+        spec = RunSpec(
+            kind="single",
+            params={
+                "workload": {"name": "layered", "kernel": "matmul",
+                             "parallelism": 2, "total": 40},
+                "machine": "jetson_tx2",
+                "scheduler": "dam-c",
+                "scenario": {
+                    "name": "composite",
+                    "scenarios": [
+                        {"name": "corunner", "cores": [0], "cpu_share": 0.5},
+                        {"name": "dvfs", "cores": [0, 1],
+                         "half_period": 0.02},
+                    ],
+                },
+            },
+            metrics=("throughput",),
+        )
+        (row,) = SweepRunner(jobs=1, use_cache=False, progress=False).run(
+            [spec]
+        )
+        assert row["throughput"] > 0
