@@ -115,6 +115,33 @@ class PerformanceTraceTable:
             )
         return value
 
+    def mark_core_lost(self, core: int) -> int:
+        """Pin every place containing ``core`` to ``inf``.
+
+        A zero entry would *attract* placements (unexplored always wins
+        the minimization), so a lost core must be the opposite: no search
+        can ever prefer a place that touches it.  Returns the number of
+        places pinned.
+        """
+        marked = 0
+        for place, slot in self._index.items():
+            if place.leader <= core < place.leader + place.width:
+                self._values[slot] = np.inf
+                marked += 1
+        return marked
+
+    def mark_core_recovered(self, core: int) -> None:
+        """Reset every place containing ``core`` to unexplored (0, 0 samples).
+
+        The outage may have changed the core's performance regime, so the
+        pre-crash history is discarded and the paper's "evaluate every
+        place at least once" rule re-explores it from scratch.
+        """
+        for place, slot in self._index.items():
+            if place.leader <= core < place.leader + place.width:
+                self._values[slot] = 0.0
+                self._samples[slot] = 0
+
     def entries(self) -> Iterator[Tuple[ExecutionPlace, float]]:
         """Iterate ``(place, predicted time)`` in place order."""
         for place, i in self._index.items():
@@ -146,6 +173,9 @@ class PttStore:
         self.total_weight = int(total_weight)
         self.tracer = tracer
         self._tables: Dict[str, PerformanceTraceTable] = {}
+        #: Cores currently confirmed dead; tables created after the loss
+        #: must be born with those places already pinned to ``inf``.
+        self._lost_cores: set = set()
 
     def table(self, type_name: str) -> PerformanceTraceTable:
         """Get (or lazily create) the PTT for ``type_name``."""
@@ -155,8 +185,22 @@ class PttStore:
                 self.machine, self.new_weight, self.total_weight,
                 tracer=self.tracer, label=type_name,
             )
+            for core in self._lost_cores:
+                table.mark_core_lost(core)
             self._tables[type_name] = table
         return table
+
+    def mark_core_lost(self, core: int) -> None:
+        """Invalidate ``core``'s rows in every table, present and future."""
+        self._lost_cores.add(core)
+        for table in self._tables.values():
+            table.mark_core_lost(core)
+
+    def mark_core_recovered(self, core: int) -> None:
+        """Re-open ``core``'s rows for exploration in every table."""
+        self._lost_cores.discard(core)
+        for table in self._tables.values():
+            table.mark_core_recovered(core)
 
     def known_types(self) -> Tuple[str, ...]:
         return tuple(self._tables)

@@ -8,7 +8,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.core.policies.base import SchedulerPolicy
 from repro.core.policies.registry import make_scheduler
 from repro.distributed.mpi import CommTaskBuilder, SimMpi
-from repro.distributed.network import Fabric
+from repro.distributed.network import Fabric, MessageFaultModel
 from repro.errors import ConfigurationError, RuntimeStateError
 from repro.graph.dag import TaskGraph
 from repro.interference.base import InterferenceScenario
@@ -67,6 +67,14 @@ class DistributedRuntime:
     scenarios:
         Optional per-rank interference, e.g. ``{0: CorunnerInterference(...)}``
         — the paper's Fig. 10 perturbs 5 cores of node 0 only.
+    message_faults:
+        Optional seeded :class:`MessageFaultModel` injecting message
+        drop/delay on the fabric (sends fail loudly once the retransmit
+        budget is exhausted).
+    recv_timeout:
+        Fabric-wide delivery timeout for receives; ``None`` waits
+        forever, a finite value turns a hung ``recv`` into a
+        :class:`~repro.errors.CommunicationTimeout`.
     """
 
     def __init__(
@@ -79,12 +87,20 @@ class DistributedRuntime:
         config: Optional[RuntimeConfig] = None,
         seed: int = 0,
         env: Optional[Environment] = None,
+        message_faults: Optional[MessageFaultModel] = None,
+        recv_timeout: Optional[float] = None,
     ) -> None:
         if not machines:
             raise ConfigurationError("need at least one node machine")
         self.env = env or Environment()
         self.config = config or RuntimeConfig()
-        self.fabric = Fabric(self.env, len(machines), interconnect)
+        self.fabric = Fabric(
+            self.env,
+            len(machines),
+            interconnect,
+            faults=message_faults,
+            recv_timeout=recv_timeout,
+        )
         self.handles: List[NodeHandle] = []
         self.runtimes: List[SimulatedRuntime] = []
 

@@ -5,18 +5,99 @@ occupies the directed link ``(s, d)`` for its wire time (latency +
 bytes/bandwidth); messages on the same link serialize FIFO, other links
 proceed independently — a reasonable model of a non-blocking switched
 fabric such as the paper's FDR InfiniBand.
+
+Failure semantics are opt-in and fail loudly:
+
+* ``recv(..., timeout=...)`` (per call or fabric-wide via
+  ``recv_timeout``) fails the returned event with
+  :class:`~repro.errors.CommunicationTimeout` if no matching message
+  arrives in time — a silently-hung ``recv`` on a mismatched tag was
+  previously indistinguishable from a slow sender;
+* a :class:`MessageFaultModel` injects seeded, deterministic message
+  loss and delay on remote sends.  Lost transmissions are retransmitted
+  (each retry re-occupies the link) up to ``max_retransmits``; past the
+  budget the send event fails with :class:`~repro.errors.MessageDropped`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.errors import CommunicationError
+from repro.errors import (
+    CommunicationError,
+    CommunicationTimeout,
+    ConfigurationError,
+    MessageDropped,
+)
 from repro.distributed.message import Message
 from repro.machine.interconnect import Interconnect
 from repro.sim.environment import Environment
 from repro.sim.events import Event
 from repro.sim.resources import Store
+from repro.util.rng import SeedLike, make_rng
+
+
+class MessageFaultModel:
+    """Seeded drop/delay faults applied to remote transmissions.
+
+    Each remote transmission attempt independently drops with
+    probability ``drop_prob`` and, when it survives, suffers an extra
+    ``delay`` seconds with probability ``delay_prob``.  Draws come from
+    a private seeded generator in event order, so a given fabric
+    workload replays bit-identically — chaos runs stay cacheable.
+
+    ``retransmit_delay`` models the sender's loss-detection time (NACK
+    or ack-timeout): a retransmission enters the link queue that long
+    after the dropped attempt left the wire.
+    """
+
+    def __init__(
+        self,
+        drop_prob: float = 0.0,
+        delay_prob: float = 0.0,
+        delay: float = 0.0,
+        max_retransmits: int = 3,
+        retransmit_delay: float = 0.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        if not (0.0 <= drop_prob < 1.0):
+            raise ConfigurationError(
+                f"drop_prob must be in [0, 1), got {drop_prob}"
+            )
+        if not (0.0 <= delay_prob <= 1.0):
+            raise ConfigurationError(
+                f"delay_prob must be in [0, 1], got {delay_prob}"
+            )
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        if max_retransmits < 0:
+            raise ConfigurationError(
+                f"max_retransmits must be >= 0, got {max_retransmits}"
+            )
+        if retransmit_delay < 0:
+            raise ConfigurationError(
+                f"retransmit_delay must be >= 0, got {retransmit_delay}"
+            )
+        self.drop_prob = drop_prob
+        self.delay_prob = delay_prob
+        self.delay = delay
+        self.max_retransmits = max_retransmits
+        self.retransmit_delay = retransmit_delay
+        self._rng = make_rng(seed)
+
+    def drops(self, message: Message) -> bool:
+        """Decide whether this transmission attempt is lost."""
+        if self.drop_prob == 0.0:
+            return False
+        return bool(self._rng.random() < self.drop_prob)
+
+    def extra_delay(self, message: Message) -> float:
+        """Extra wire delay for a surviving transmission attempt."""
+        if self.delay_prob == 0.0 or self.delay == 0.0:
+            return 0.0
+        if self._rng.random() < self.delay_prob:
+            return self.delay
+        return 0.0
 
 
 class Fabric:
@@ -27,18 +108,29 @@ class Fabric:
         env: Environment,
         num_ranks: int,
         interconnect: Interconnect = Interconnect(),
+        faults: Optional[MessageFaultModel] = None,
+        recv_timeout: Optional[float] = None,
     ) -> None:
         if num_ranks <= 0:
             raise CommunicationError(f"num_ranks must be positive, got {num_ranks}")
+        if recv_timeout is not None and recv_timeout <= 0:
+            raise ConfigurationError(
+                f"recv_timeout must be > 0 or None, got {recv_timeout}"
+            )
         self.env = env
         self.num_ranks = num_ranks
         self.interconnect = interconnect
+        self.faults = faults
+        #: Fabric-wide default receive timeout; ``None`` waits forever.
+        self.recv_timeout = recv_timeout
         #: Mailboxes keyed by (dst, src, tag).
         self._boxes: Dict[Tuple[int, int, int], Store] = {}
         #: Next-free time of each directed link.
         self._link_free: Dict[Tuple[int, int], float] = {}
         self.messages_delivered = 0
         self.bytes_delivered = 0.0
+        self.messages_dropped = 0
+        self.retransmissions = 0
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.num_ranks):
@@ -54,11 +146,22 @@ class Fabric:
             self._boxes[key] = box
         return box
 
+    def _at(self, time: float, action: Callable[[Event], None]) -> None:
+        """Run ``action`` at simulated ``time`` (ordinary priority)."""
+        marker = Event(self.env)
+        marker._ok = True
+        marker._value = None
+        marker.callbacks.append(action)
+        self.env._queue.push(time, 1, marker)
+
     def send(self, message: Message) -> Event:
         """Inject ``message``; the event fires when it is delivered.
 
         Local (same-rank) messages are delivered immediately; remote ones
-        after the link's queue drains plus the wire time.
+        after the link's queue drains plus the wire time.  Under a
+        :class:`MessageFaultModel` the event may instead *fail* with
+        :class:`~repro.errors.MessageDropped` once the retransmit budget
+        is spent.
         """
         self._check_rank(message.src)
         self._check_rank(message.dst)
@@ -67,31 +170,91 @@ class Fabric:
             self._deliver(message)
             done.succeed(message)
             return done
+        self._transmit(message, done, attempt=1)
+        return done
+
+    def _transmit(self, message: Message, done: Event, attempt: int) -> None:
+        """One wire attempt; retries itself on an injected drop."""
         link = (message.src, message.dst)
         now = self.env.now
         start = max(now, self._link_free.get(link, now))
         wire = self.interconnect.transfer_time(message.size_bytes)
-        finish = start + wire
+        faults = self.faults
+        dropped = faults is not None and faults.drops(message)
+        extra = 0.0 if dropped or faults is None else faults.extra_delay(message)
+        finish = start + wire + extra
+        # A dropped attempt still occupied the link for its wire time.
         self._link_free[link] = finish
 
-        def _arrive(_event: Event, message=message, done=done) -> None:
-            self._deliver(message)
-            done.succeed(message)
+        if not dropped:
 
-        marker = Event(self.env)
-        marker._ok = True
-        marker._value = None
-        marker.callbacks.append(_arrive)
-        self.env._queue.push(finish, 1, marker)
-        return done
+            def _arrive(_event: Event, message=message, done=done) -> None:
+                self._deliver(message)
+                done.succeed(message)
+
+            self._at(finish, _arrive)
+            return
+
+        self.messages_dropped += 1
+        retry_at = finish + faults.retransmit_delay
+        if attempt > faults.max_retransmits:
+
+            def _fail(_event: Event, message=message, done=done,
+                      attempt=attempt) -> None:
+                done.fail(
+                    MessageDropped(message.src, message.dst, message.tag, attempt)
+                )
+
+            self._at(retry_at, _fail)
+            return
+
+        self.retransmissions += 1
+
+        def _retry(_event: Event, message=message, done=done,
+                   attempt=attempt) -> None:
+            self._transmit(message, done, attempt + 1)
+
+        self._at(retry_at, _retry)
 
     def _deliver(self, message: Message) -> None:
         self.messages_delivered += 1
         self.bytes_delivered += message.size_bytes
         self._box(message.dst, message.src, message.tag).put(message)
 
-    def recv(self, dst: int, src: int, tag: int) -> Event:
-        """Event yielding the next matching message (FIFO per (src, tag))."""
+    def recv(
+        self,
+        dst: int,
+        src: int,
+        tag: int,
+        timeout: Optional[float] = None,
+    ) -> Event:
+        """Event yielding the next matching message (FIFO per (src, tag)).
+
+        ``timeout`` (falling back to the fabric-wide ``recv_timeout``)
+        bounds the wait: if no message arrives within that many simulated
+        seconds the event fails with
+        :class:`~repro.errors.CommunicationTimeout` instead of hanging
+        forever on a mismatched (src, tag) pair.
+        """
         self._check_rank(dst)
         self._check_rank(src)
-        return self._box(dst, src, tag).get()
+        if timeout is None:
+            timeout = self.recv_timeout
+        elif timeout <= 0:
+            raise ConfigurationError(
+                f"recv timeout must be > 0 or None, got {timeout}"
+            )
+        box = self._box(dst, src, tag)
+        event = box.get()
+        if timeout is not None and not event.triggered:
+
+            def _expire(_marker: Event, event=event, box=box,
+                        timeout=timeout) -> None:
+                # Only fail if the get is still queued; cancel_get keeps a
+                # timed-out getter from later swallowing a message meant
+                # for a retried receive.
+                if box.cancel_get(event):
+                    event.fail(CommunicationTimeout(dst, src, tag, timeout))
+
+            self._at(self.env.now + timeout, _expire)
+        return event

@@ -58,6 +58,12 @@ class ExperimentSettings:
     until the relative CI of its scalar metrics drops below ``ci``,
     bounded by ``min_seeds``/``max_seeds``.  Off by default — the plain
     path is bit-identical to a non-adaptive build.
+
+    ``run_timeout``/``max_attempts`` bound each simulation run's
+    wall-clock time and its retry budget after worker crashes or
+    timeouts (see ``docs/robustness.md``); ``resume`` replays completed
+    cells from the per-figure checkpoint instead of recomputing them
+    after an interrupted sweep.
     """
 
     scale: float = 0.05
@@ -70,6 +76,9 @@ class ExperimentSettings:
     ci: float = 0.02
     min_seeds: int = 3
     max_seeds: int = 12
+    run_timeout: Optional[float] = None
+    max_attempts: int = 2
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if not (0 < self.scale <= 1.0):
@@ -80,6 +89,14 @@ class ExperimentSettings:
             raise ConfigurationError(
                 "adaptive replication and tracing are mutually exclusive "
                 "(a trace captures one concrete run, not a seed average)"
+            )
+        if self.run_timeout is not None and self.run_timeout <= 0:
+            raise ConfigurationError(
+                f"run_timeout must be > 0 or None, got {self.run_timeout}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
             )
 
     def adaptive_policy(self):
@@ -198,6 +215,9 @@ def sweep(specs, settings: ExperimentSettings, label: str):
         label=label,
         progress=settings.jobs > 1 or settings.use_cache,
         manifest_dir=manifest_dir,
+        timeout=settings.run_timeout,
+        max_attempts=settings.max_attempts,
+        resume=settings.resume,
     )
     return runner.run_adaptive(specs, settings.adaptive_policy())
 

@@ -1,0 +1,288 @@
+"""fig_faults — scheduler robustness under crashes and stragglers.
+
+Not a paper figure: the paper's environments are *dynamically
+asymmetric* but never actually lose cores.  This harness pushes each
+Table 1 scheduler past that boundary — a permanent Denver-core crash at
+30% of its own fault-free makespan plus a straggler window on two A57
+cores — and reports the makespan degradation together with the runtime's
+recovery bookkeeping (workers lost, tasks retried/recovered, detection
+latency).  See ``docs/robustness.md`` for the fault model.
+
+Two phases: the fault-free baseline sweep first, because each
+scheduler's crash time is derived from *its own* baseline makespan (a
+fixed absolute time would hit fast schedulers after they already
+finished).  Crash times are rounded so the derived specs stay
+cache-stable.
+
+``run_chaos`` is the CI chaos-smoke variant: one scheduler, a tiny DAG,
+a transient crash — it *asserts* that at least one task was recovered
+and that every task completed exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.apps.synthetic import PAPER_TASK_COUNTS
+from repro.errors import RuntimeStateError
+from repro.experiments.common import ExperimentSettings, TX2_SCHEDULERS, sweep
+from repro.sweep import RunSpec, is_error_result
+from repro.util.tables import format_table
+
+#: Fraction of the fault-free makespan at which the crash lands.
+CRASH_FRACTION = 0.3
+
+#: The crashed core: Denver core 1 (core 0 hosts co-runners elsewhere).
+CRASH_CORE = 1
+
+#: Straggler window: two A57 cores at half speed mid-run.
+STRAGGLER_CORES = (4, 5)
+STRAGGLER_SLOWDOWN = 0.5
+
+
+@dataclass
+class FigFaultsResult:
+    """Per-scheduler baseline vs faulted makespan plus recovery stats."""
+
+    baseline: Dict[str, float] = field(default_factory=dict)
+    faulted: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    failed: Dict[str, str] = field(default_factory=dict)
+    schedulers: Sequence[str] = TX2_SCHEDULERS
+
+    def degradation(self, sched: str) -> float:
+        return self.faulted[sched]["makespan"] / self.baseline[sched]
+
+    def report(self) -> str:
+        rows: List[List] = []
+        for sched in self.schedulers:
+            if sched in self.failed:
+                rows.append([sched.upper(), "failed:", self.failed[sched],
+                             "", "", "", ""])
+                continue
+            stats = self.faulted[sched]
+            rows.append([
+                sched.upper(),
+                self.baseline[sched],
+                stats["makespan"],
+                f"{self.degradation(sched):.2f}x",
+                int(stats["workers_lost"]),
+                int(stats["tasks_retried"]),
+                stats["recovery_latency"],
+            ])
+        table = format_table(
+            ["Scheduler", "Clean [s]", "Faulted [s]", "Degradation",
+             "Lost", "Retried", "Detect [s]"],
+            rows,
+            title=f"fig_faults: permanent crash of core {CRASH_CORE} at "
+            f"{CRASH_FRACTION:.0%} of each scheduler's clean makespan "
+            f"+ {STRAGGLER_SLOWDOWN:g}x straggler on cores "
+            f"{list(STRAGGLER_CORES)}",
+        )
+        note = (
+            "Every faulted run still completes its full DAG: the lease "
+            "detector reclaims the dead core's queues and retries its "
+            "in-flight tasks elsewhere (exactly-once commit)."
+        )
+        return table + "\n" + note
+
+
+def _workload(settings: ExperimentSettings, parallelism: int = 4) -> Dict:
+    total = settings.task_count(PAPER_TASK_COUNTS["matmul"], parallelism)
+    return {
+        "name": "layered",
+        "kernel": "matmul",
+        "parallelism": parallelism,
+        "total": total,
+    }
+
+
+def baseline_spec(settings: ExperimentSettings, scheduler: str) -> RunSpec:
+    """The scheduler's fault-free run (sets its crash schedule)."""
+    return RunSpec(
+        kind="single",
+        params={
+            "workload": _workload(settings),
+            "machine": "jetson_tx2",
+            "scheduler": scheduler,
+            "scenario": None,
+        },
+        seed=settings.seed,
+        metrics=("makespan", "tasks_completed"),
+        tags={"scheduler": scheduler, "phase": "baseline"},
+    )
+
+
+def fault_plan_params(clean_makespan: float) -> Dict:
+    """The declarative fault plan derived from a clean makespan.
+
+    Times are rounded to microseconds so the spec (and thus its cache
+    key) is stable against float noise in the baseline.
+    """
+    crash_at = round(CRASH_FRACTION * clean_makespan, 6)
+    straggle_at = round(0.45 * clean_makespan, 6)
+    straggle_for = round(0.35 * clean_makespan, 6)
+    return {
+        "crashes": [[CRASH_CORE, crash_at, None]],
+        "stragglers": [
+            [list(STRAGGLER_CORES), straggle_at, straggle_for,
+             STRAGGLER_SLOWDOWN]
+        ],
+    }
+
+
+def faulted_spec(
+    settings: ExperimentSettings, scheduler: str, clean_makespan: float
+) -> RunSpec:
+    """The same run under the crash + straggler plan derived from
+    ``clean_makespan``."""
+    return RunSpec(
+        kind="single",
+        params={
+            "workload": _workload(settings),
+            "machine": "jetson_tx2",
+            "scheduler": scheduler,
+            "scenario": {"name": "faults", **fault_plan_params(clean_makespan)},
+        },
+        seed=settings.seed,
+        metrics=(
+            "makespan",
+            "tasks_completed",
+            "workers_lost",
+            "tasks_retried",
+            "tasks_recovered",
+            "recovery_latency",
+        ),
+        tags={"scheduler": scheduler, "phase": "faulted"},
+    )
+
+
+def run_faults(
+    settings: ExperimentSettings = ExperimentSettings(),
+    schedulers: Sequence[str] = TX2_SCHEDULERS,
+) -> FigFaultsResult:
+    """Regenerate the fig_faults robustness comparison."""
+    result = FigFaultsResult(schedulers=tuple(schedulers))
+    base_specs = [baseline_spec(settings, sched) for sched in schedulers]
+    for spec, metrics in zip(
+        base_specs, sweep(base_specs, settings, "fig_faults-baseline")
+    ):
+        sched = spec.tags["scheduler"]
+        if is_error_result(metrics):
+            result.failed[sched] = metrics["error"]["message"]
+        else:
+            result.baseline[sched] = metrics["makespan"]
+
+    fault_specs = [
+        faulted_spec(settings, sched, result.baseline[sched])
+        for sched in schedulers
+        if sched in result.baseline
+    ]
+    for spec, metrics in zip(
+        fault_specs, sweep(fault_specs, settings, "fig_faults")
+    ):
+        sched = spec.tags["scheduler"]
+        if is_error_result(metrics):
+            result.failed[sched] = metrics["error"]["message"]
+        else:
+            result.faulted[sched] = metrics
+    return result
+
+
+# ----------------------------------------------------------------------
+# CI chaos smoke
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of the chaos smoke: one fault-injected run, verified."""
+
+    scheduler: str
+    total_tasks: int
+    makespan: float
+    fault_stats: Dict[str, float] = field(default_factory=dict)
+
+    def report(self) -> str:
+        stats = self.fault_stats
+        return (
+            f"chaos smoke [{self.scheduler}]: {self.total_tasks} tasks "
+            f"completed exactly once under a transient crash "
+            f"(makespan {self.makespan:.4f}s; "
+            f"{int(stats.get('workers_lost', 0))} worker lost, "
+            f"{int(stats.get('workers_recovered', 0))} recovered, "
+            f"{int(stats.get('tasks_recovered', 0))} tasks re-dispatched, "
+            f"detection latency "
+            f"{stats.get('recovery_latency_mean', 0.0):.5f}s)"
+        )
+
+
+def run_chaos(
+    settings: ExperimentSettings = ExperimentSettings(),
+    scheduler: str = "dam-c",
+) -> ChaosResult:
+    """One tiny fault-injected run, with hard assertions.
+
+    Used by CI as a chaos smoke: a transient crash of core
+    :data:`CRASH_CORE` lands at 30% of the clean makespan and heals at
+    80%.  The run must still complete every task, must have detected the
+    lost worker, and must have recovered at least one task — otherwise a
+    :class:`~repro.errors.RuntimeStateError` fails the build.
+    """
+    (base,) = sweep(
+        [baseline_spec(settings, scheduler)], settings, "chaos-baseline"
+    )
+    if is_error_result(base):
+        raise RuntimeStateError(
+            f"chaos baseline failed: {base['error']['message']}"
+        )
+    clean = base["makespan"]
+    crash_at = round(CRASH_FRACTION * clean, 6)
+    heal_after = round(0.5 * clean, 6)
+    spec = RunSpec(
+        kind="single",
+        params={
+            "workload": _workload(settings),
+            "machine": "jetson_tx2",
+            "scheduler": scheduler,
+            "scenario": {
+                "name": "faults",
+                "crashes": [[CRASH_CORE, crash_at, heal_after]],
+            },
+        },
+        seed=settings.seed,
+        metrics=("makespan", "tasks_completed", "fault_stats"),
+        tags={"scheduler": scheduler, "phase": "chaos"},
+    )
+    (metrics,) = sweep([spec], settings, "chaos")
+    if is_error_result(metrics):
+        raise RuntimeStateError(
+            f"chaos run failed: {metrics['error']['message']}"
+        )
+    total = spec.params["workload"]["total"]
+    stats = metrics["fault_stats"]
+    if metrics["tasks_completed"] != total:
+        raise RuntimeStateError(
+            f"chaos run lost tasks: {metrics['tasks_completed']}/{total} "
+            "completed — exactly-once recovery is broken"
+        )
+    if stats.get("workers_lost", 0) < 1:
+        raise RuntimeStateError(
+            "chaos run never detected the injected crash "
+            f"(fault_stats={stats})"
+        )
+    if stats.get("tasks_recovered", 0) < 1:
+        raise RuntimeStateError(
+            "chaos run recovered no tasks — the crash landed on an idle "
+            f"core; retune CRASH_FRACTION (fault_stats={stats})"
+        )
+    return ChaosResult(
+        scheduler=scheduler,
+        total_tasks=total,
+        makespan=metrics["makespan"],
+        fault_stats=stats,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_faults().report())

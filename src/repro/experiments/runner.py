@@ -14,6 +14,11 @@ simulation exports a Chrome-trace JSON (open in Perfetto or
 ``chrome://tracing``) and a JSONL event stream, plus a per-sweep
 ``manifest.json``.  ``--trace`` does the same for a normal subcommand.
 Traced runs bypass the result cache.  See ``docs/observability.md``.
+
+Exit codes distinguish who is at fault: ``0`` success, ``2`` user error
+(bad arguments or configuration), ``3`` an internal crash worth a bug
+report.  See ``docs/robustness.md`` for ``--resume``, ``--run-timeout``
+and ``--max-attempts``.
 """
 
 from __future__ import annotations
@@ -22,8 +27,10 @@ import argparse
 import os
 import sys
 import time
+import traceback
 from typing import Callable, Dict
 
+from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentSettings
 from repro.sweep import default_cache_dir, pop_stats
 from repro.experiments.fig4_corunner import run_fig4
@@ -33,9 +40,16 @@ from repro.experiments.fig7_dvfs import run_fig7
 from repro.experiments.fig8_sensitivity import run_fig8
 from repro.experiments.fig9_kmeans import run_fig9
 from repro.experiments.fig10_heat import run_fig10
+from repro.experiments.fig_faults import run_chaos, run_faults
 from repro.experiments.seeds import run_seeds
 from repro.experiments.table1_features import run_table1
 from repro.experiments.verify import run_verify
+
+#: Exit codes: argparse itself uses 2 for bad flags; we fold every user
+#: configuration mistake into the same code and reserve 3 for our bugs.
+EXIT_OK = 0
+EXIT_USER_ERROR = 2
+EXIT_INTERNAL_ERROR = 3
 
 _HARNESSES: Dict[str, Callable] = {
     "table1": lambda settings: run_table1(),
@@ -46,6 +60,8 @@ _HARNESSES: Dict[str, Callable] = {
     "fig8": run_fig8,
     "fig9": run_fig9,
     "fig10": run_fig10,
+    "fig_faults": run_faults,
+    "chaos": run_chaos,
     "seeds": run_seeds,
     "verify": run_verify,
 }
@@ -135,6 +151,27 @@ def main(argv=None) -> int:
         help="trace export directory (Chrome JSON + JSONL + manifest per "
         "sweep; implies --trace)",
     )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock budget; a run past it is killed and "
+        "retried (default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        help="attempts per run for worker crashes/timeouts before the "
+        "cell is recorded as failed (default 2)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay cells completed by a previously interrupted sweep "
+        "from its checkpoint instead of recomputing them",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "trace":
@@ -148,30 +185,61 @@ def main(argv=None) -> int:
     elif args.target is not None:
         parser.error("a target is only valid with the 'trace' subcommand")
     elif args.experiment == "all":
-        # "verify" re-runs every harness; keep it a separate command.
-        names = sorted(n for n in _HARNESSES if n != "verify")
+        # "verify" re-runs every harness and "chaos" is the CI smoke
+        # (a strict subset of fig_faults); keep both separate commands.
+        names = sorted(n for n in _HARNESSES if n not in ("verify", "chaos"))
     else:
         names = [args.experiment]
     trace_out = args.trace_out if args.trace_out else (
         "traces" if args.trace else None
     )
 
-    settings = ExperimentSettings(
-        scale=args.scale,
-        seed=args.seed,
-        jobs=args.jobs if args.jobs is not None else (os.cpu_count() or 1),
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        trace_out=trace_out,
-        adaptive=args.adaptive,
-        ci=args.ci,
-        min_seeds=args.min_seeds,
-        max_seeds=args.max_seeds,
-    )
+    try:
+        settings = ExperimentSettings(
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs if args.jobs is not None else (os.cpu_count() or 1),
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            trace_out=trace_out,
+            adaptive=args.adaptive,
+            ci=args.ci,
+            min_seeds=args.min_seeds,
+            max_seeds=args.max_seeds,
+            run_timeout=args.run_timeout,
+            max_attempts=args.max_attempts,
+            resume=args.resume,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USER_ERROR
     pop_stats()  # drop anything accumulated before this invocation
     for name in names:
         start = time.perf_counter()
-        result = _HARNESSES[name](settings)
+        try:
+            result = _HARNESSES[name](settings)
+        except ConfigurationError as exc:
+            # A bad knob combination the settings check couldn't see
+            # (e.g. a harness rejecting a flag): the user's to fix.
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USER_ERROR
+        except KeyboardInterrupt:
+            print(
+                f"\ninterrupted during {name}; re-run with --resume to "
+                "pick up completed cells",
+                file=sys.stderr,
+            )
+            raise
+        except Exception:
+            # Anything else is our bug, not the user's: say so loudly
+            # and exit with a distinct code for scripts/CI.
+            traceback.print_exc()
+            print(
+                f"internal error while regenerating {name} — this is a "
+                "bug in the harness, please report it",
+                file=sys.stderr,
+            )
+            return EXIT_INTERNAL_ERROR
         elapsed = time.perf_counter() - start
         print(result.report())
         stats = pop_stats()
@@ -181,14 +249,19 @@ def main(argv=None) -> int:
             f", cache {hits}/{unique} hits" if unique and not args.no_cache
             else ""
         )
-        print(f"[{name} regenerated in {elapsed:.1f}s wall{cache_note}]")
+        failures = sum(s.failures for s in stats)
+        failure_note = f", {failures} runs FAILED" if failures else ""
+        print(
+            f"[{name} regenerated in {elapsed:.1f}s wall"
+            f"{cache_note}{failure_note}]"
+        )
         if trace_out:
             print(
                 f"[traces + manifests under {trace_out}/<sweep>/ — open the "
                 ".chrome.json files in Perfetto]"
             )
         print()
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

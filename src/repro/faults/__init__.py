@@ -1,0 +1,22 @@
+"""repro.faults — deterministic fault injection and chaos plans.
+
+The fourth interference axis: beyond co-runners, DVFS and live
+co-scheduled runtimes, real dynamically-asymmetric environments *lose*
+cores, stall workers and drop messages.  A :class:`FaultPlan` schedules
+such failures deterministically; :class:`FaultScenario` installs them
+through the standard interference interface so they compose with every
+other scenario; the runtime's recovery machinery (lease-expiry death
+detection, queue reclaim, retry with backoff, PTT invalidation) turns
+them into degraded-but-correct runs.  See ``docs/robustness.md``.
+"""
+
+from repro.faults.plan import CoreCrash, FaultPlan, StragglerWindow
+from repro.faults.scenario import FaultInjector, FaultScenario
+
+__all__ = [
+    "CoreCrash",
+    "StragglerWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultScenario",
+]

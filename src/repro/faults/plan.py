@@ -1,0 +1,255 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a *schedule* of infrastructure failures — core
+crashes (transient or permanent) and straggler slowdown windows — fixed
+before the simulation starts.  Determinism is the point: the same plan
+against the same seed yields the same run, so fault experiments are
+cacheable, diffable and bisectable exactly like fault-free ones.  Plans
+are plain frozen dataclasses with a JSON round-trip (the sweep registry's
+declarative ``{"name": "faults", ...}`` scenario entry builds them from
+params), plus a seeded :meth:`FaultPlan.random` generator for chaos
+testing.
+
+Message-level faults (drop/delay in the distributed ``Fabric``) live in
+:class:`repro.distributed.network.MessageFaultModel` — they attach to a
+fabric, not to a machine's speed model, so they are configured on the
+:class:`~repro.distributed.cluster_runtime.DistributedRuntime` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.rng import SeedLike, make_rng
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class CoreCrash:
+    """Core ``core`` dies at simulated time ``at``.
+
+    ``duration=None`` is a permanent loss; a finite duration models a
+    transient outage (worker process restart, thermal shutdown) after
+    which the core heals and its worker is respawned.
+    """
+
+    core: int
+    at: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise ConfigurationError(f"crash core must be >= 0, got {self.core}")
+        if self.at <= 0:
+            raise ConfigurationError(
+                f"crash time must be > 0 (workers start at 0), got {self.at}"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigurationError(
+                f"crash duration must be > 0 or None, got {self.duration}"
+            )
+
+    def window(self) -> Tuple[float, float]:
+        end = _INF if self.duration is None else self.at + self.duration
+        return (self.at, end)
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """``cores`` run at ``slowdown`` x their healthy rate for a window.
+
+    Models the paper's "dynamically asymmetric" tail cases the benign
+    scenarios don't: a thermally throttled core, a noisy neighbour the
+    OS won't migrate, a failing DIMM.  The PTT is expected to adapt —
+    no runtime recovery is involved.
+    """
+
+    cores: Tuple[int, ...]
+    at: float
+    duration: float
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cores", tuple(int(c) for c in self.cores))
+        if not self.cores:
+            raise ConfigurationError("straggler window needs at least one core")
+        if any(c < 0 for c in self.cores):
+            raise ConfigurationError(f"straggler cores must be >= 0: {self.cores}")
+        if self.at <= 0:
+            raise ConfigurationError(
+                f"straggler start must be > 0, got {self.at}"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"straggler duration must be > 0, got {self.duration}"
+            )
+        if not (0.0 < self.slowdown < 1.0):
+            raise ConfigurationError(
+                f"slowdown must be in (0, 1) — 0 is a crash, 1 a no-op; "
+                f"got {self.slowdown}"
+            )
+
+    def window(self) -> Tuple[float, float]:
+        return (self.at, self.at + self.duration)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic failure schedule for one run."""
+
+    crashes: Tuple[CoreCrash, ...] = ()
+    stragglers: Tuple[StragglerWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        self._check_overlaps()
+
+    @property
+    def empty(self) -> bool:
+        return not self.crashes and not self.stragglers
+
+    def _check_overlaps(self) -> None:
+        """Reject two fault windows touching the same core at once.
+
+        The injector restores a core's fault scale to 1.0 at window end,
+        so overlapping windows on one core would silently cancel each
+        other — a plan-authoring bug worth failing loudly on.
+        """
+        windows: Dict[int, List[Tuple[float, float, str]]] = {}
+        for crash in self.crashes:
+            start, end = crash.window()
+            windows.setdefault(crash.core, []).append((start, end, "crash"))
+        for straggler in self.stragglers:
+            start, end = straggler.window()
+            for core in straggler.cores:
+                windows.setdefault(core, []).append((start, end, "straggler"))
+        for core, spans in windows.items():
+            spans.sort()
+            for (s1, e1, k1), (s2, e2, k2) in zip(spans, spans[1:]):
+                if s2 < e1:
+                    raise ConfigurationError(
+                        f"fault plan overlaps on core {core}: {k1} "
+                        f"[{s1}, {e1}) and {k2} [{s2}, {e2})"
+                    )
+
+    def max_concurrent_crashes(self) -> int:
+        """Largest number of cores simultaneously down under this plan."""
+        edges = []
+        for crash in self.crashes:
+            start, end = crash.window()
+            edges.append((start, 1))
+            if end != _INF:
+                edges.append((end, -1))
+        edges.sort()
+        worst = current = 0
+        for _, delta in edges:
+            current += delta
+            worst = max(worst, current)
+        return worst
+
+    def validate_for(self, num_cores: int) -> None:
+        """Check the plan fits a machine and leaves it schedulable."""
+        for crash in self.crashes:
+            if crash.core >= num_cores:
+                raise ConfigurationError(
+                    f"crash core {crash.core} outside machine "
+                    f"(num_cores={num_cores})"
+                )
+        for straggler in self.stragglers:
+            for core in straggler.cores:
+                if core >= num_cores:
+                    raise ConfigurationError(
+                        f"straggler core {core} outside machine "
+                        f"(num_cores={num_cores})"
+                    )
+        if self.max_concurrent_crashes() >= num_cores:
+            raise ConfigurationError(
+                "fault plan kills every core at once; nothing could execute"
+            )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the registry's declarative scenario shape)
+    # ------------------------------------------------------------------
+    def to_params(self) -> Dict[str, object]:
+        return {
+            "crashes": [
+                [c.core, c.at, c.duration] for c in self.crashes
+            ],
+            "stragglers": [
+                [list(s.cores), s.at, s.duration, s.slowdown]
+                for s in self.stragglers
+            ],
+        }
+
+    @classmethod
+    def from_params(cls, params: Dict[str, object]) -> "FaultPlan":
+        """Build a plan from the JSON shape ``to_params`` emits."""
+        crashes = tuple(
+            CoreCrash(core=int(core), at=float(at),
+                      duration=None if duration is None else float(duration))
+            for core, at, duration in params.get("crashes", ())
+        )
+        stragglers = tuple(
+            StragglerWindow(cores=tuple(int(c) for c in cores), at=float(at),
+                            duration=float(duration), slowdown=float(slowdown))
+            for cores, at, duration, slowdown in params.get("stragglers", ())
+        )
+        return cls(crashes=crashes, stragglers=stragglers)
+
+    # ------------------------------------------------------------------
+    # seeded chaos generator
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: SeedLike,
+        num_cores: int,
+        horizon: float,
+        crashes: int = 1,
+        stragglers: int = 1,
+        transient_fraction: float = 0.5,
+        slowdown_range: Tuple[float, float] = (0.2, 0.6),
+    ) -> "FaultPlan":
+        """A deterministic pseudo-random plan for chaos testing.
+
+        Crashes land mid-run (``(0.1, 0.7) * horizon``), at most one per
+        core and never on every core at once; stragglers only hit cores
+        that do not also crash (the overlap check rejects such plans).
+        Same seed, same plan — chaos runs stay cacheable.
+        """
+        if num_cores < 2:
+            raise ConfigurationError(
+                "chaos plans need >= 2 cores (one must survive)"
+            )
+        rng = make_rng(seed)
+        crash_items: List[CoreCrash] = []
+        cores = rng.permutation(num_cores)[: min(crashes, num_cores - 1)]
+        for core in cores:
+            at = float(rng.uniform(0.1, 0.7) * horizon)
+            transient = bool(rng.random() < transient_fraction)
+            duration = float(rng.uniform(0.1, 0.3) * horizon) if transient else None
+            crash_items.append(CoreCrash(core=int(core), at=at, duration=duration))
+        crashed = {c.core for c in crash_items}
+        straggler_items: List[StragglerWindow] = []
+        candidates = [c for c in range(num_cores) if c not in crashed]
+        for _ in range(stragglers):
+            if not candidates:
+                break
+            core = int(candidates[int(rng.integers(len(candidates)))])
+            lo, hi = slowdown_range
+            straggler_items.append(
+                StragglerWindow(
+                    cores=(core,),
+                    at=float(rng.uniform(0.1, 0.5) * horizon),
+                    duration=float(rng.uniform(0.2, 0.4) * horizon),
+                    slowdown=float(rng.uniform(lo, hi)),
+                )
+            )
+            candidates.remove(core)
+        plan = cls(crashes=tuple(crash_items), stragglers=tuple(straggler_items))
+        plan.validate_for(num_cores)
+        return plan

@@ -117,6 +117,13 @@ class SpeedModel:
         n = machine.num_cores
         self._freq_scale: List[float] = [1.0] * n
         self._cpu_share: List[float] = [1.0] * n
+        #: Fault-injection rate multiplier per core: 1 healthy, in (0, 1)
+        #: for a straggler window, 0 for a crashed core.  ``_faulted``
+        #: stays False until the first injection so the fault-free hot
+        #: path never reads the table (bit-identity with a fault-free
+        #: build is structural, not numerical).
+        self._fault_scale: List[float] = [1.0] * n
+        self._faulted = False
         #: Persistent bandwidth demand per domain from interference sources.
         self._external_demand: Dict[str, float] = {
             d: 0.0 for d in machine.memory_bandwidth
@@ -166,12 +173,15 @@ class SpeedModel:
         """
         spec = self.machine.cores[core_id]
         timeshare = 1.0 / max(1, len(self._core_items[core_id]))
-        return (
+        rate = (
             spec.base_speed
             * self._freq_scale[core_id]
             * self._cpu_share[core_id]
             * timeshare
         )
+        if self._faulted:
+            rate *= self._fault_scale[core_id]
+        return rate
 
     def active_on_core(self, core_id: int) -> int:
         """Number of in-flight work items occupying ``core_id``."""
@@ -297,6 +307,54 @@ class SpeedModel:
         if not (0 < share <= 1.0):
             raise ConfigurationError(f"cpu share must be in (0, 1], got {share}")
         self._transition_cores(self._cpu_share, core_ids, share, "cpu_share")
+
+    def set_fault_scale(self, core_ids: Iterable[int], scale: float) -> None:
+        """Set the fault-injection rate multiplier of ``core_ids``.
+
+        ``0`` models a crashed core (in-flight work freezes, estimates go
+        to infinity), values in ``(0, 1)`` model straggler windows, and
+        ``1`` restores full health.  Unlike the DVFS/co-runner knobs this
+        one legitimately reaches an exact zero rate, which the re-timing
+        machinery already treats as "no completion check scheduled".
+        """
+        if not (0.0 <= scale <= 1.0):
+            raise ConfigurationError(
+                f"fault scale must be in [0, 1], got {scale}"
+            )
+        self._faulted = True
+        self._transition_cores(self._fault_scale, core_ids, scale, "fault_scale")
+
+    def fault_scale(self, core_id: int) -> float:
+        return self._fault_scale[core_id]
+
+    def cancel_work(self, item: ActiveWork) -> None:
+        """Abort an in-flight item without completing it.
+
+        The recovery path uses this when a member core dies: the assembly
+        will be re-executed from scratch, so the partially-done work is
+        discarded, its core/domain registrations are released, and its
+        ``done`` event is left untriggered (the aborted assembly's
+        completion is routed through the retry machinery instead).
+        Survivors sharing a core or the domain are re-timed exactly as on
+        a normal completion.  Cancelling an item that already finished or
+        was never started is a no-op.
+        """
+        if item.work_id not in self._active:
+            return
+        self._advance()
+        factor_before = self._domain_factor(item.domain)
+        del self._active[item.work_id]
+        freed: set = set()
+        for core in item.cores:
+            members = self._core_items[core]
+            del members[item.work_id]
+            if members:
+                freed.add(core)
+        del self._domain_items[item.domain][item.work_id]
+        self._demand_totals[item.domain] -= item.demand
+        self._cancel_marker(item)
+        item._version += 1
+        self._retime_affected(sorted(freed), {item.domain: factor_before})
 
     def add_external_demand(self, domain: str, amount: float) -> None:
         """Register persistent memory-bandwidth demand (e.g. a co-runner)."""

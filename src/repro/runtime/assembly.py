@@ -38,6 +38,8 @@ class Assembly:
         "exec_end",
         "completed",
         "joined_at",
+        "work",
+        "aborted",
     )
 
     def __init__(
@@ -64,6 +66,15 @@ class Assembly:
         #: core from this instant until completion (the occupancy window
         #: the metrics layer charges).
         self.joined_at: dict = {}
+        #: The in-flight :class:`~repro.machine.speed.ActiveWork` handle
+        #: once all members have joined (None before the work starts and
+        #: for communication assemblies).  Recovery cancels it when a
+        #: member core dies mid-execution.
+        self.work = None
+        #: Set by the recovery path when a member core died: the task
+        #: will be re-executed elsewhere, surviving members must release
+        #: their cores, and the completion must not commit the task.
+        self.aborted = False
 
     @property
     def leader(self) -> int:

@@ -40,6 +40,21 @@ class RuntimeConfig:
     max_time:
         Safety horizon (seconds of simulated time) after which a run
         aborts; prevents a buggy policy from hanging a test run.
+    lease_timeout:
+        Simulated seconds between a worker's crash and the runtime
+        confirming it dead (the heartbeat/lease model: a worker that
+        stops renewing its lease is declared lost one lease period
+        later).  Recovery — queue reclaim, task retry, PTT invalidation
+        — happens at detection, not at the crash instant.
+    max_task_retries:
+        How many times one task may be re-enqueued after dying with its
+        worker before the run fails with
+        :class:`~repro.errors.TaskRetryExhausted`.
+    retry_backoff:
+        Base simulated delay before a reclaimed in-flight task re-enters
+        a ready queue; doubles per retry of the same task (exponential
+        backoff).  Tasks reclaimed from a dead worker's WSQ (never
+        started) re-enqueue immediately.
     """
 
     dispatch_overhead: float = 2.0e-6
@@ -49,6 +64,9 @@ class RuntimeConfig:
     measurement_noise: float = 0.0
     noise_seed: int = 12345
     max_time: float = 1.0e5
+    lease_timeout: float = 5.0e-3
+    max_task_retries: int = 3
+    retry_backoff: float = 1.0e-4
 
     def __post_init__(self) -> None:
         if self.dispatch_overhead < 0:
@@ -63,3 +81,9 @@ class RuntimeConfig:
             raise ConfigurationError("measurement_noise must be >= 0")
         if self.max_time <= 0:
             raise ConfigurationError("max_time must be > 0")
+        if self.lease_timeout <= 0:
+            raise ConfigurationError("lease_timeout must be > 0")
+        if self.max_task_retries < 0:
+            raise ConfigurationError("max_task_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0")

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.policies.base import SchedulerPolicy
-from repro.errors import RuntimeStateError, SchedulingError
+from repro.errors import RuntimeStateError, SchedulingError, TaskRetryExhausted
 from repro.graph.dag import TaskGraph
 from repro.graph.task import Task
 from repro.kernels.base import WorkProfile
@@ -37,14 +37,18 @@ from repro.metrics.records import TaskRecord
 from repro.runtime.assembly import Assembly
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.queues import WorkStealingQueue
-from repro.sim.environment import Environment
+from repro.sim.environment import Environment, Interrupt, Process
 from repro.sim.events import Event
 from repro.trace.events import (
     DecisionEvent,
+    QueueReclaimEvent,
     QueueSampleEvent,
     RunMarkEvent,
     StealEvent,
     TaskExecEvent,
+    TaskRetryEvent,
+    WorkerLostEvent,
+    WorkerRecoveredEvent,
     WorkerStateEvent,
 )
 from repro.trace.tracer import NULL_TRACER, Tracer
@@ -167,6 +171,32 @@ class SimulatedRuntime:
         #: :meth:`result` (the bound scheduler is always included there).
         self.extra: Dict[str, object] = {}
 
+        # Fault-recovery state.  Everything below is inert (and every
+        # hot-path branch reads one False bool) until a
+        # :class:`~repro.faults.FaultInjector` installed on this
+        # environment attaches itself — with faults off the runtime is
+        # bit-identical to a build without this machinery.
+        self._faults_enabled = False
+        self._workers: List[Optional[Process]] = [None] * n
+        #: ``_crashed``: the fault hit (worker halted, lease ticking);
+        #: ``_dead``: lease expired, loss confirmed, recovery done.
+        self._crashed: List[bool] = [False] * n
+        self._dead: List[bool] = [False] * n
+        self._crash_epoch: List[int] = [0] * n
+        self._crash_time: List[float] = [0.0] * n
+        self._fault_stats: Dict[str, object] = {
+            "workers_lost": 0,
+            "workers_recovered": 0,
+            "tasks_reclaimed": 0,
+            "tasks_retried": 0,
+            "recovery_latencies": [],
+        }
+        injectors = getattr(env, "fault_injectors", None)
+        if injectors:
+            for injector in injectors:
+                if injector.speed is self.speed:
+                    injector.attach(self)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -183,7 +213,9 @@ class SimulatedRuntime:
         for task in sorted(self.graph.drain_ready(), key=lambda t: t.priority):
             self._enqueue_ready(task, waker_core=self._next_root_core())
         for core in range(self.machine.num_cores):
-            self.env.process(self._worker(core), name=f"{self.name}-w{core}")
+            self._workers[core] = self.env.process(
+                self._worker(core), name=f"{self.name}-w{core}"
+            )
 
     def run(self) -> RunResult:
         """Drive the simulation until the graph finishes; returns the result.
@@ -218,6 +250,8 @@ class SimulatedRuntime:
         """
         makespan = self.env.now - self._start_time
         done = self.graph.completed_tasks
+        if self._faults_enabled:
+            self.extra["fault_stats"] = self.fault_stats()
         return RunResult(
             makespan=makespan,
             tasks_completed=done,
@@ -275,6 +309,16 @@ class SimulatedRuntime:
                 )
 
     def _worker(self, core: int):
+        try:
+            yield from self._worker_loop(core)
+        except Interrupt:
+            # The fault injector killed this worker: fall through to the
+            # terminal state.  Its queues are reclaimed at lease expiry.
+            pass
+        if self._crashed[core] or self._dead[core]:
+            self._set_state(core, "dead")
+
+    def _worker_loop(self, core: int):
         config = self.config
         wsq = self.wsqs[core]
         aq = self.aqs[core]
@@ -398,6 +442,8 @@ class SimulatedRuntime:
         stolen: bool,
     ) -> None:
         """Wrap ``task`` in an assembly at ``place`` and enqueue it."""
+        if self._faults_enabled:
+            place = self._remap_dead_place(place, deciding_core)
         self.machine.validate_place(place)
         cores = self.machine.place_cores(place)
         profile = self._profile_for(task.kernel, place)
@@ -490,9 +536,15 @@ class SimulatedRuntime:
                 memory_intensity=assembly.profile.memory_intensity,
                 demand=assembly.profile.demand,
             )
+            assembly.work = work
             done = work.done
 
         def _on_done(event: Event, a=assembly) -> None:
+            if a.aborted:
+                # Recovery already re-routed this task; a late completion
+                # (e.g. a comm op resolving after the abort) must not
+                # commit it a second time.
+                return
             # A comm op may report a "billable" time (local protocol +
             # wire, excluding the wait for the peer) as the event value;
             # that is what trains the PTT — an elapsed time dominated by
@@ -537,6 +589,12 @@ class SimulatedRuntime:
         self.collector.record_task(
             record, assembly.cores, joined_at=assembly.joined_at
         )
+        if self._faults_enabled:
+            crashed_at = task.metadata.pop("_crashed_at", None)
+            if crashed_at is not None:
+                self._fault_stats["recovery_latencies"].append(
+                    self.env.now - crashed_at
+                )
         if self._tracing:
             self.tracer.emit(
                 TaskExecEvent(
@@ -581,6 +639,8 @@ class SimulatedRuntime:
             raise SchedulingError(
                 f"{self.scheduler.name}.on_ready returned invalid core {target}"
             )
+        if self._faults_enabled and self._dead[target]:
+            target = self._live_fallback(waker_core)
         self.wsqs[target].push(task)
         if self._tracing:
             self.tracer.emit(
@@ -611,6 +671,229 @@ class SimulatedRuntime:
         core = self._root_rr % self.machine.num_cores
         self._root_rr += 1
         return core
+
+    # ------------------------------------------------------------------
+    # fault recovery
+    # ------------------------------------------------------------------
+    def enable_fault_recovery(self) -> None:
+        """Arm the recovery machinery (called by an attaching injector)."""
+        self._faults_enabled = True
+
+    def fault_stats(self) -> Dict[str, object]:
+        """JSON-safe summary of fault-recovery activity this run."""
+        latencies = self._fault_stats["recovery_latencies"]
+        return {
+            "workers_lost": self._fault_stats["workers_lost"],
+            "workers_recovered": self._fault_stats["workers_recovered"],
+            "tasks_reclaimed": self._fault_stats["tasks_reclaimed"],
+            "tasks_retried": self._fault_stats["tasks_retried"],
+            "tasks_recovered": (
+                self._fault_stats["tasks_reclaimed"]
+                + self._fault_stats["tasks_retried"]
+            ),
+            "recovery_latency_mean": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "recovery_latency_max": max(latencies) if latencies else 0.0,
+        }
+
+    def on_core_crashed(self, core: int) -> None:
+        """A fault hit ``core`` *now*: halt its worker, start its lease.
+
+        The rest of the system does not react yet — detection (and all
+        recovery) happens one ``config.lease_timeout`` later, when the
+        missing heartbeat confirms the loss.  A transient fault that
+        heals inside the lease window (see :meth:`on_core_recovered`)
+        renews the lease and recovery never triggers.
+        """
+        if self._crashed[core] or self._shutdown:
+            return
+        self._crashed[core] = True
+        self._crash_epoch[core] += 1
+        self._crash_time[core] = self.env.now
+        self._idle_events.pop(core, None)
+        worker = self._workers[core]
+        if worker is not None and worker.is_alive:
+            worker.interrupt("core-crashed")
+        self._workers[core] = None
+        self._core_busy_now[core] = False
+        epoch = self._crash_epoch[core]
+        lease = self.env.timeout(self.config.lease_timeout)
+        lease.callbacks.append(
+            lambda _ev, core=core, epoch=epoch: self._on_lease_expired(
+                core, epoch
+            )
+        )
+
+    def _on_lease_expired(self, core: int, epoch: int) -> None:
+        """Heartbeat deadline passed; confirm the loss unless it healed."""
+        if self._shutdown or self._dead[core]:
+            return
+        if not self._crashed[core] or self._crash_epoch[core] != epoch:
+            return  # the worker came back and renewed its lease
+        self._handle_worker_lost(core)
+
+    def _handle_worker_lost(self, core: int) -> None:
+        """Confirmed loss: invalidate the PTT, reclaim queues, retry work."""
+        now = self.env.now
+        crashed_at = self._crash_time[core]
+        self._dead[core] = True
+        self._fault_stats["workers_lost"] += 1
+
+        if self.scheduler.ptt is not None:
+            self.scheduler.ptt.mark_core_lost(core)
+
+        # Salvage the ready tasks still parked in the dead worker's WSQ.
+        reclaimed: List[Task] = []
+        wsq = self.wsqs[core]
+        while True:
+            task = wsq.pop_local()
+            if task is None:
+                break
+            reclaimed.append(task)
+        reclaimed.reverse()  # restore push (FIFO) order
+
+        # Every assembly with the dead core among its members is doomed:
+        # the rendezvous can never complete (queued) or the work can
+        # never finish (in flight, its member rate is now zero).
+        doomed: Dict[int, Assembly] = {}
+        for queue in self.aqs:
+            for assembly in queue:
+                if core in assembly.cores:
+                    doomed[assembly.assembly_id] = assembly
+        for current in self._current_assembly:
+            if current is not None and core in current.cores:
+                doomed[current.assembly_id] = current
+        if doomed:
+            for queue in self.aqs:
+                if any(a.assembly_id in doomed for a in queue):
+                    # Workers hold references to their deques; filter in
+                    # place rather than rebinding.
+                    survivors = [
+                        a for a in queue if a.assembly_id not in doomed
+                    ]
+                    queue.clear()
+                    queue.extend(survivors)
+        self._current_assembly[core] = None
+
+        if self._tracing:
+            self.tracer.emit(
+                WorkerLostEvent(
+                    t=now, core=core, crashed_at=crashed_at,
+                    reclaimed=len(reclaimed) + len(doomed),
+                )
+            )
+            self.tracer.emit(
+                QueueReclaimEvent(
+                    t=now, core=core, wsq=len(reclaimed), aq=len(doomed),
+                )
+            )
+
+        # Never-started tasks re-enqueue immediately and do not burn the
+        # retry budget; they were victims of placement, not execution.
+        self._fault_stats["tasks_reclaimed"] += len(reclaimed)
+        for task in reclaimed:
+            task.metadata.setdefault("_crashed_at", crashed_at)
+            self._requeue_recovered(task, core)
+
+        # In-flight (or rendezvousing) tasks are aborted and re-executed
+        # under the retry budget with exponential backoff.
+        for assembly_id in sorted(doomed):
+            assembly = doomed[assembly_id]
+            if assembly.work is not None:
+                self.speed.cancel_work(assembly.work)
+            assembly.aborted = True
+            self._retry_task(assembly.task, core)
+            if not assembly.completed.triggered:
+                # Release any live members blocked on the rendezvous.
+                assembly.completed.succeed()
+
+        # Live idle workers may now have salvaged work to pick up.
+        self._wake_all_idle()
+
+    def _retry_task(self, task: Task, dead_core: int) -> None:
+        """Re-enqueue an in-flight task after backoff; enforce the budget."""
+        attempt = int(task.metadata.get("_retries", 0)) + 1
+        if attempt > self.config.max_task_retries:
+            raise TaskRetryExhausted(task.task_id, attempt)
+        task.metadata["_retries"] = attempt
+        task.metadata.setdefault("_crashed_at", self._crash_time[dead_core])
+        backoff = self.config.retry_backoff * (2 ** (attempt - 1))
+        self._fault_stats["tasks_retried"] += 1
+        if self._tracing:
+            self.tracer.emit(
+                TaskRetryEvent(
+                    t=self.env.now,
+                    task_id=task.task_id,
+                    type_name=task.type_name,
+                    core=dead_core,
+                    attempt=attempt,
+                    backoff=backoff,
+                )
+            )
+        if backoff > 0:
+            delay = self.env.timeout(backoff)
+            delay.callbacks.append(
+                lambda _ev, task=task, core=dead_core: (
+                    self._requeue_recovered(task, core)
+                )
+            )
+        else:
+            self._requeue_recovered(task, dead_core)
+
+    def _requeue_recovered(self, task: Task, dead_core: int) -> None:
+        """Land a recovered task back in a live ready queue."""
+        if self._shutdown:
+            return
+        self._enqueue_ready(task, waker_core=self._live_fallback(dead_core))
+
+    def on_core_recovered(self, core: int) -> None:
+        """A transient fault healed: renew the lease or respawn the worker."""
+        if not self._crashed[core] or self._shutdown:
+            return
+        self._crashed[core] = False
+        was_dead = self._dead[core]
+        self._dead[core] = False
+        if was_dead:
+            self._fault_stats["workers_recovered"] += 1
+            if self.scheduler.ptt is not None:
+                self.scheduler.ptt.mark_core_recovered(core)
+        if self._tracing:
+            self.tracer.emit(
+                WorkerRecoveredEvent(
+                    t=self.env.now, core=core,
+                    down_for=self.env.now - self._crash_time[core],
+                )
+            )
+        if self._started:
+            self._workers[core] = self.env.process(
+                self._worker(core), name=f"{self.name}-w{core}"
+            )
+
+    def _live_fallback(self, preferred: int) -> int:
+        """``preferred`` if alive, else the lowest-numbered live core."""
+        if not self._dead[preferred]:
+            return preferred
+        for core in range(self.machine.num_cores):
+            if not self._dead[core]:
+                return core
+        raise RuntimeStateError(
+            f"{self.name}: every core has been lost; nothing can execute"
+        )
+
+    def _remap_dead_place(
+        self, place: ExecutionPlace, deciding_core: int
+    ) -> ExecutionPlace:
+        """Reroute a placement that touches a confirmed-dead core.
+
+        PTT invalidation steers model-driven policies away on its own;
+        this is the hard guarantee that covers model-free policies (RWS,
+        FA) and the window before a fresh PTT sample exists.
+        """
+        cores = self.machine.place_cores(place)
+        if not any(self._dead[c] for c in cores):
+            return place
+        return ExecutionPlace(self._live_fallback(deciding_core), 1)
 
     # ------------------------------------------------------------------
     # idle management

@@ -41,3 +41,17 @@ class Store:
         else:
             self._getters.append(event)
         return event
+
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a pending ``get`` request.
+
+        True when the request was still queued (and is now removed); False
+        when it already received an item or was never a getter here.  The
+        fabric's receive-timeout path uses this so a timed-out getter
+        cannot later swallow a message meant for a retried receive.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        return True

@@ -29,9 +29,11 @@ from repro.sweep.adaptive import (
 )
 from repro.sweep.cost import CostModel
 from repro.sweep.engine import (
+    ERROR_KEY,
     SweepRunner,
     SweepStats,
     default_cache_dir,
+    is_error_result,
     pop_stats,
 )
 from repro.sweep.registry import execute_spec
@@ -39,9 +41,11 @@ from repro.sweep.spec import RunSpec, data_to_place, derive_seed, place_to_data
 
 __all__ = [
     "ADAPTIVE_KEY",
+    "ERROR_KEY",
     "AdaptivePolicy",
     "CostModel",
     "RunSpec",
+    "is_error_result",
     "SweepRunner",
     "SweepStats",
     "aggregate_replicates",

@@ -4,10 +4,10 @@
 their metric dicts in input order.  Identical specs are executed once;
 results are looked up in (and written back to) an on-disk JSON cache keyed
 by the spec's content hash — which includes the package version, so a
-version bump invalidates everything.  Misses fan out over a
-``multiprocessing`` pool; because every run is a pure function of its
-spec (each worker builds its own environment and RNGs from the spec's
-seed), parallel results are bit-identical to serial ones regardless of
+version bump invalidates everything.  Misses fan out over long-lived
+worker processes; because every run is a pure function of its spec (each
+worker builds its own environment and RNGs from the spec's seed),
+parallel results are bit-identical to serial ones regardless of
 scheduling order.
 
 Two throughput layers sit on top of the plain fan-out:
@@ -20,6 +20,22 @@ Two throughput layers sit on top of the plain fan-out:
   each cell across derived seeds until the confidence interval of its
   scalar metrics is tighter than the policy's target, instead of paying a
   fixed worst-case seed count everywhere.
+
+And one robustness layer underneath (see ``docs/robustness.md``):
+
+* a worker that **crashes** (segfault, OOM-kill, ``os._exit``) or blows a
+  per-run wall-clock **timeout** is respawned and its spec retried with
+  exponential backoff, up to ``max_attempts``;
+* a spec whose execution raises is a *deterministic* failure — it is
+  captured once (no retry) as an **error result**
+  ``{"error": {"type", "message", "attempts", "kind"}}`` in place of its
+  metrics, so one broken cell never aborts the sweep;
+* error results are never cached or checkpointed, and they are recorded
+  per run in ``manifest.json``;
+* successful runs append to a per-label **checkpoint** (JSONL under
+  ``<cache_dir>/checkpoints/``); ``resume=True`` replays checkpointed
+  cells without recomputing them — the recovery path when a sweep
+  process itself died mid-flight.
 """
 
 from __future__ import annotations
@@ -27,14 +43,17 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import re
 import sys
 import time
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sweep.adaptive import (
+    ADAPTIVE_KEY,
     AdaptivePolicy,
     aggregate_replicates,
     converged,
@@ -50,10 +69,37 @@ DEFAULT_CACHE_DIR = "~/.cache/repro-sweeps"
 
 _CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
 
+#: Metrics-dict key that marks a captured per-spec failure.
+ERROR_KEY = "error"
+
 
 def default_cache_dir() -> Path:
     """The result-cache directory honouring ``$REPRO_SWEEP_CACHE``."""
     return Path(os.environ.get(_CACHE_ENV_VAR, DEFAULT_CACHE_DIR)).expanduser()
+
+
+def is_error_result(metrics: Any) -> bool:
+    """Whether a sweep result is a captured failure instead of metrics.
+
+    Failed specs resolve to ``{"error": {"type", "message", "attempts",
+    "kind"}}`` where ``kind`` is ``"exception"`` (the run raised —
+    deterministic, not retried), ``"crash"`` (the worker process died) or
+    ``"timeout"`` (the run blew the per-run wall-clock budget).
+    """
+    return isinstance(metrics, dict) and isinstance(metrics.get(ERROR_KEY), dict)
+
+
+def _error_result(
+    etype: str, message: str, attempts: int, kind: str
+) -> Dict[str, Any]:
+    return {
+        ERROR_KEY: {
+            "type": etype,
+            "message": message,
+            "attempts": attempts,
+            "kind": kind,
+        }
+    }
 
 
 @dataclass
@@ -73,6 +119,13 @@ class SweepStats:
     cells: int = 0
     seeds_added: int = 0
     seeds_saved: int = 0
+    #: Robustness counters: specs that ended as error results, retry
+    #: re-executions after worker crashes/timeouts, per-run timeouts
+    #: observed, and cells replayed from a checkpoint under ``resume``.
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    resumed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -85,6 +138,13 @@ class SweepStats:
             f"{self.jobs} worker{'s' if self.jobs != 1 else ''} "
             f"in {self.elapsed:.1f}s (hit rate {self.hit_rate:.0%})"
         )
+        if self.resumed:
+            text += f"; {self.resumed} resumed from checkpoint"
+        if self.failures or self.retries or self.timeouts:
+            text += (
+                f"; robustness: {self.failures} failed, "
+                f"{self.retries} retried, {self.timeouts} timed out"
+            )
         if self.cells:
             text += (
                 f"; adaptive: {self.cells} cells, "
@@ -107,6 +167,10 @@ class SweepStats:
             "cells": self.cells,
             "seeds_added": self.seeds_added,
             "seeds_saved": self.seeds_saved,
+            "failures": self.failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "resumed": self.resumed,
         }
 
 
@@ -121,16 +185,38 @@ def pop_stats() -> List[SweepStats]:
     return drained
 
 
-def _pool_execute(payload: Tuple[str, RunSpec]) -> Tuple[str, Dict[str, Any], float]:
-    """Top-level worker entry point (must be picklable).
+def _worker_main(conn) -> None:
+    """Long-lived pool worker: executes one (key, spec) per message.
 
-    Returns ``(key, metrics, wall_time)`` — the per-run wall time feeds
-    the sweep manifest and the cost model.
+    Replies ``(key, ok, payload, wall)`` where ``payload`` is the metrics
+    dict on success or ``{"type", "message"}`` when the run raised.  Only
+    ``Exception`` is caught — ``KeyboardInterrupt``/``SystemExit`` kill
+    the process, which the supervisor observes as a crash and retries.
     """
-    key, spec = payload
-    start = time.perf_counter()
-    metrics = execute_spec(spec)
-    return key, metrics, time.perf_counter() - start
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        key, spec = item
+        start = time.perf_counter()
+        try:
+            metrics = execute_spec(spec)
+        except Exception as exc:
+            payload = (
+                key,
+                False,
+                {"type": type(exc).__name__, "message": str(exc)},
+                time.perf_counter() - start,
+            )
+        else:
+            payload = (key, True, metrics, time.perf_counter() - start)
+        try:
+            conn.send(payload)
+        except (OSError, BrokenPipeError):
+            return
 
 
 def _is_traced(spec: RunSpec) -> bool:
@@ -139,9 +225,41 @@ def _is_traced(spec: RunSpec) -> bool:
     The trace config already alters the cache key (it lives in
     ``params``), but a traced run's side effects — the exported files —
     must be regenerated even when its metrics were cached, so traced
-    specs skip the cache entirely.
+    specs skip the cache (and the checkpoint) entirely.
     """
     return spec.params.get("trace") is not None
+
+
+@dataclass
+class _Job:
+    """One unit of supervised work: a unique spec plus its retry state."""
+
+    key: str
+    spec: RunSpec
+    attempts: int = 0
+    not_before: float = 0.0
+
+
+@dataclass
+class _Handle:
+    """A live worker process and, when busy, its current assignment."""
+
+    proc: multiprocessing.Process
+    conn: Any
+    job: Optional[_Job] = None
+    deadline: Optional[float] = None
+
+
+@dataclass
+class _BatchStats:
+    """Outcome counters of one :meth:`SweepRunner._execute_unique` call."""
+
+    hits: int = 0
+    resumed: int = 0
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    workers: int = 0
 
 
 class SweepRunner:
@@ -151,7 +269,8 @@ class SweepRunner:
     ----------
     jobs:
         Worker processes; ``None`` means ``os.cpu_count()``.  ``1`` runs
-        in-process (no pool).
+        in-process (no pool) unless a ``timeout`` is set, which needs
+        subprocess isolation to enforce.
     cache_dir:
         Result-cache directory; default ``~/.cache/repro-sweeps`` (or
         ``$REPRO_SWEEP_CACHE``).
@@ -159,14 +278,31 @@ class SweepRunner:
         When False, neither reads nor writes the cache (nor persists the
         cost model — predictions still order dispatch in-memory).
     label:
-        Name used in progress lines and stats (e.g. the figure name).
+        Name used in progress lines, stats and the checkpoint file name
+        (e.g. the figure name).
     progress:
         Emit ``[sweep:<label>] ...`` progress lines on stderr.
     manifest_dir:
         When set, :meth:`run` writes ``manifest.json`` there: one entry
         per spec with its cache key, kind, tags, seed, package version,
-        per-run wall time and whether it was served from the cache, plus
-        the sweep's :class:`SweepStats`.
+        per-run wall time, attempt count, whether it was served from the
+        cache/checkpoint and any captured error, plus the sweep's
+        :class:`SweepStats`.
+    timeout:
+        Per-run wall-clock budget in seconds; a run past it is killed and
+        retried.  ``None`` (default) never times runs out.
+    max_attempts:
+        Total attempts per spec for *infrastructure* failures (worker
+        crash or timeout); past the budget the spec resolves to an error
+        result.  In-run exceptions are deterministic and never retried.
+    retry_backoff:
+        Base wall-clock delay before re-dispatching a crashed/timed-out
+        spec; attempt ``n`` waits ``retry_backoff * 2**(n-1)`` seconds.
+    resume:
+        Replay this label's checkpoint: previously-completed cells are
+        served from ``<cache_dir>/checkpoints/<label>.jsonl`` instead of
+        being recomputed.  Without ``resume`` the checkpoint is started
+        afresh on each :meth:`run`.
     """
 
     def __init__(
@@ -177,19 +313,42 @@ class SweepRunner:
         label: str = "sweep",
         progress: bool = True,
         manifest_dir: Optional[os.PathLike] = None,
+        timeout: Optional[float] = None,
+        max_attempts: int = 2,
+        retry_backoff: float = 0.5,
+        resume: bool = False,
     ) -> None:
         self.jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be > 0 or None, got {timeout}"
+            )
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.use_cache = use_cache
         self.label = label
         self.progress = progress
         self.manifest_dir = Path(manifest_dir) if manifest_dir else None
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.resume = resume
         self.last_stats: Optional[SweepStats] = None
         self.cost_model = CostModel(
             self.cache_dir / COST_MODEL_FILE if use_cache else None
         )
+        self._checkpoint_entries: Optional[Dict[str, Dict[str, Any]]] = None
+        self._attempts: Dict[str, int] = {}
+        self._sources: Dict[str, str] = {}
 
     # -- cache ----------------------------------------------------------
     def _cache_path(self, key: str) -> Path:
@@ -220,6 +379,63 @@ class SweepRunner:
             json.dump(entry, fh, sort_keys=True)
         os.replace(tmp, path)
 
+    # -- checkpoint (crash-of-the-sweep-itself recovery) -----------------
+    @property
+    def _checkpoint_active(self) -> bool:
+        return self.use_cache or self.resume
+
+    def _checkpoint_path(self) -> Path:
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "_", self.label) or "sweep"
+        return self.cache_dir / "checkpoints" / f"{safe}.jsonl"
+
+    def _load_checkpoint(self) -> Dict[str, Dict[str, Any]]:
+        """Parse the label's checkpoint, tolerating a torn final line."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        try:
+            fh = open(self._checkpoint_path(), "r", encoding="utf-8")
+        except OSError:
+            return entries
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a killed sweep; skip
+                if not isinstance(entry, dict):
+                    continue
+                key = entry.get("key")
+                metrics = entry.get("metrics")
+                if isinstance(key, str) and isinstance(metrics, dict):
+                    entries[key] = metrics
+        return entries
+
+    def _checkpoint_append(
+        self, spec: RunSpec, key: str, metrics: Dict[str, Any]
+    ) -> None:
+        if not self._checkpoint_active:
+            return
+        path = self._checkpoint_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "identity": spec.identity(), "metrics": metrics}
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def _begin_sweep(self) -> None:
+        """Reset per-sweep bookkeeping; start or load the checkpoint."""
+        self._attempts = {}
+        self._sources = {}
+        if self.resume:
+            if self._checkpoint_entries is None:
+                self._checkpoint_entries = self._load_checkpoint()
+        elif self._checkpoint_active:
+            try:
+                self._checkpoint_path().unlink()
+            except OSError:
+                pass
+
     # -- execution ------------------------------------------------------
     def _log(self, message: str) -> None:
         if self.progress:
@@ -227,86 +443,345 @@ class SweepRunner:
 
     def _execute_unique(
         self, unique: Dict[str, RunSpec]
-    ) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, float], int, int]:
-        """Resolve every unique spec: cache, then cost-ordered fan-out.
+    ) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, float], _BatchStats]:
+        """Resolve every unique spec: checkpoint, cache, then fan-out.
 
-        Returns ``(results, walls, hits, workers)``.  Submission order is
+        Returns ``(results, walls, batch_stats)``.  Submission order is
         chosen by the cost model (unknown first, then longest-first) but
         results are keyed by content hash, so the order — like the pool's
         completion order — cannot influence any returned value.
         """
         results: Dict[str, Dict[str, Any]] = {}
         walls: Dict[str, float] = {}
-        if self.use_cache:
+        batch = _BatchStats()
+        if self.resume and self._checkpoint_entries:
             for key, spec in unique.items():
                 if _is_traced(spec):
+                    continue
+                checkpointed = self._checkpoint_entries.get(key)
+                if checkpointed is not None:
+                    results[key] = checkpointed
+                    self._sources[key] = "checkpoint"
+                    batch.resumed += 1
+        if self.use_cache:
+            for key, spec in unique.items():
+                if _is_traced(spec) or key in results:
                     continue
                 cached = self._cache_load(key)
                 if cached is not None:
                     results[key] = cached
-        hits = len(results)
+                    self._sources[key] = "cache"
+        batch.hits = len(results)
         pending = [
             (key, spec) for key, spec in unique.items() if key not in results
         ]
         pending = self.cost_model.order(pending)
 
         workers = min(self.jobs, len(pending)) if pending else 0
+        batch.workers = workers
         self._log(
-            f"{len(unique)} unique: {hits} cached, "
-            f"{len(pending)} to execute"
+            f"{len(unique)} unique: {batch.hits} cached"
+            + (f" ({batch.resumed} resumed)" if batch.resumed else "")
+            + f", {len(pending)} to execute"
             + (f" on {workers} workers" if workers > 1 else "")
         )
-        if workers > 1:
-            # Small chunks keep results streaming back (cache writes and
-            # progress happen as runs finish) without paying one IPC
-            # round-trip per run on large sweeps.
-            chunksize = max(1, min(8, len(pending) // (workers * 4)))
-            with multiprocessing.Pool(processes=workers) as pool:
-                done = 0
-                for key, metrics, wall in pool.imap_unordered(
-                    _pool_execute, pending, chunksize=chunksize
-                ):
-                    results[key] = metrics
-                    walls[key] = wall
-                    self.cost_model.observe(unique[key], wall)
-                    if self.use_cache and not _is_traced(unique[key]):
-                        self._cache_store(unique[key], key, metrics)
-                    done += 1
-                    if done % 25 == 0:
-                        self._log(f"{done}/{len(pending)} executed")
+        if workers > 1 or (workers == 1 and self.timeout is not None):
+            self._run_supervised(pending, results, walls, batch, workers)
         else:
-            for key, spec in pending:
-                _, results[key], walls[key] = _pool_execute((key, spec))
-                self.cost_model.observe(spec, walls[key])
-                if self.use_cache and not _is_traced(spec):
-                    self._cache_store(spec, key, results[key])
+            self._run_inline(pending, results, walls, batch)
         if pending:
             self.cost_model.save()
-        return results, walls, hits, workers
+        return results, walls, batch
+
+    def _record_success(
+        self,
+        job: _Job,
+        metrics: Dict[str, Any],
+        wall: float,
+        results: Dict[str, Dict[str, Any]],
+        walls: Dict[str, float],
+    ) -> None:
+        results[job.key] = metrics
+        walls[job.key] = wall
+        self._attempts[job.key] = job.attempts + 1
+        self._sources[job.key] = "executed"
+        self.cost_model.observe(job.spec, wall)
+        if not _is_traced(job.spec):
+            if self.use_cache:
+                self._cache_store(job.spec, job.key, metrics)
+            self._checkpoint_append(job.spec, job.key, metrics)
+
+    def _record_exception(
+        self,
+        job: _Job,
+        err: Dict[str, str],
+        results: Dict[str, Dict[str, Any]],
+        batch: _BatchStats,
+    ) -> None:
+        """A run that raised: deterministic, captured once, never cached."""
+        attempts = job.attempts + 1
+        results[job.key] = _error_result(
+            err["type"], err["message"], attempts, "exception"
+        )
+        self._attempts[job.key] = attempts
+        self._sources[job.key] = "failed"
+        batch.failures += 1
+        self._log(
+            f"run {job.key[:12]} failed: {err['type']}: {err['message']}"
+        )
+
+    def _run_inline(
+        self,
+        pending: Sequence[Tuple[str, RunSpec]],
+        results: Dict[str, Dict[str, Any]],
+        walls: Dict[str, float],
+        batch: _BatchStats,
+    ) -> None:
+        """Serial in-process execution (no timeout enforcement)."""
+        for key, spec in pending:
+            job = _Job(key, spec)
+            start = time.perf_counter()
+            try:
+                metrics = execute_spec(spec)
+            except Exception as exc:
+                self._record_exception(
+                    job,
+                    {"type": type(exc).__name__, "message": str(exc)},
+                    results,
+                    batch,
+                )
+                continue
+            self._record_success(
+                job, metrics, time.perf_counter() - start, results, walls
+            )
+
+    def _run_supervised(
+        self,
+        pending: Sequence[Tuple[str, RunSpec]],
+        results: Dict[str, Dict[str, Any]],
+        walls: Dict[str, float],
+        batch: _BatchStats,
+        workers: int,
+    ) -> None:
+        """Crash/timeout-tolerant fan-out over long-lived workers.
+
+        The supervisor assigns one spec at a time to each worker over a
+        pipe and multiplexes on ``multiprocessing.connection.wait`` across
+        result pipes *and* process sentinels, so a worker that dies
+        without replying (segfault, OOM-kill, ``os._exit``) is detected
+        immediately rather than hanging the sweep.  Crashed and timed-out
+        specs are re-dispatched with exponential backoff up to
+        ``max_attempts``; past the budget they resolve to error results.
+        """
+        from multiprocessing import connection as mpc
+
+        todo = deque(_Job(key, spec) for key, spec in pending)
+        backoff: List[_Job] = []
+        idle: List[_Handle] = []
+        busy: List[_Handle] = []
+        total = len(pending)
+        done = 0
+
+        def _spawn() -> _Handle:
+            parent, child = multiprocessing.Pipe()
+            proc = multiprocessing.Process(
+                target=_worker_main, args=(child,), daemon=True
+            )
+            proc.start()
+            child.close()
+            return _Handle(proc=proc, conn=parent)
+
+        def _retire(handle: _Handle, terminate: bool) -> None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            if terminate and handle.proc.is_alive():
+                handle.proc.terminate()
+            handle.proc.join(timeout=5.0)
+
+        def _fault(job: _Job, kind: str, etype: str, message: str) -> None:
+            """An infrastructure failure: retry with backoff, or give up."""
+            nonlocal done
+            job.attempts += 1
+            self._attempts[job.key] = job.attempts
+            if kind == "timeout":
+                batch.timeouts += 1
+            if job.attempts >= self.max_attempts:
+                results[job.key] = _error_result(
+                    etype, message, job.attempts, kind
+                )
+                self._sources[job.key] = "failed"
+                batch.failures += 1
+                done += 1
+                self._log(
+                    f"run {job.key[:12]}: {kind} on attempt "
+                    f"{job.attempts}/{self.max_attempts}; giving up "
+                    f"({message})"
+                )
+            else:
+                batch.retries += 1
+                delay = self.retry_backoff * (2 ** (job.attempts - 1))
+                job.not_before = time.monotonic() + delay
+                backoff.append(job)
+                self._log(
+                    f"run {job.key[:12]}: {kind} on attempt "
+                    f"{job.attempts}/{self.max_attempts}; retrying in "
+                    f"{delay:.2f}s"
+                )
+
+        while done < total:
+            now = time.monotonic()
+            ready_jobs = [j for j in backoff if j.not_before <= now]
+            if ready_jobs:
+                backoff[:] = [j for j in backoff if j.not_before > now]
+                todo.extend(ready_jobs)
+
+            # Top up the worker pool and hand out assignments.
+            while todo and (idle or len(idle) + len(busy) < workers):
+                handle = idle.pop() if idle else _spawn()
+                job = todo.popleft()
+                handle.job = job
+                handle.deadline = (
+                    (time.monotonic() + self.timeout)
+                    if self.timeout is not None
+                    else None
+                )
+                try:
+                    handle.conn.send((job.key, job.spec))
+                except (OSError, BrokenPipeError):
+                    # The worker died between assignments: recycle the job
+                    # (not an attempt — it never started) and drop the
+                    # worker; a replacement is spawned next iteration.
+                    handle.job = None
+                    _retire(handle, terminate=True)
+                    todo.appendleft(job)
+                    continue
+                busy.append(handle)
+
+            if not busy:
+                if backoff:
+                    pause = min(j.not_before for j in backoff) - time.monotonic()
+                    if pause > 0:
+                        time.sleep(pause)
+                continue
+
+            wait_for: List[Any] = [h.conn for h in busy]
+            wait_for += [h.proc.sentinel for h in busy]
+            wait_timeout: Optional[float] = None
+            deadlines = [h.deadline for h in busy if h.deadline is not None]
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+            if backoff:
+                wake = max(
+                    0.0, min(j.not_before for j in backoff) - time.monotonic()
+                )
+                wait_timeout = (
+                    wake if wait_timeout is None else min(wait_timeout, wake)
+                )
+            ready = set(mpc.wait(wait_for, timeout=wait_timeout))
+
+            still_busy: List[_Handle] = []
+            for handle in busy:
+                job = handle.job
+                resolved = False
+                if handle.conn in ready or handle.proc.sentinel in ready:
+                    try:
+                        if handle.conn.poll():
+                            _key, ok, payload, wall = handle.conn.recv()
+                            handle.job = None
+                            if ok:
+                                self._record_success(
+                                    job, payload, wall, results, walls
+                                )
+                            else:
+                                self._record_exception(
+                                    job, payload, results, batch
+                                )
+                            done += 1
+                            idle.append(handle)
+                            resolved = True
+                    except (EOFError, OSError):
+                        pass
+                    if not resolved and not handle.proc.is_alive():
+                        code = handle.proc.exitcode
+                        handle.job = None
+                        _retire(handle, terminate=False)
+                        _fault(
+                            job,
+                            "crash",
+                            "SweepWorkerError",
+                            f"worker process died (exit code {code})",
+                        )
+                        resolved = True
+                if not resolved:
+                    still_busy.append(handle)
+            busy = still_busy
+
+            # Enforce per-run deadlines on whoever is still out there.
+            now = time.monotonic()
+            still_busy = []
+            for handle in busy:
+                if handle.deadline is not None and now >= handle.deadline:
+                    job = handle.job
+                    handle.job = None
+                    _retire(handle, terminate=True)
+                    _fault(
+                        job,
+                        "timeout",
+                        "SweepTimeout",
+                        f"run exceeded the {self.timeout:g}s wall-clock "
+                        "timeout",
+                    )
+                else:
+                    still_busy.append(handle)
+            busy = still_busy
+
+            if done and done % 25 == 0:
+                self._log(f"{done}/{total} resolved")
+
+        for handle in idle:
+            try:
+                handle.conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+            _retire(handle, terminate=False)
+        for handle in busy:  # pragma: no cover - defensive
+            _retire(handle, terminate=True)
 
     def run(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
-        """Execute ``specs``; returns one metrics dict per spec, in order."""
+        """Execute ``specs``; returns one metrics dict per spec, in order.
+
+        A spec that fails (raises, crashes its worker past the retry
+        budget, or times out) yields an error result — see
+        :func:`is_error_result` — instead of aborting the sweep.
+        """
         start = time.perf_counter()
+        self._begin_sweep()
         keys = [spec.key() for spec in specs]
         unique: Dict[str, RunSpec] = {}
         for key, spec in zip(keys, specs):
             unique.setdefault(key, spec)
 
         self._log(f"{len(specs)} runs ({len(unique)} unique)")
-        results, walls, hits, workers = self._execute_unique(unique)
+        results, walls, batch = self._execute_unique(unique)
 
         stats = SweepStats(
             label=self.label,
             specs=len(specs),
             unique=len(unique),
-            hits=hits,
-            executed=len(unique) - hits,
-            jobs=max(workers, 1),
+            hits=batch.hits,
+            executed=len(unique) - batch.hits,
+            jobs=max(batch.workers, 1),
             elapsed=time.perf_counter() - start,
+            failures=batch.failures,
+            retries=batch.retries,
+            timeouts=batch.timeouts,
+            resumed=batch.resumed,
         )
         self._finish(stats)
         if self.manifest_dir is not None:
-            self._write_manifest(specs, keys, walls, stats)
+            self._write_manifest(specs, keys, walls, stats, results)
         return [results[key] for key in keys]
 
     def run_adaptive(
@@ -322,12 +797,17 @@ class SweepRunner:
         means over replicates, and convergence bookkeeping sits under the
         ``"adaptive"`` key.
 
+        Failed replicates (see :func:`is_error_result`) are excluded from
+        aggregation and recorded as ``failed_replicates``; a cell whose
+        every replicate failed aggregates to its first error result.
+
         ``policy=None`` falls back to :meth:`run` (no replication, no
         aggregation — bit-identical to a plain sweep).
         """
         if policy is None:
             return self.run(specs)
         start = time.perf_counter()
+        self._begin_sweep()
         keys = [spec.key() for spec in specs]
         cells: Dict[str, RunSpec] = {}
         for key, spec in zip(keys, specs):
@@ -337,8 +817,10 @@ class SweepRunner:
         manifest_specs: List[RunSpec] = []
         manifest_keys: List[str] = []
         all_walls: Dict[str, float] = {}
+        all_results: Dict[str, Dict[str, Any]] = {}
         counts: Dict[str, int] = {key: 0 for key in cells}
         total_hits = total_executed = total_unique = 0
+        total_failures = total_retries = total_timeouts = total_resumed = 0
         max_workers = 0
 
         self._log(
@@ -349,7 +831,7 @@ class SweepRunner:
         active = list(cells.keys())
         round_no = 0
         while active:
-            batch: Dict[str, RunSpec] = {}
+            batch_specs: Dict[str, RunSpec] = {}
             owners: List[Tuple[str, str]] = []  # (cell key, replicate key)
             for cell_key in active:
                 have = counts[cell_key]
@@ -361,7 +843,7 @@ class SweepRunner:
                 for rep in range(have, target):
                     rep_spec = replicate_spec(cells[cell_key], rep)
                     rep_key = rep_spec.key()
-                    batch[rep_key] = rep_spec
+                    batch_specs[rep_key] = rep_spec
                     owners.append((cell_key, rep_key))
                     manifest_specs.append(rep_spec)
                     manifest_keys.append(rep_key)
@@ -369,14 +851,19 @@ class SweepRunner:
             round_no += 1
             self._log(
                 f"round {round_no}: {len(active)} cells unconverged, "
-                f"{len(batch)} replicates"
+                f"{len(batch_specs)} replicates"
             )
-            results, walls, hits, workers = self._execute_unique(batch)
+            results, walls, batch = self._execute_unique(batch_specs)
             all_walls.update(walls)
-            total_hits += hits
-            total_executed += len(batch) - hits
-            total_unique += len(batch)
-            max_workers = max(max_workers, workers)
+            all_results.update(results)
+            total_hits += batch.hits
+            total_executed += len(batch_specs) - batch.hits
+            total_unique += len(batch_specs)
+            total_failures += batch.failures
+            total_retries += batch.retries
+            total_timeouts += batch.timeouts
+            total_resumed += batch.resumed
+            max_workers = max(max_workers, batch.workers)
             for cell_key, rep_key in owners:
                 rep_results[cell_key].append(results[rep_key])
 
@@ -384,15 +871,29 @@ class SweepRunner:
             for cell_key in active:
                 if counts[cell_key] >= policy.max_seeds:
                     continue
-                accs = scalar_accumulators(rep_results[cell_key])
-                if not converged(accs, policy):
+                good = [
+                    r
+                    for r in rep_results[cell_key]
+                    if not is_error_result(r)
+                ]
+                if not good:
+                    # Every replicate failed; more seeds won't fix a
+                    # broken cell, so stop growing it.
+                    continue
+                if not converged(scalar_accumulators(good), policy):
                     still_active.append(cell_key)
             active = still_active
 
-        aggregated = {
-            key: aggregate_replicates(reps, policy)
-            for key, reps in rep_results.items()
-        }
+        aggregated: Dict[str, Dict[str, Any]] = {}
+        for key, reps in rep_results.items():
+            good = [r for r in reps if not is_error_result(r)]
+            if not good:
+                aggregated[key] = reps[0]
+                continue
+            agg = aggregate_replicates(good, policy)
+            if len(good) < len(reps):
+                agg[ADAPTIVE_KEY]["failed_replicates"] = len(reps) - len(good)
+            aggregated[key] = agg
         stats = SweepStats(
             label=self.label,
             specs=len(specs),
@@ -408,10 +909,16 @@ class SweepRunner:
             seeds_saved=sum(
                 policy.max_seeds - count for count in counts.values()
             ),
+            failures=total_failures,
+            retries=total_retries,
+            timeouts=total_timeouts,
+            resumed=total_resumed,
         )
         self._finish(stats)
         if self.manifest_dir is not None:
-            self._write_manifest(manifest_specs, manifest_keys, all_walls, stats)
+            self._write_manifest(
+                manifest_specs, manifest_keys, all_walls, stats, all_results
+            )
         return [aggregated[key] for key in keys]
 
     def _finish(self, stats: SweepStats) -> None:
@@ -425,22 +932,28 @@ class SweepRunner:
         keys: Sequence[str],
         walls: Dict[str, float],
         stats: Optional[SweepStats] = None,
+        results: Optional[Dict[str, Dict[str, Any]]] = None,
     ) -> Path:
         """Write ``manifest.json`` describing every run of this sweep."""
         from repro._version import __version__
 
-        entries = [
-            {
+        entries = []
+        for key, spec in zip(keys, specs):
+            entry: Dict[str, Any] = {
                 "key": key,
                 "kind": spec.kind,
                 "tags": dict(spec.tags),
                 "seed": spec.seed,
                 "version": __version__,
                 "wall_time": walls.get(key),
-                "cached": key not in walls,
+                "cached": self._sources.get(key) in (None, "cache", "checkpoint")
+                and key not in walls,
+                "attempts": self._attempts.get(key, 0),
             }
-            for key, spec in zip(keys, specs)
-        ]
+            result = (results or {}).get(key)
+            if is_error_result(result):
+                entry["error"] = result[ERROR_KEY]
+            entries.append(entry)
         self.manifest_dir.mkdir(parents=True, exist_ok=True)
         path = self.manifest_dir / "manifest.json"
         payload = {

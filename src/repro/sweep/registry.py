@@ -118,12 +118,21 @@ def _composite(scenarios):
     return CompositeScenario([build_scenario(s) for s in scenarios])
 
 
+def _faults(**kwargs):
+    """Declarative fault plan: ``crashes``/``stragglers`` in the
+    :meth:`repro.faults.FaultPlan.to_params` shape."""
+    from repro.faults import FaultPlan, FaultScenario
+
+    return FaultScenario(FaultPlan.from_params(kwargs))
+
+
 SCENARIOS: Dict[str, Callable] = {
     "tx2_corunner": _tx2_corunner,
     "corunner": _corunner,
     "dvfs": _dvfs,
     "live_corunner": _live_corunner,
     "composite": _composite,
+    "faults": _faults,
 }
 
 
@@ -153,12 +162,30 @@ def _m_core_busy(result) -> Dict[str, float]:
     return {str(core): busy for core, busy in result.collector.core_busy.items()}
 
 
+def _m_fault_stats(result) -> Dict[str, Any]:
+    """The runtime's recovery summary; empty when faults were off."""
+    return dict(result.extra.get("fault_stats", {}))
+
+
+def _fault_scalar(key: str, default: float = 0):
+    def extract(result):
+        stats = result.extra.get("fault_stats") or {}
+        return stats.get(key, default)
+
+    return extract
+
+
 METRICS: Dict[str, Callable] = {
     "makespan": lambda result: result.makespan,
     "tasks_completed": lambda result: result.tasks_completed,
     "throughput": lambda result: result.throughput,
     "priority_place_distribution": _m_priority_place_distribution,
     "core_busy": _m_core_busy,
+    "fault_stats": _m_fault_stats,
+    "workers_lost": _fault_scalar("workers_lost"),
+    "tasks_retried": _fault_scalar("tasks_retried"),
+    "tasks_recovered": _fault_scalar("tasks_recovered"),
+    "recovery_latency": _fault_scalar("recovery_latency_mean", 0.0),
 }
 
 

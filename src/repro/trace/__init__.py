@@ -31,12 +31,16 @@ from repro.trace.events import (
     EVENT_TYPES,
     DecisionEvent,
     PttUpdateEvent,
+    QueueReclaimEvent,
     QueueSampleEvent,
     RunMarkEvent,
     SpeedEvent,
     StealEvent,
     TaskExecEvent,
+    TaskRetryEvent,
     TraceEvent,
+    WorkerLostEvent,
+    WorkerRecoveredEvent,
     WorkerStateEvent,
     event_from_dict,
     event_to_dict,
@@ -74,6 +78,10 @@ __all__ = [
     "SpeedEvent",
     "TaskExecEvent",
     "RunMarkEvent",
+    "WorkerLostEvent",
+    "WorkerRecoveredEvent",
+    "QueueReclaimEvent",
+    "TaskRetryEvent",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",

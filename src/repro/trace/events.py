@@ -29,6 +29,14 @@ The taxonomy follows the decision lifecycle of the paper's Figure 3:
     One committed task assembly: place, member cores, exec window.
 ``RunMarkEvent``
     Run lifecycle marks (start / finish) for framing exports.
+``WorkerLostEvent`` / ``WorkerRecoveredEvent``
+    Fault-recovery lifecycle of one core: lease expiry confirmed the
+    worker dead; a transient crash healed and the worker respawned.
+``QueueReclaimEvent``
+    The dead worker's WSQ/AQ contents were salvaged for re-execution.
+``TaskRetryEvent``
+    One in-flight task re-enqueued after its worker died, with the retry
+    attempt number and the backoff delay applied.
 
 ``event_to_dict`` / ``event_from_dict`` give a loss-free JSON round-trip
 (the JSONL stream exporter and its reader are built on them).
@@ -42,7 +50,9 @@ from typing import Any, Dict, Tuple, Type
 from repro.errors import ConfigurationError
 
 #: Worker loop states, in the order they appear in the worker loop.
-WORKER_STATES: Tuple[str, ...] = ("exec", "poll", "steal", "idle")
+#: ``dead`` is terminal: the core crashed and (unless revived by a
+#: transient fault healing) never re-enters the loop.
+WORKER_STATES: Tuple[str, ...] = ("exec", "poll", "steal", "idle", "dead")
 
 
 @dataclass(frozen=True)
@@ -105,7 +115,7 @@ class PttUpdateEvent(TraceEvent):
 
 @dataclass(frozen=True)
 class SpeedEvent(TraceEvent):
-    kind: str  # "freq_scale" | "cpu_share" | "demand"
+    kind: str  # "freq_scale" | "cpu_share" | "demand" | "fault_scale"
     cores: Tuple[int, ...]  # empty for domain-wide demand events
     domain: str  # "" for core events
     value: float
@@ -130,6 +140,37 @@ class RunMarkEvent(TraceEvent):
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class WorkerLostEvent(TraceEvent):
+    core: int
+    crashed_at: float  # simulated time the crash was injected
+    #: tasks salvaged from the dead worker: WSQ entries plus in-flight
+    #: assembly members that will be re-enqueued.
+    reclaimed: int
+
+
+@dataclass(frozen=True)
+class WorkerRecoveredEvent(TraceEvent):
+    core: int
+    down_for: float  # simulated seconds between crash and revival
+
+
+@dataclass(frozen=True)
+class QueueReclaimEvent(TraceEvent):
+    core: int  # the dead core whose queues were drained
+    wsq: int  # ready tasks recovered from the work-stealing queue
+    aq: int  # in-flight assemblies aborted and re-enqueued
+
+
+@dataclass(frozen=True)
+class TaskRetryEvent(TraceEvent):
+    task_id: int
+    type_name: str
+    core: int  # the core whose death triggered the retry
+    attempt: int  # 1 = first re-execution
+    backoff: float  # simulated delay before the re-enqueue lands
+
+
 #: kind-string <-> class registry for serialization.
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     "worker_state": WorkerStateEvent,
@@ -140,6 +181,10 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     "speed": SpeedEvent,
     "task_exec": TaskExecEvent,
     "run_mark": RunMarkEvent,
+    "worker_lost": WorkerLostEvent,
+    "worker_recovered": WorkerRecoveredEvent,
+    "queue_reclaim": QueueReclaimEvent,
+    "task_retry": TaskRetryEvent,
 }
 
 _KIND_BY_TYPE: Dict[Type[TraceEvent], str] = {

@@ -29,11 +29,15 @@ from typing import Any, Dict, Iterable, List, Sequence
 from repro.trace.events import (
     DecisionEvent,
     PttUpdateEvent,
+    QueueReclaimEvent,
     QueueSampleEvent,
     SpeedEvent,
     StealEvent,
     TaskExecEvent,
+    TaskRetryEvent,
     TraceEvent,
+    WorkerLostEvent,
+    WorkerRecoveredEvent,
     WorkerStateEvent,
     event_from_dict,
     event_to_dict,
@@ -178,6 +182,65 @@ def to_chrome_trace(
                         "priority": event.priority,
                         "exploration": event.exploration,
                         "oracle": f"C{event.oracle_leader}x{event.oracle_width}",
+                    },
+                }
+            )
+        elif isinstance(event, WorkerLostEvent):
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": event.core,
+                    "name": f"worker lost c{event.core}",
+                    "cat": "fault",
+                    "ts": ts,
+                    "s": "t",
+                    "args": {
+                        "crashed_at": event.crashed_at,
+                        "reclaimed": event.reclaimed,
+                    },
+                }
+            )
+        elif isinstance(event, WorkerRecoveredEvent):
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": event.core,
+                    "name": f"worker recovered c{event.core}",
+                    "cat": "fault",
+                    "ts": ts,
+                    "s": "t",
+                    "args": {"down_for": event.down_for},
+                }
+            )
+        elif isinstance(event, QueueReclaimEvent):
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": event.core,
+                    "name": f"queues reclaimed c{event.core}",
+                    "cat": "fault",
+                    "ts": ts,
+                    "s": "t",
+                    "args": {"wsq": event.wsq, "aq": event.aq},
+                }
+            )
+        elif isinstance(event, TaskRetryEvent):
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": event.core,
+                    "name": f"retry {event.type_name}",
+                    "cat": "fault",
+                    "ts": ts,
+                    "s": "t",
+                    "args": {
+                        "task_id": event.task_id,
+                        "attempt": event.attempt,
+                        "backoff": event.backoff,
                     },
                 }
             )

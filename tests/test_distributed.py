@@ -5,8 +5,13 @@ import pytest
 from repro.distributed.cluster_runtime import DistributedRuntime
 from repro.distributed.message import Message
 from repro.distributed.mpi import CommTaskBuilder, SimMpi
-from repro.distributed.network import Fabric
-from repro.errors import CommunicationError, ConfigurationError
+from repro.distributed.network import Fabric, MessageFaultModel
+from repro.errors import (
+    CommunicationError,
+    CommunicationTimeout,
+    ConfigurationError,
+    MessageDropped,
+)
 from repro.graph.dag import TaskGraph
 from repro.graph.task import Priority
 from repro.kernels.fixed import FixedWorkKernel
@@ -232,3 +237,322 @@ class TestDistributedRuntime:
         from repro.errors import RuntimeStateError
         with pytest.raises(RuntimeStateError, match="deadlock"):
             runtime.run()
+
+
+class TestRecvTimeout:
+    """A receive that outlives its deadline fails with a typed error
+    instead of hanging the simulation forever."""
+
+    def _fabric(self, env, **kw):
+        return Fabric(env, 2, Interconnect(latency_s=1e-3,
+                                           bandwidth_bytes_per_s=1e6), **kw)
+
+    def test_orphan_recv_times_out(self):
+        env = Environment()
+        fabric = self._fabric(env)
+        failures = []
+
+        def receiver():
+            try:
+                yield fabric.recv(1, src=0, tag=7, timeout=0.5)
+            except CommunicationTimeout as exc:
+                failures.append((env.now, exc))
+
+        env.process(receiver())
+        env.run()
+        assert len(failures) == 1
+        t, exc = failures[0]
+        assert t == pytest.approx(0.5)
+        assert exc.dst == 1 and exc.src == 0 and exc.tag == 7
+        assert exc.timeout == pytest.approx(0.5)
+
+    def test_timely_message_unaffected(self):
+        env = Environment()
+        fabric = self._fabric(env)
+        got = []
+
+        def receiver():
+            msg = yield fabric.recv(1, src=0, tag=7, timeout=1.0)
+            got.append(msg.payload)
+
+        env.process(receiver())
+        fabric.send(Message(0, 1, 7, size_bytes=1e3, payload="ok"))
+        env.run()
+        assert got == ["ok"]
+
+    def test_timed_out_getter_does_not_swallow_later_message(self):
+        env = Environment()
+        fabric = self._fabric(env)
+        events = []
+
+        def impatient():
+            try:
+                yield fabric.recv(1, src=0, tag=7, timeout=0.1)
+            except CommunicationTimeout:
+                events.append("timeout")
+
+        def late_sender():
+            yield env.timeout(0.2)
+            fabric.send(Message(0, 1, 7, size_bytes=0.0, payload="late"))
+
+        def second_receiver():
+            yield env.timeout(0.15)
+            msg = yield fabric.recv(1, src=0, tag=7)
+            events.append(msg.payload)
+
+        env.process(impatient())
+        env.process(late_sender())
+        env.process(second_receiver())
+        env.run()
+        # The cancelled getter must not have consumed the late message.
+        assert events == ["timeout", "late"]
+
+    def test_fabric_default_timeout(self):
+        env = Environment()
+        fabric = self._fabric(env, recv_timeout=0.25)
+        failures = []
+
+        def receiver():
+            try:
+                yield fabric.recv(1, src=0, tag=0)
+            except CommunicationTimeout:
+                failures.append(env.now)
+
+        env.process(receiver())
+        env.run()
+        assert failures == [pytest.approx(0.25)]
+
+    def test_invalid_timeouts_rejected(self):
+        env = Environment()
+        with pytest.raises(ConfigurationError):
+            self._fabric(env, recv_timeout=0.0)
+        fabric = self._fabric(env)
+        with pytest.raises(ConfigurationError):
+            fabric.recv(1, src=0, tag=0, timeout=-1.0)
+
+
+class TestMessageFaults:
+    IC = Interconnect(latency_s=1e-3, bandwidth_bytes_per_s=1e6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MessageFaultModel(drop_prob=1.0)  # certain loss can never deliver
+        with pytest.raises(ConfigurationError):
+            MessageFaultModel(drop_prob=-0.1)
+        with pytest.raises(ConfigurationError):
+            MessageFaultModel(delay_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            MessageFaultModel(delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            MessageFaultModel(max_retransmits=-1)
+        with pytest.raises(ConfigurationError):
+            MessageFaultModel(retransmit_delay=-1.0)
+
+    def test_drop_budget_exhaustion_fails_send(self):
+        # seed=0 drops the first three attempts: budget of 2 retransmits
+        # is exhausted and the send's completion event fails.
+        env = Environment()
+        fabric = Fabric(env, 2, self.IC,
+                        faults=MessageFaultModel(drop_prob=0.9,
+                                                 max_retransmits=2, seed=0))
+        failures = []
+
+        def sender():
+            try:
+                yield fabric.send(Message(0, 1, 7, size_bytes=1e3))
+            except MessageDropped as exc:
+                failures.append(exc)
+
+        env.process(sender())
+        env.run()
+        (exc,) = failures
+        assert exc.src == 0 and exc.dst == 1 and exc.tag == 7
+        assert exc.attempts == 3
+        assert fabric.messages_dropped == 3
+        assert fabric.retransmissions == 2
+        assert fabric.messages_delivered == 0
+
+    def test_retransmission_recovers_a_dropped_message(self):
+        # seed=1 drops the first attempt and delivers the second.
+        env = Environment()
+        fabric = Fabric(env, 2, self.IC,
+                        faults=MessageFaultModel(drop_prob=0.9,
+                                                 max_retransmits=3,
+                                                 retransmit_delay=1e-3,
+                                                 seed=1))
+        got = []
+
+        def receiver():
+            msg = yield fabric.recv(1, src=0, tag=7)
+            got.append(env.now)
+
+        env.process(receiver())
+        fabric.send(Message(0, 1, 7, size_bytes=1e3))
+        env.run()
+        # wire=2e-3; attempt 1 occupies [0, 2e-3] then is lost; the
+        # retransmission enters at 3e-3 and lands at 5e-3.
+        assert got == [pytest.approx(5e-3)]
+        assert fabric.messages_dropped == 1
+        assert fabric.retransmissions == 1
+        assert fabric.messages_delivered == 1
+
+    def test_delay_fault_postpones_delivery(self):
+        env = Environment()
+        fabric = Fabric(env, 2, self.IC,
+                        faults=MessageFaultModel(delay_prob=1.0, delay=0.05))
+        got = []
+
+        def receiver():
+            yield fabric.recv(1, src=0, tag=0)
+            got.append(env.now)
+
+        env.process(receiver())
+        fabric.send(Message(0, 1, 0, size_bytes=1e3))
+        env.run()
+        assert got == [pytest.approx(2e-3 + 0.05)]
+
+    def test_seeded_faults_replay_bit_identically(self):
+        def chaos_run():
+            env = Environment()
+            fabric = Fabric(env, 2, self.IC,
+                            faults=MessageFaultModel(drop_prob=0.3,
+                                                     delay_prob=0.3,
+                                                     delay=1e-3,
+                                                     max_retransmits=5,
+                                                     retransmit_delay=1e-4,
+                                                     seed=42))
+            arrivals = []
+
+            def receiver():
+                for _ in range(10):
+                    yield fabric.recv(1, src=0, tag=0)
+                    arrivals.append(env.now)
+
+            env.process(receiver())
+            for _ in range(10):
+                fabric.send(Message(0, 1, 0, size_bytes=1e3))
+            env.run()
+            return (arrivals, fabric.messages_dropped,
+                    fabric.retransmissions, fabric.messages_delivered)
+
+        assert chaos_run() == chaos_run()
+
+    def test_zero_probability_model_is_inert(self):
+        def arrival(faults):
+            env = Environment()
+            fabric = Fabric(env, 2, self.IC, faults=faults)
+            got = []
+
+            def receiver():
+                yield fabric.recv(1, src=0, tag=0)
+                got.append(env.now)
+
+            env.process(receiver())
+            fabric.send(Message(0, 1, 0, size_bytes=1e3))
+            env.run()
+            return got[0]
+
+        assert arrival(MessageFaultModel()) == arrival(None)
+
+
+class TestDistributedRuntimeFaults:
+    def test_ping_pong_completes_under_message_chaos(self):
+        machines = [symmetric_machine(1, 4, name=f"n{i}") for i in range(2)]
+        runtime = DistributedRuntime(
+            machines, "dam-c", _ping_pong_builder(),
+            message_faults=MessageFaultModel(
+                drop_prob=0.4, delay_prob=0.5, delay=1e-3,
+                max_retransmits=8, retransmit_delay=1e-4, seed=3,
+            ),
+            recv_timeout=60.0,
+        )
+        result = runtime.run()
+        assert result.tasks_completed == 4
+        assert runtime.fabric.messages_delivered == 2
+
+    def test_recv_timeout_turns_deadlock_into_typed_error(self):
+        def orphan_builder(handle):
+            graph = TaskGraph(f"orphan-{handle.rank}")
+            if handle.rank == 0:
+                op = handle.comm.recv_op(src=1, tag=99, size_bytes=8.0)
+                graph.add_task(
+                    handle.comm.comm_kernel("orphan-recv", 8.0),
+                    priority=Priority.HIGH,
+                    metadata={"comm_op": op},
+                )
+            else:
+                graph.add_task(FixedWorkKernel("noop", work=1e-6))
+            return graph
+
+        machines = [symmetric_machine(1, 2, name=f"n{i}") for i in range(2)]
+        runtime = DistributedRuntime(
+            machines, "rws", orphan_builder, recv_timeout=0.5
+        )
+        with pytest.raises(CommunicationTimeout):
+            runtime.run()
+
+
+class TestStealEdgeCases:
+    """Work stealing at its boundaries: no victims, empty victims, and a
+    victim that crashes while holding stealable work."""
+
+    def _runtime(self, num_cores, with_faults=False, tasks=0):
+        from repro.core.policies.registry import make_scheduler
+        from repro.faults import FaultPlan, FaultScenario
+        from repro.machine.speed import SpeedModel
+        from repro.runtime.executor import SimulatedRuntime
+
+        env = Environment()
+        machine = symmetric_machine(1, num_cores)
+        speed = SpeedModel(env, machine)
+        if with_faults:
+            FaultScenario(FaultPlan()).install(env, speed, machine)
+        graph = TaskGraph("steal-edges")
+        made = [
+            graph.add_task(FixedWorkKernel("k", work=1e-4))
+            for _ in range(tasks)
+        ]
+        runtime = SimulatedRuntime(
+            env, machine, graph, make_scheduler("rws"), speed=speed, seed=0
+        )
+        return env, runtime, made
+
+    def test_single_core_machine_never_steals(self):
+        _, runtime, _ = self._runtime(num_cores=1)
+        assert runtime._try_steal(0) is None
+
+    def test_steal_scan_over_empty_victims_fails_cleanly(self):
+        _, runtime, _ = self._runtime(num_cores=4)
+        before = runtime.collector.failed_steal_scans
+        assert runtime._try_steal(0) is None
+        assert runtime.collector.failed_steal_scans == before + 1
+
+    def test_thief_never_probes_its_own_queue(self):
+        # Only the thief's queue holds work: every probe must skip it.
+        _, runtime, tasks = self._runtime(num_cores=2, tasks=1)
+        runtime.wsqs[0].push(tasks[0])
+        for _ in range(50):
+            assert runtime._try_steal(0) is None
+        assert len(runtime.wsqs[0]) == 1
+
+    def test_steal_racing_victim_crash(self):
+        # The victim crashes while its queue holds work; detection
+        # reclaims it onto live cores, where stealing can still find it.
+        env, runtime, tasks = self._runtime(
+            num_cores=4, with_faults=True, tasks=3
+        )
+        for task in tasks:
+            runtime.wsqs[1].push(task)
+        runtime.on_core_crashed(1)
+        env.run()  # lease expires, queues reclaimed
+        assert runtime._dead[1]
+        assert len(runtime.wsqs[1]) == 0
+        live_depth = sum(len(q) for q in runtime.wsqs)
+        assert live_depth == 3  # nothing lost in the race
+        stolen = [
+            task for task in
+            (runtime._try_steal(2) for _ in range(100))
+            if task is not None
+        ]
+        assert stolen  # reclaimed work is reachable by thieves
+        assert all(t in tasks for t in stolen)

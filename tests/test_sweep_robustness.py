@@ -1,0 +1,362 @@
+"""Tests for the sweep engine's fault tolerance.
+
+Chaos executors registered here are inherited by the pool's worker
+processes (the pool forks), which lets these tests inject real worker
+crashes (``os._exit``), hangs (``time.sleep``) and deterministic
+exceptions, then assert the supervisor's retry/timeout/error-capture and
+checkpoint/resume behavior from the outside.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import runner as cli
+from repro.experiments.common import ExperimentSettings
+from repro.sweep import (
+    ERROR_KEY,
+    RunSpec,
+    SweepRunner,
+    is_error_result,
+    pop_stats,
+)
+from repro.sweep.registry import executor
+
+
+@executor("chaos_crash_once")
+def _crash_once(spec):
+    """Dies hard on the first attempt, succeeds on retry."""
+    flag = spec.params["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        os._exit(1)
+    return {"value": float(spec.params["value"])}
+
+
+@executor("chaos_crash_always")
+def _crash_always(spec):
+    os._exit(1)
+
+
+@executor("chaos_hang")
+def _hang(spec):
+    time.sleep(spec.params.get("sleep", 60.0))
+    return {"value": 0.0}
+
+
+@executor("chaos_raise")
+def _raise(spec):
+    raise ValueError(f"bad parameter {spec.params['value']}")
+
+
+@executor("chaos_count")
+def _count(spec):
+    """Appends one line per execution — observable exactly-once evidence."""
+    with open(spec.params["counter"], "a") as fh:
+        fh.write("x\n")
+    return {"value": float(spec.params["value"])}
+
+
+def _executions(counter) -> int:
+    try:
+        with open(counter) as fh:
+            return len(fh.readlines())
+    except OSError:
+        return 0
+
+
+def _spec(kind, metrics=("value",), **params):
+    return RunSpec(kind=kind, params=params, metrics=metrics)
+
+
+def _runner(tmp_path, **kw):
+    kw.setdefault("use_cache", False)
+    kw.setdefault("progress", False)
+    kw.setdefault("retry_backoff", 0.01)
+    return SweepRunner(cache_dir=tmp_path / "cache", **kw)
+
+
+class TestWorkerCrash:
+    def test_crash_is_retried_and_succeeds(self, tmp_path):
+        pop_stats()
+        runner = _runner(tmp_path, jobs=2)
+        specs = [
+            _spec("chaos_crash_once", flag=str(tmp_path / "flag"), value=7),
+            _spec("chaos_count", counter=str(tmp_path / "c"), value=1),
+            _spec("chaos_count", counter=str(tmp_path / "c"), value=2),
+        ]
+        rows = runner.run(specs)
+        assert rows[0] == {"value": 7.0}
+        assert rows[1] == {"value": 1.0}
+        assert rows[2] == {"value": 2.0}
+        (stats,) = pop_stats()
+        assert stats.retries == 1
+        assert stats.failures == 0
+
+    def test_crash_budget_exhaustion_becomes_error_result(self, tmp_path):
+        pop_stats()
+        runner = _runner(tmp_path, jobs=2, max_attempts=2)
+        specs = [
+            _spec("chaos_crash_always", value=0),
+            _spec("chaos_count", counter=str(tmp_path / "c"), value=1),
+        ]
+        rows = runner.run(specs)
+        assert is_error_result(rows[0])
+        err = rows[0][ERROR_KEY]
+        assert err["kind"] == "crash"
+        assert err["attempts"] == 2
+        assert "died" in err["message"]
+        # The healthy spec in the same batch still completed.
+        assert rows[1] == {"value": 1.0}
+        (stats,) = pop_stats()
+        assert stats.failures == 1
+        assert stats.retries == 1  # one re-execution before giving up
+
+    def test_error_results_are_not_cached(self, tmp_path):
+        flag = tmp_path / "flag"
+        runner = _runner(tmp_path, jobs=2, max_attempts=1, use_cache=True)
+        specs = [
+            _spec("chaos_crash_once", flag=str(flag), value=3),
+            _spec("chaos_count", counter=str(tmp_path / "c"), value=1),
+        ]
+        rows = runner.run(specs)
+        assert is_error_result(rows[0])  # max_attempts=1: no retry
+        # A fresh sweep over the same specs re-executes the failed cell —
+        # the flag file now exists, so this time it succeeds.
+        rows = _runner(
+            tmp_path, jobs=2, max_attempts=1, use_cache=True
+        ).run(specs)
+        assert rows[0] == {"value": 3.0}
+
+
+class TestTimeout:
+    def test_hung_run_is_killed_and_reported(self, tmp_path):
+        pop_stats()
+        runner = _runner(tmp_path, jobs=1, timeout=0.4, max_attempts=1)
+        start = time.perf_counter()
+        (row,) = runner.run([_spec("chaos_hang", sleep=60.0)])
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0  # killed, not slept out
+        assert is_error_result(row)
+        err = row[ERROR_KEY]
+        assert err["kind"] == "timeout"
+        assert "0.4" in err["message"]
+        (stats,) = pop_stats()
+        assert stats.timeouts == 1
+        assert stats.failures == 1
+
+    def test_timeout_forces_supervision_even_serially(self, tmp_path):
+        # jobs=1 normally runs inline (same process); a timeout cannot be
+        # enforced there, so the engine must route through a subprocess.
+        runner = _runner(tmp_path, jobs=1, timeout=5.0)
+        counter = tmp_path / "c"
+        (row,) = runner.run(
+            [_spec("chaos_count", counter=str(counter), value=4)]
+        )
+        assert row == {"value": 4.0}
+        assert _executions(counter) == 1
+
+    def test_fast_run_within_timeout_unaffected(self, tmp_path):
+        pop_stats()
+        runner = _runner(tmp_path, jobs=2, timeout=30.0)
+        rows = runner.run([
+            _spec("chaos_count", counter=str(tmp_path / "c"), value=v)
+            for v in (1, 2, 3)
+        ])
+        assert [r["value"] for r in rows] == [1.0, 2.0, 3.0]
+        (stats,) = pop_stats()
+        assert stats.timeouts == 0 and stats.failures == 0
+
+
+class TestDeterministicExceptions:
+    def test_exception_captured_inline(self, tmp_path):
+        pop_stats()
+        runner = _runner(tmp_path, jobs=1)
+        rows = runner.run([
+            _spec("chaos_raise", value=9),
+            _spec("chaos_count", counter=str(tmp_path / "c"), value=1),
+        ])
+        assert is_error_result(rows[0])
+        err = rows[0][ERROR_KEY]
+        assert err["kind"] == "exception"
+        assert err["type"] == "ValueError"
+        assert "bad parameter 9" in err["message"]
+        assert rows[1] == {"value": 1.0}
+        (stats,) = pop_stats()
+        assert stats.failures == 1
+        assert stats.retries == 0  # deterministic: retrying is pointless
+
+    def test_exception_captured_in_pool(self, tmp_path):
+        runner = _runner(tmp_path, jobs=2)
+        rows = runner.run([
+            _spec("chaos_raise", value=5),
+            _spec("chaos_count", counter=str(tmp_path / "c"), value=1),
+        ])
+        assert is_error_result(rows[0])
+        assert rows[0][ERROR_KEY]["type"] == "ValueError"
+        assert rows[1] == {"value": 1.0}
+
+    def test_exception_not_written_to_cache(self, tmp_path):
+        counter = tmp_path / "c"
+        specs = [_spec("chaos_raise", value=1),
+                 _spec("chaos_count", counter=str(counter), value=2)]
+        for _ in range(2):
+            rows = _runner(tmp_path, jobs=1, use_cache=True).run(specs)
+            assert is_error_result(rows[0])
+        # The good spec was cached after sweep 1; the bad one re-raised
+        # (i.e. re-executed) rather than serving a cached error.
+        assert _executions(counter) == 1
+
+
+class TestCheckpointResume:
+    def _specs(self, counter, n=3):
+        return [
+            _spec("chaos_count", counter=str(counter), value=v)
+            for v in range(n)
+        ]
+
+    def test_resume_replays_without_recompute(self, tmp_path):
+        counter = tmp_path / "c"
+        pop_stats()
+        first = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        assert first.run(self._specs(counter)) == [
+            {"value": 0.0}, {"value": 1.0}, {"value": 2.0},
+        ]
+        assert _executions(counter) == 3
+        second = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        assert second.run(self._specs(counter)) == [
+            {"value": 0.0}, {"value": 1.0}, {"value": 2.0},
+        ]
+        assert _executions(counter) == 3  # nothing recomputed
+        stats = pop_stats()
+        assert stats[-1].resumed == 3
+        assert stats[-1].executed == 0
+
+    def test_partial_checkpoint_resumes_the_remainder(self, tmp_path):
+        counter = tmp_path / "c"
+        first = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        first.run(self._specs(counter, n=2))
+        second = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        second.run(self._specs(counter, n=4))
+        # 2 executed by the first sweep + only the 2 new ones after.
+        assert _executions(counter) == 4
+
+    def test_torn_checkpoint_line_is_tolerated(self, tmp_path):
+        counter = tmp_path / "c"
+        first = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        first.run(self._specs(counter))
+        path = tmp_path / "cache" / "checkpoints" / "fig.jsonl"
+        with open(path, "a") as fh:
+            fh.write('{"key": "abc", "metr')  # killed mid-write
+        second = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        second.run(self._specs(counter))
+        assert _executions(counter) == 3
+
+    def test_non_resume_sweep_truncates_checkpoint(self, tmp_path):
+        counter = tmp_path / "c"
+        first = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        first.run(self._specs(counter, n=3))
+        fresh = _runner(tmp_path, jobs=1, use_cache=True, label="fig")
+        fresh.run([_spec("chaos_count", counter=str(counter), value=99)])
+        path = tmp_path / "cache" / "checkpoints" / "fig.jsonl"
+        with open(path) as fh:
+            lines = [line for line in fh if line.strip()]
+        assert len(lines) == 1  # the old 3 entries are gone
+
+    def test_errors_never_enter_the_checkpoint(self, tmp_path):
+        first = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        (row,) = first.run([_spec("chaos_raise", value=1)])
+        assert is_error_result(row)
+        path = tmp_path / "cache" / "checkpoints" / "fig.jsonl"
+        assert not path.exists() or not path.read_text().strip()
+
+
+class TestManifest:
+    def test_manifest_records_attempts_and_errors(self, tmp_path):
+        runner = _runner(
+            tmp_path, jobs=2, max_attempts=2,
+            manifest_dir=tmp_path / "out",
+        )
+        specs = [
+            _spec("chaos_crash_always", value=0),
+            _spec("chaos_count", counter=str(tmp_path / "c"), value=1),
+        ]
+        runner.run(specs)
+        with open(tmp_path / "out" / "manifest.json") as fh:
+            manifest = json.load(fh)
+        assert manifest["stats"]["failures"] == 1
+        assert manifest["stats"]["retries"] == 1
+        by_kind = {e["kind"]: e for e in manifest["runs"]}
+        bad = by_kind["chaos_crash_always"]
+        assert bad["attempts"] == 2
+        assert bad["error"]["kind"] == "crash"
+        good = by_kind["chaos_count"]
+        assert "error" not in good
+        assert good["attempts"] == 1
+
+
+class TestAdaptiveWithFailures:
+    def test_broken_cell_aggregates_to_its_error(self, tmp_path):
+        from repro.sweep import AdaptivePolicy
+
+        runner = _runner(tmp_path, jobs=1)
+        policy = AdaptivePolicy(ci=0.1, min_seeds=2, max_seeds=4)
+        rows = runner.run_adaptive(
+            [_spec("chaos_raise", value=1),
+             _spec("chaos_count", counter=str(tmp_path / "c"), value=2)],
+            policy,
+        )
+        assert is_error_result(rows[0])
+        assert rows[1]["value"] == 2.0
+
+
+class TestValidation:
+    def test_runner_rejects_bad_knobs(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(jobs=1, timeout=0.0, cache_dir=tmp_path)
+        with pytest.raises(ConfigurationError):
+            SweepRunner(jobs=1, max_attempts=0, cache_dir=tmp_path)
+        with pytest.raises(ConfigurationError):
+            SweepRunner(jobs=1, retry_backoff=-1.0, cache_dir=tmp_path)
+
+    def test_settings_reject_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(run_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(max_attempts=0)
+
+
+class TestCliExitCodes:
+    def test_user_error_exits_2(self, capsys):
+        assert cli.main(["fig4", "--scale", "5"]) == cli.EXIT_USER_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_timeout_exits_2(self, capsys):
+        assert (
+            cli.main(["fig4", "--run-timeout", "-1"]) == cli.EXIT_USER_ERROR
+        )
+        assert "run_timeout" in capsys.readouterr().err
+
+    def test_internal_error_exits_3(self, capsys, monkeypatch):
+        def boom(settings):
+            raise RuntimeError("synthetic harness bug")
+
+        monkeypatch.setitem(cli._HARNESSES, "fig4", boom)
+        assert cli.main(["fig4", "--no-cache"]) == cli.EXIT_INTERNAL_ERROR
+        err = capsys.readouterr().err
+        assert "internal error" in err
+        assert "synthetic harness bug" in err
+
+    def test_harness_config_error_exits_2(self, capsys, monkeypatch):
+        def reject(settings):
+            raise ConfigurationError("flag combination unsupported")
+
+        monkeypatch.setitem(cli._HARNESSES, "fig4", reject)
+        assert cli.main(["fig4", "--no-cache"]) == cli.EXIT_USER_ERROR
+        assert "flag combination unsupported" in capsys.readouterr().err
