@@ -51,6 +51,48 @@ def test_local_search(benchmark):
     benchmark(local_search_cost, ptt, machine, 2)
 
 
+def test_global_search_backlog_tiebreak(benchmark):
+    """Vectorized search with every candidate tied: tie-break loop engaged.
+
+    Uniform PTT entries make all places fall inside ``TIE_TOLERANCE``, so
+    the search must rank the full candidate set by leader backlog — the
+    worst case of the vectorized path.
+    """
+    machine = haswell_node()
+    ptt = PerformanceTraceTable(machine)
+    for place in machine.places:
+        ptt.update(place, 1e-3)
+    depths = [core % 3 for core in range(machine.num_cores)]
+    benchmark(global_search_cost, ptt, machine, backlog=depths.__getitem__)
+
+
+def test_dag_build_direct(benchmark):
+    """Cold DAG construction: generator logic with the template cache off."""
+    from repro.graph.templates import clear_template_cache
+
+    kernel = MatMulKernel()
+
+    def build():
+        clear_template_cache()
+        return layered_synthetic_dag(kernel, 4, 1000)
+
+    graph = benchmark(build)
+    assert sum(1 for _ in graph.tasks()) == 1000
+
+
+def test_dag_build_template(benchmark):
+    """Warm DAG construction: instantiation from a cached template."""
+    from repro.graph.templates import clear_template_cache, template_cache_stats
+
+    kernel = MatMulKernel()
+    clear_template_cache()
+    layered_synthetic_dag(kernel, 4, 1000)  # prime the cache
+
+    graph = benchmark(layered_synthetic_dag, kernel, 4, 1000)
+    assert sum(1 for _ in graph.tasks()) == 1000
+    assert template_cache_stats()["hits"] > 0
+
+
 def test_sim_event_throughput(benchmark):
     """Raw engine speed: timeout-chain of 10k events."""
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.ptt import PerformanceTraceTable
 from repro.errors import SchedulingError
 from repro.machine.topology import ExecutionPlace, Machine
@@ -78,14 +80,70 @@ def _argmin_place(
     return min(tied, key=lambda p: (place_backlog(p), p))
 
 
+def _vector_search(
+    machine: Machine,
+    keys: "np.ndarray",
+    slots: Optional["np.ndarray"],
+    backlog: Optional[Backlog],
+) -> ExecutionPlace:
+    """Argmin over precomputed per-slot ``keys``, scalar-identical.
+
+    ``np.argmin`` returns the first occurrence of the minimum, which in
+    slot order is exactly the scalar first-wins argmin over places sorted
+    by ``(leader, width)``.  ``slots`` restricts the search to a subset
+    (e.g. the width-one places); ``keys`` is then already the restricted
+    array and indexes into ``slots``.
+    """
+    best = int(np.argmin(keys))
+    places = machine.places
+    winner = places[best] if slots is None else places[int(slots[best])]
+    if backlog is None:
+        return winner
+    best_value = float(keys[best])
+    threshold = best_value * (1.0 + TIE_TOLERANCE)
+    width = winner.width
+    members = machine._place_members
+    if slots is None:
+        tied_slots = np.nonzero(
+            (machine._place_widths == width) & (keys <= threshold)
+        )[0]
+    else:
+        tied_slots = slots[np.nonzero(keys <= threshold)[0]]
+    best_pair = None
+    best_place = winner
+    for slot in tied_slots:
+        place = places[int(slot)]
+        load = max(backlog(core) for core in members[int(slot)])
+        pair = (load, place)
+        if best_pair is None or pair < best_pair:
+            best_pair = pair
+            best_place = place
+    return best_place
+
+
 def local_search_cost(
     ptt: PerformanceTraceTable, machine: Machine, core: int
 ) -> ExecutionPlace:
     """Best width at ``core``'s aligned places, minimizing time x width."""
-    candidates = [
-        machine.local_place_for(core, w) for w in machine.widths_at(core)
-    ]
-    return _argmin_place(candidates, lambda p: ptt.predict(p) * p.width)
+    entries = getattr(machine, "_local_search_entries", None)
+    if entries is None or not hasattr(ptt, "_values_list"):
+        candidates = [
+            machine.local_place_for(core, w) for w in machine.widths_at(core)
+        ]
+        return _argmin_place(candidates, lambda p: ptt.predict(p) * p.width)
+    values = ptt._values_list
+    best_key = float("inf")
+    best_place = None
+    # Strict less-than keeps the first (narrowest-width) winner, exactly
+    # like the scalar first-wins argmin over the widths-ordered entries.
+    for slot, width, place in entries[core]:
+        key = values[slot] * width
+        if key < best_key:
+            best_key = key
+            best_place = place
+    if best_place is None:
+        raise SchedulingError("no candidate execution places")
+    return best_place
 
 
 def global_search_cost(
@@ -95,6 +153,9 @@ def global_search_cost(
     backlog: Optional[Backlog] = None,
 ) -> ExecutionPlace:
     """Best place machine-wide, minimizing parallel cost (DAM-C line 8)."""
+    if places is None and hasattr(ptt, "predict_all"):
+        keys = ptt.predict_all() * machine._place_widths
+        return _vector_search(machine, keys, None, backlog)
     pool = machine.places if places is None else places
     return _argmin_place(pool, lambda p: ptt.predict(p) * p.width, backlog)
 
@@ -106,10 +167,26 @@ def global_search_performance(
     backlog: Optional[Backlog] = None,
 ) -> ExecutionPlace:
     """Best place machine-wide, minimizing predicted time (DAM-P line 11)."""
+    if hasattr(ptt, "predict_all"):
+        if places is None:
+            return _vector_search(machine, ptt.predict_all(), None, backlog)
+        if places is getattr(machine, "_width_one_places", None):
+            slots = machine._width_one_slots
+            return _vector_search(
+                machine, ptt.predict_all()[slots], slots, backlog
+            )
     pool = machine.places if places is None else places
     return _argmin_place(pool, lambda p: ptt.predict(p), backlog)
 
 
 def width_one_places(machine: Machine) -> Sequence[ExecutionPlace]:
-    """All single-core places (the DA scheduler's search domain)."""
+    """All single-core places (the DA scheduler's search domain).
+
+    Returns the machine's precomputed tuple; the vectorized
+    :func:`global_search_performance` recognizes it by identity and takes
+    the subset fast path.
+    """
+    cached = getattr(machine, "_width_one_places", None)
+    if cached is not None:
+        return cached
     return [p for p in machine.places if p.width == 1]

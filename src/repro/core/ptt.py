@@ -58,11 +58,19 @@ class PerformanceTraceTable:
         self.total_weight = int(total_weight)
         self.tracer = tracer
         self.label = label
-        self._index: Dict[ExecutionPlace, int] = {
-            place: i for i, place in enumerate(machine.places)
-        }
+        # The slot map is a pure function of the static topology, so the
+        # machine's precomputed copy is shared rather than rebuilt per
+        # task type (a PTT is created per type, per run).
+        self._index: Dict[ExecutionPlace, int] = getattr(
+            machine, "_place_index", None
+        ) or {place: i for i, place in enumerate(machine.places)}
         self._values = np.zeros(len(machine.places), dtype=np.float64)
         self._samples = np.zeros(len(machine.places), dtype=np.int64)
+        #: Python-float mirror of ``_values``: scalar indexing into a list
+        #: is ~3x faster than into an ndarray, and the placement searches
+        #: read entries far more often than updates write them.  Kept
+        #: exactly in sync by update_slot / mark_core_*.
+        self._values_list: list = [0.0] * len(machine.places)
 
     def _slot(self, place: ExecutionPlace) -> int:
         try:
@@ -75,7 +83,17 @@ class PerformanceTraceTable:
 
     def predict(self, place: ExecutionPlace) -> float:
         """Predicted execution time at ``place`` (0 = not yet explored)."""
-        return float(self._values[self._slot(place)])
+        return self._values_list[self._slot(place)]
+
+    def predict_all(self) -> np.ndarray:
+        """All predicted times, indexed by place slot (``machine.places``
+        order).
+
+        This is the live array, not a copy — callers must treat it as
+        read-only.  It is the fast path of the vectorized searches in
+        :mod:`repro.core.placement`.
+        """
+        return self._values
 
     def samples(self, place: ExecutionPlace) -> int:
         """Number of observations folded into ``place``'s entry."""
@@ -88,10 +106,17 @@ class PerformanceTraceTable:
         average with the 0 sentinel would under-predict and freeze
         exploration prematurely).
         """
+        return self.update_slot(self._slot(place), observed)
+
+    def update_slot(self, slot: int, observed: float) -> float:
+        """:meth:`update` addressed by place slot (``machine.places[slot]``).
+
+        The runtime resolves a place to its slot once per completion and
+        then updates without re-hashing the ``ExecutionPlace`` key.
+        """
         if observed < 0:
             raise ConfigurationError(f"observed time must be >= 0, got {observed}")
-        slot = self._slot(place)
-        old = float(self._values[slot])
+        old = self._values_list[slot]
         if self._samples[slot] == 0:
             value = float(observed)
         else:
@@ -99,8 +124,10 @@ class PerformanceTraceTable:
             w_old = self.total_weight - w_new
             value = (w_old * old + w_new * observed) / self.total_weight
         self._values[slot] = value
+        self._values_list[slot] = float(value)
         self._samples[slot] += 1
         if self.tracer.enabled:
+            place = self.machine.places[slot]
             self.tracer.emit(
                 PttUpdateEvent(
                     t=self.tracer.now(),
@@ -123,12 +150,10 @@ class PerformanceTraceTable:
         can ever prefer a place that touches it.  Returns the number of
         places pinned.
         """
-        marked = 0
-        for place, slot in self._index.items():
-            if place.leader <= core < place.leader + place.width:
-                self._values[slot] = np.inf
-                marked += 1
-        return marked
+        slots = self._core_slots(core)
+        self._values[slots] = np.inf
+        self._values_list = self._values.tolist()
+        return len(slots)
 
     def mark_core_recovered(self, core: int) -> None:
         """Reset every place containing ``core`` to unexplored (0, 0 samples).
@@ -137,15 +162,27 @@ class PerformanceTraceTable:
         pre-crash history is discarded and the paper's "evaluate every
         place at least once" rule re-explores it from scratch.
         """
-        for place, slot in self._index.items():
-            if place.leader <= core < place.leader + place.width:
-                self._values[slot] = 0.0
-                self._samples[slot] = 0
+        slots = self._core_slots(core)
+        self._values[slots] = 0.0
+        self._samples[slots] = 0
+        self._values_list = self._values.tolist()
+
+    def _core_slots(self, core: int) -> np.ndarray:
+        """Slots of all places containing ``core``."""
+        slots = getattr(self.machine, "_slots_by_core", None)
+        if slots is not None and 0 <= core < len(slots):
+            return slots[core]
+        return np.array(
+            [
+                slot for place, slot in self._index.items()
+                if place.leader <= core < place.leader + place.width
+            ],
+            dtype=np.intp,
+        )
 
     def entries(self) -> Iterator[Tuple[ExecutionPlace, float]]:
         """Iterate ``(place, predicted time)`` in place order."""
-        for place, i in self._index.items():
-            yield place, float(self._values[i])
+        return zip(self.machine.places, self._values_list)
 
     def explored_fraction(self) -> float:
         """Fraction of places with at least one sample."""

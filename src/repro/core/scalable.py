@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.placement import _argmin_place, Backlog
 from repro.core.ptt import PerformanceTraceTable
 from repro.errors import ConfigurationError
@@ -44,6 +46,15 @@ class ScalableSearchIndex:
         for place in machine.places:
             cluster = machine.cluster_of(place.leader)
             self._cluster_places[cluster.name].append(place)
+        place_index = {place: i for i, place in enumerate(machine.places)}
+        #: cluster name -> (slot array, width array) for vectorized refresh
+        self._cluster_arrays: Dict[str, Tuple[np.ndarray, np.ndarray]] = {
+            name: (
+                np.array([place_index[p] for p in places], dtype=np.intp),
+                np.array([p.width for p in places], dtype=np.float64),
+            )
+            for name, places in self._cluster_places.items()
+        }
         #: cluster name -> (min cost, min time)
         self._minima: Dict[str, Tuple[float, float]] = {}
         for name in self._cluster_places:
@@ -52,9 +63,15 @@ class ScalableSearchIndex:
 
     # -- maintenance -----------------------------------------------------
     def _refresh(self, cluster_name: str) -> None:
-        places = self._cluster_places[cluster_name]
-        best_cost = min(self.table.predict(p) * p.width for p in places)
-        best_time = min(self.table.predict(p) for p in places)
+        if hasattr(self.table, "predict_all"):
+            slots, widths = self._cluster_arrays[cluster_name]
+            values = self.table.predict_all()[slots]
+            best_cost = float((values * widths).min())
+            best_time = float(values.min())
+        else:
+            places = self._cluster_places[cluster_name]
+            best_cost = min(self.table.predict(p) * p.width for p in places)
+            best_time = min(self.table.predict(p) for p in places)
         self._minima[cluster_name] = (best_cost, best_time)
 
     def observe(self) -> None:

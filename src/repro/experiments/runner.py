@@ -172,7 +172,24 @@ def main(argv=None) -> int:
         help="replay cells completed by a previously interrupted sweep "
         "from its checkpoint instead of recomputing them",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile each harness (cProfile + per-phase wall-clock "
+        "accounting; forces --jobs 1 and bypasses the result cache; "
+        "writes phases.json / profile.collapsed / profile.pstats under "
+        "--profile-out)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="DIR",
+        help="profile artifact directory (default profiles/<experiment>/; "
+        "implies --profile)",
+    )
     args = parser.parse_args(argv)
+    if args.profile_out:
+        args.profile = True
 
     if args.experiment == "trace":
         if args.target not in _HARNESSES:
@@ -194,13 +211,22 @@ def main(argv=None) -> int:
         "traces" if args.trace else None
     )
 
+    if args.profile:
+        # Phase accounting lives in the parent process, so profiled runs
+        # are single-process; cached results would hide the work we want
+        # to measure.
+        jobs = 1
+        use_cache = False
+    else:
+        jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+        use_cache = not args.no_cache
     try:
         settings = ExperimentSettings(
             scale=args.scale,
             seed=args.seed,
-            jobs=args.jobs if args.jobs is not None else (os.cpu_count() or 1),
+            jobs=jobs,
             cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
+            use_cache=use_cache,
             trace_out=trace_out,
             adaptive=args.adaptive,
             ci=args.ci,
@@ -217,7 +243,19 @@ def main(argv=None) -> int:
     for name in names:
         start = time.perf_counter()
         try:
-            result = _HARNESSES[name](settings)
+            if args.profile:
+                from repro.profile import Profiler
+
+                result, report = Profiler().run(
+                    _HARNESSES[name], settings, label=name
+                )
+                print(report.render())
+                out_dir = args.profile_out or os.path.join("profiles", name)
+                paths = report.write(out_dir)
+                print(f"[profile artifacts under {out_dir}/: "
+                      f"{', '.join(sorted(os.path.basename(p) for p in paths.values()))}]")
+            else:
+                result = _HARNESSES[name](settings)
         except ConfigurationError as exc:
             # A bad knob combination the settings check couldn't see
             # (e.g. a harness rejecting a flag): the user's to fix.

@@ -7,8 +7,22 @@ from typing import List, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.graph.dag import TaskGraph
 from repro.graph.task import Priority, Task
+from repro.graph.templates import (
+    kernel_cache_key,
+    template_lookup,
+    template_store,
+)
 from repro.kernels.base import KernelModel
+from repro.profile.phases import phase_scope
 from repro.util.rng import SeedLike, make_rng
+
+
+def _template_key(family: str, kernel: KernelModel, *params) -> Optional[tuple]:
+    """Template-cache key for a single-kernel generator, or ``None``."""
+    kernel_key = kernel_cache_key(kernel)
+    if kernel_key is None:
+        return None
+    return (family, kernel_key) + params
 
 
 def layered_synthetic_dag(
@@ -33,25 +47,33 @@ def layered_synthetic_dag(
             f"total_tasks ({total_tasks}) must be >= parallelism ({parallelism})"
         )
     layers = total_tasks // parallelism
-    graph = TaskGraph(name or f"synthetic-{kernel.name}-p{parallelism}")
-    previous_critical: Optional[Task] = None
-    for layer in range(layers):
-        deps = [previous_critical] if previous_critical is not None else []
-        critical = graph.add_task(
-            kernel,
-            deps=deps,
-            priority=Priority.HIGH,
-            metadata={"layer": layer, "critical": True},
-        )
-        for i in range(parallelism - 1):
-            graph.add_task(
+    key = _template_key("layered", kernel, parallelism, layers)
+    default_name = name or f"synthetic-{kernel.name}-p{parallelism}"
+    template = template_lookup(key)
+    if template is not None:
+        with phase_scope("dag-build"):
+            return template.instantiate(default_name)
+    with phase_scope("dag-build"):
+        graph = TaskGraph(default_name)
+        previous_critical: Optional[Task] = None
+        for layer in range(layers):
+            deps = [previous_critical] if previous_critical is not None else []
+            critical = graph.add_task(
                 kernel,
                 deps=deps,
-                priority=Priority.LOW,
-                metadata={"layer": layer, "critical": False},
+                priority=Priority.HIGH,
+                metadata={"layer": layer, "critical": True},
             )
-        previous_critical = critical
-    return graph
+            for i in range(parallelism - 1):
+                graph.add_task(
+                    kernel,
+                    deps=deps,
+                    priority=Priority.LOW,
+                    metadata={"layer": layer, "critical": False},
+                )
+            previous_critical = critical
+        template_store(key, graph)
+        return graph
 
 
 def chain_dag(
@@ -63,16 +85,24 @@ def chain_dag(
     """A single chain of ``length`` tasks (the paper's co-runner app shape)."""
     if length <= 0:
         raise ConfigurationError(f"length must be positive, got {length}")
-    graph = TaskGraph(name or f"chain-{kernel.name}")
-    prev: Optional[Task] = None
-    for i in range(length):
-        prev = graph.add_task(
-            kernel,
-            deps=[prev] if prev is not None else [],
-            priority=priority,
-            metadata={"position": i},
-        )
-    return graph
+    key = _template_key("chain", kernel, length, int(priority))
+    default_name = name or f"chain-{kernel.name}"
+    template = template_lookup(key)
+    if template is not None:
+        with phase_scope("dag-build"):
+            return template.instantiate(default_name)
+    with phase_scope("dag-build"):
+        graph = TaskGraph(default_name)
+        prev: Optional[Task] = None
+        for i in range(length):
+            prev = graph.add_task(
+                kernel,
+                deps=[prev] if prev is not None else [],
+                priority=priority,
+                metadata={"position": i},
+            )
+        template_store(key, graph)
+        return graph
 
 
 def fork_join_dag(
@@ -84,38 +114,57 @@ def fork_join_dag(
     """``stages`` rounds of fork(fan_out)/join; joins are high priority."""
     if fan_out <= 0 or stages <= 0:
         raise ConfigurationError("fan_out and stages must be positive")
-    graph = TaskGraph(name or f"forkjoin-{kernel.name}")
-    source = graph.add_task(kernel, priority=Priority.HIGH, metadata={"role": "source"})
-    frontier = [source]
-    for stage in range(stages):
-        forks = [
-            graph.add_task(
-                kernel,
-                deps=frontier,
-                metadata={"role": "fork", "stage": stage},
-            )
-            for _ in range(fan_out)
-        ]
-        join = graph.add_task(
-            kernel,
-            deps=forks,
-            priority=Priority.HIGH,
-            metadata={"role": "join", "stage": stage},
+    key = _template_key("forkjoin", kernel, fan_out, stages)
+    default_name = name or f"forkjoin-{kernel.name}"
+    template = template_lookup(key)
+    if template is not None:
+        with phase_scope("dag-build"):
+            return template.instantiate(default_name)
+    with phase_scope("dag-build"):
+        graph = TaskGraph(default_name)
+        source = graph.add_task(
+            kernel, priority=Priority.HIGH, metadata={"role": "source"}
         )
-        frontier = [join]
-    return graph
+        frontier = [source]
+        for stage in range(stages):
+            forks = [
+                graph.add_task(
+                    kernel,
+                    deps=frontier,
+                    metadata={"role": "fork", "stage": stage},
+                )
+                for _ in range(fan_out)
+            ]
+            join = graph.add_task(
+                kernel,
+                deps=forks,
+                priority=Priority.HIGH,
+                metadata={"role": "join", "stage": stage},
+            )
+            frontier = [join]
+        template_store(key, graph)
+        return graph
 
 
 def diamond_dag(kernel: KernelModel, name: Optional[str] = None) -> TaskGraph:
     """The four-task diamond (source, two branches, sink) used in tests."""
-    graph = TaskGraph(name or "diamond")
-    top = graph.add_task(kernel, priority=Priority.HIGH, metadata={"role": "top"})
-    left = graph.add_task(kernel, deps=[top], metadata={"role": "left"})
-    right = graph.add_task(kernel, deps=[top], metadata={"role": "right"})
-    graph.add_task(
-        kernel, deps=[left, right], priority=Priority.HIGH, metadata={"role": "bottom"}
-    )
-    return graph
+    key = _template_key("diamond", kernel)
+    default_name = name or "diamond"
+    template = template_lookup(key)
+    if template is not None:
+        with phase_scope("dag-build"):
+            return template.instantiate(default_name)
+    with phase_scope("dag-build"):
+        graph = TaskGraph(default_name)
+        top = graph.add_task(kernel, priority=Priority.HIGH, metadata={"role": "top"})
+        left = graph.add_task(kernel, deps=[top], metadata={"role": "left"})
+        right = graph.add_task(kernel, deps=[top], metadata={"role": "right"})
+        graph.add_task(
+            kernel, deps=[left, right], priority=Priority.HIGH,
+            metadata={"role": "bottom"},
+        )
+        template_store(key, graph)
+        return graph
 
 
 def random_layered_dag(
@@ -141,28 +190,43 @@ def random_layered_dag(
         raise ConfigurationError(
             f"edge_probability must be in [0, 1], got {edge_probability}"
         )
-    rng = make_rng(seed)
-    graph = TaskGraph(name or "random-layered")
-    previous: List[Task] = []
-    for layer in range(layers):
-        width = int(rng.integers(1, max_width + 1))
-        current: List[Task] = []
-        for i in range(width):
-            kernel = kernels[int(rng.integers(0, len(kernels)))]
-            if previous:
-                mask = rng.random(len(previous)) < edge_probability
-                deps = [t for t, keep in zip(previous, mask) if keep]
-                if not deps:
-                    deps = [previous[int(rng.integers(0, len(previous)))]]
-            else:
-                deps = []
-            current.append(
-                graph.add_task(
-                    kernel,
-                    deps=deps,
-                    priority=Priority.HIGH if i == 0 else Priority.LOW,
-                    metadata={"layer": layer},
-                )
+    key = None
+    if isinstance(seed, int) and not isinstance(seed, bool):
+        kernel_keys = tuple(kernel_cache_key(k) for k in kernels)
+        if None not in kernel_keys:
+            key = (
+                "random", kernel_keys, layers, max_width, seed,
+                float(edge_probability),
             )
-        previous = current
-    return graph
+    default_name = name or "random-layered"
+    template = template_lookup(key)
+    if template is not None:
+        with phase_scope("dag-build"):
+            return template.instantiate(default_name)
+    rng = make_rng(seed)
+    with phase_scope("dag-build"):
+        graph = TaskGraph(default_name)
+        previous: List[Task] = []
+        for layer in range(layers):
+            width = int(rng.integers(1, max_width + 1))
+            current: List[Task] = []
+            for i in range(width):
+                kernel = kernels[int(rng.integers(0, len(kernels)))]
+                if previous:
+                    mask = rng.random(len(previous)) < edge_probability
+                    deps = [t for t, keep in zip(previous, mask) if keep]
+                    if not deps:
+                        deps = [previous[int(rng.integers(0, len(previous)))]]
+                else:
+                    deps = []
+                current.append(
+                    graph.add_task(
+                        kernel,
+                        deps=deps,
+                        priority=Priority.HIGH if i == 0 else Priority.LOW,
+                        metadata={"layer": layer},
+                    )
+                )
+            previous = current
+        template_store(key, graph)
+        return graph

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, RuntimeStateError
 from repro.machine.topology import Machine
+from repro.profile.phases import active_phases
 from repro.sim.environment import Environment
 from repro.sim.events import Event
 from repro.trace.events import SpeedEvent
@@ -148,6 +149,10 @@ class SpeedModel:
             d: 0.0 for d in machine.memory_bandwidth
         }
         self._last_update = env.now
+        #: Memoized single-domain check per cores tuple: places are a
+        #: small fixed set and their core tuples are interned by the
+        #: machine, so ``begin_work`` validates each distinct place once.
+        self._domain_cache: Dict[Tuple[int, ...], str] = {}
         #: Whether any in-flight item may have run out of work since the
         #: last :meth:`_complete_finished` sweep.  Items only finish by
         #: being advanced across zero, so the flag is set in
@@ -161,6 +166,8 @@ class SpeedModel:
         self._batch_dirty = False
         self._batch_cores: set = set()
         self._batch_factors: Dict[str, float] = {}
+        #: Active profiling phase timer (None when unprofiled).
+        self._phases = active_phases()
 
     # ------------------------------------------------------------------
     # dynamic state
@@ -434,16 +441,20 @@ class SpeedModel:
                 f"memory_intensity must be in [0, 1], got {memory_intensity}"
             )
         cores = tuple(cores)
-        domains = {self.machine.domain_of(c) for c in cores}
-        if len(domains) != 1:
-            raise ConfigurationError(
-                f"work spans multiple memory domains: {sorted(domains)}"
-            )
+        domain = self._domain_cache.get(cores)
+        if domain is None:
+            domains = {self.machine.domain_of(c) for c in cores}
+            if len(domains) != 1:
+                raise ConfigurationError(
+                    f"work spans multiple memory domains: {sorted(domains)}"
+                )
+            domain = domains.pop()
+            self._domain_cache[cores] = domain
         if demand is None:
             demand = memory_intensity * len(cores)
         self._advance()
         item = ActiveWork(
-            self.env, cores, float(work), memory_intensity, float(demand), domains.pop()
+            self.env, cores, float(work), memory_intensity, float(demand), domain
         )
         if item.remaining <= _EPS:
             # Degenerate zero-work item: complete instantly.
@@ -572,6 +583,21 @@ class SpeedModel:
         Completions discovered here widen the selection with the cores
         they freed and the domains they relaxed.
         """
+        phases = self._phases
+        if phases is None:
+            self._retime_affected_body(cores, factors_before)
+            return
+        phases.push("speed-retime")
+        try:
+            self._retime_affected_body(cores, factors_before)
+        finally:
+            phases.pop()
+
+    def _retime_affected_body(
+        self,
+        cores: Sequence[int] = (),
+        factors_before: Optional[Mapping[str, float]] = None,
+    ) -> None:
         freed, completion_factors = self._complete_finished()
         merged = dict(factors_before) if factors_before else {}
         for domain, factor in completion_factors.items():
@@ -665,13 +691,17 @@ class SpeedModel:
         """
 
         def _check(_event: Event, item=item, version=version) -> None:
+            # Markers are pooled: drop the handle before the environment
+            # recycles the event, so a stale reference can never alias a
+            # later reuse of the same object.
+            if item._marker is _event:
+                item._marker = None
             if item.work_id not in self._active or item._version != version:
                 return
             self._advance()
             self._settle()
 
-        marker = Event(self.env)
-        marker._ok = True
+        marker = self.env._pooled_event()
         marker._value = None
         marker.callbacks.append(_check)
         item._marker = marker

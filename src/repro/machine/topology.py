@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import TopologyError
 from repro.machine.cluster import ClusterSpec
 from repro.machine.core import CoreSpec
@@ -123,6 +125,49 @@ class Machine:
                 p for p in places if p.leader == cid
             )
 
+        # Precomputed search-support structures.  The placement searches
+        # (core/placement.py) and the PTT run many thousands of times per
+        # simulated second; everything derivable from the static topology
+        # is built once here so the hot paths are pure array lookups.
+        self._place_index: Dict[ExecutionPlace, int] = {
+            place: i for i, place in enumerate(self._places)
+        }
+        self._place_widths = np.array(
+            [p.width for p in self._places], dtype=np.float64
+        )
+        self._place_members: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(range(p.leader, p.leader + p.width)) for p in self._places
+        )
+        self._slots_by_core: Tuple[np.ndarray, ...] = tuple(
+            np.array(
+                [
+                    i for i, p in enumerate(self._places)
+                    if p.leader <= cid < p.leader + p.width
+                ],
+                dtype=np.intp,
+            )
+            for cid in range(len(self.cores))
+        )
+        self._width_one_places: Tuple[ExecutionPlace, ...] = tuple(
+            p for p in self._places if p.width == 1
+        )
+        self._width_one_slots = np.array(
+            [self._place_index[p] for p in self._width_one_places],
+            dtype=np.intp,
+        )
+        # Per core: ((slot, width, place), ...) for the local-search
+        # candidates local_place_for(core, w) over widths_at(core).
+        local_entries: List[Tuple[Tuple[int, int, ExecutionPlace], ...]] = []
+        for cid in range(len(self.cores)):
+            entries = []
+            for width in self._cluster_of_core[cid].widths:
+                place = self.local_place_for(cid, width)
+                entries.append((self._place_index[place], width, place))
+            local_entries.append(tuple(entries))
+        self._local_search_entries: Tuple[
+            Tuple[Tuple[int, int, ExecutionPlace], ...], ...
+        ] = tuple(local_entries)
+
     # -- basic queries ----------------------------------------------------
     @property
     def num_cores(self) -> int:
@@ -168,8 +213,10 @@ class Machine:
 
     def place_cores(self, place: ExecutionPlace) -> Tuple[int, ...]:
         """Member core ids of ``place`` (leader first)."""
-        self.validate_place(place)
-        return tuple(range(place.leader, place.leader + place.width))
+        slot = self._place_index.get(place)
+        if slot is None:
+            self.validate_place(place)
+        return self._place_members[slot]
 
     def places_led_by(self, core_id: int) -> Tuple[ExecutionPlace, ...]:
         """Places whose leader is ``core_id`` (the *local search* domain)."""

@@ -1,0 +1,35 @@
+"""Deterministic profiling of single simulation runs.
+
+Layers (see docs/performance.md, "Profiling a run"):
+
+* :mod:`repro.profile.phases` — exclusive per-phase wall-clock buckets
+  (dag-build / sim-loop / policy-search / speed-retime / metrics) with a
+  zero-overhead-when-off hook contract;
+* :mod:`repro.profile.profiler` — :class:`Profiler` combining the phase
+  timer with deterministic ``cProfile`` tracing;
+* :mod:`repro.profile.flamegraph` — collapsed-stack export for
+  flamegraph renderers;
+* :mod:`repro.profile.cli` — ``python -m repro.profile <fig|micro>``.
+"""
+
+from repro.profile.flamegraph import collapse_stats, validate_collapsed
+from repro.profile.phases import (
+    PHASES,
+    PhaseTimer,
+    active_phases,
+    phase_accounting,
+    phase_scope,
+)
+from repro.profile.profiler import ProfileReport, Profiler
+
+__all__ = [
+    "PHASES",
+    "PhaseTimer",
+    "ProfileReport",
+    "Profiler",
+    "active_phases",
+    "collapse_stats",
+    "phase_accounting",
+    "phase_scope",
+    "validate_collapsed",
+]

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.profile <target>``."""
+
+import sys
+
+from repro.profile.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

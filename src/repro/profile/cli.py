@@ -1,0 +1,107 @@
+"""``python -m repro.profile <target>`` — profile one run or harness.
+
+Targets:
+
+* ``micro`` — the ``runtime_task`` micro-benchmark workload (a
+  1000-task layered matmul DAG under DAM-C on the TX2 model), the
+  canonical single-run hot path.
+* any experiment harness name (``fig4`` … ``table1``) — the harness at
+  ``--scale``, forced serial and uncached so the phase accounting sees
+  every run in-process.
+
+Artifacts land in ``--out`` (default ``profiles/<target>/``):
+``phases.json`` (the per-phase breakdown), ``profile.collapsed``
+(flamegraph collapsed stacks) and ``profile.pstats`` (raw cProfile data
+for ``snakeviz``/``pstats``).  See docs/performance.md, "Profiling a
+run".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+EXIT_OK = 0
+EXIT_USER_ERROR = 2
+
+
+def _micro_workload(tasks: int):
+    """The runtime_task micro-benchmark body (build + simulate)."""
+    from repro.graph.generators import layered_synthetic_dag
+    from repro.kernels.matmul import MatMulKernel
+    from repro.machine.presets import jetson_tx2
+    from repro.session import run_graph
+
+    graph = layered_synthetic_dag(MatMulKernel(), 4, tasks)
+    result = run_graph(graph, jetson_tx2(), "dam-c")
+    assert result.tasks_completed == tasks
+    return result
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point: profile one target, print + write the report."""
+    from repro.errors import ConfigurationError
+    from repro.experiments.runner import _HARNESSES
+    from repro.profile.profiler import Profiler
+
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Profile one simulation run or experiment harness.",
+    )
+    parser.add_argument(
+        "target",
+        choices=["micro"] + sorted(_HARNESSES),
+        help="'micro' = the runtime_task bench workload; otherwise an "
+        "experiment harness (run serial + uncached)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="harness scale (ignored for 'micro'; default 0.02)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--tasks", type=int, default=1000,
+        help="task count of the 'micro' workload (default 1000)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory (default profiles/<target>/)",
+    )
+    parser.add_argument(
+        "--no-cprofile", action="store_true",
+        help="phase accounting only — honest absolute timings, no "
+        "flamegraph (cProfile inflates wall time roughly uniformly)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=15,
+        help="hottest functions to print (default 15)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "micro":
+        def body():
+            return _micro_workload(args.tasks)
+    else:
+        from repro.experiments.common import ExperimentSettings
+
+        harness = _HARNESSES[args.target]
+
+        def body():
+            settings = ExperimentSettings(
+                scale=args.scale, seed=args.seed, jobs=1, use_cache=False
+            )
+            return harness(settings)
+
+    profiler = Profiler(cprofile=not args.no_cprofile)
+    try:
+        _result, report = profiler.run(body, label=args.target)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USER_ERROR
+    print(report.render(top_n=args.top))
+    out_dir = args.out if args.out else f"profiles/{args.target}"
+    written = report.write(out_dir)
+    for kind, path in sorted(written.items()):
+        print(f"[{kind} -> {path}]")
+    return EXIT_OK

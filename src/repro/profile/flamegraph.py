@@ -1,0 +1,107 @@
+"""Collapsed-stack (flamegraph) export from deterministic cProfile stats.
+
+cProfile records a call *graph* (per-function totals plus per-edge
+caller stats), not call stacks.  This module reconstitutes approximate
+stacks the way ``flameprof`` does: starting from the root functions, the
+graph is walked depth-first and each function's own time (``tottime``)
+is distributed over the incoming call paths proportionally to the
+cumulative time of each caller edge.  The result is the standard
+Brendan-Gregg collapsed format — ``frame;frame;frame <microseconds>``
+per line — renderable by ``flamegraph.pl``, speedscope, or any inferno
+viewer.
+
+The reconstruction is exact for tree-shaped call graphs (the common case
+here: one driver function calling down into the engine) and a
+proportional approximation where call paths merge.
+"""
+
+from __future__ import annotations
+
+from os.path import basename
+from typing import Dict, List, Mapping, Tuple
+
+#: Stop expanding below this share of a root's cumulative time; keeps the
+#: output bounded on pathological graphs without losing visible frames.
+_MIN_MICROSECONDS = 1
+_MAX_DEPTH = 96
+
+Func = Tuple[str, int, str]
+
+
+def frame_label(func: Func) -> str:
+    """One flamegraph frame: ``file:line:function``, collapsed-safe.
+
+    Semicolons separate frames and the last space separates the value in
+    the collapsed format, so both are replaced in labels.
+    """
+    filename, lineno, name = func
+    if filename == "~":  # built-ins have no file
+        label = name
+    else:
+        label = f"{basename(filename)}:{lineno}:{name}"
+    return label.replace(";", ":").replace(" ", "_")
+
+
+def collapse_stats(stats: Mapping[Func, tuple]) -> List[str]:
+    """Collapsed-stack lines from a ``pstats``-style stats mapping.
+
+    ``stats`` maps ``(file, line, name)`` to ``(cc, nc, tt, ct,
+    callers)`` as produced by ``cProfile.Profile().create_stats()`` /
+    ``pstats.Stats(...).stats``.  Values are integer microseconds.
+    """
+    # Per-edge stats and each function's total incoming cumulative time.
+    callees: Dict[Func, Dict[Func, tuple]] = {}
+    total_in: Dict[Func, float] = {}
+    for func, (_cc, _nc, _tt, ct, callers) in stats.items():
+        incoming = 0.0
+        for caller, edge in callers.items():
+            callees.setdefault(caller, {})[func] = edge
+            incoming += edge[3]
+        total_in[func] = incoming if callers else ct
+
+    roots = [
+        func for func, (_cc, _nc, _tt, _ct, callers) in stats.items()
+        if not callers
+    ]
+    lines: Dict[str, int] = {}
+
+    def walk(func: Func, scale: float, path: str, depth: int) -> None:
+        own_us = stats[func][2] * scale * 1e6
+        if own_us >= _MIN_MICROSECONDS:
+            lines[path] = lines.get(path, 0) + int(own_us)
+        if depth >= _MAX_DEPTH:
+            return
+        for child, (_ecc, _enc, _ett, ect) in callees.get(func, {}).items():
+            denominator = total_in.get(child, 0.0)
+            if denominator <= 0.0:
+                continue
+            child_scale = scale * ect / denominator
+            if child_scale <= 0.0:
+                continue
+            child_label = frame_label(child)
+            if f";{child_label};" in f";{path};":
+                continue  # recursion: attribute to the first occurrence
+            walk(child, child_scale, f"{path};{child_label}", depth + 1)
+
+    for root in roots:
+        walk(root, 1.0, frame_label(root), 0)
+    return [f"{path} {value}" for path, value in sorted(lines.items()) if value > 0]
+
+
+def write_collapsed(path, lines: List[str]) -> None:
+    """Write collapsed-stack lines to ``path`` (one stack per line)."""
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+def validate_collapsed(lines: List[str]) -> None:
+    """Raise ``ValueError`` unless every line is ``frames <int>``.
+
+    The CI profile-smoke job calls this so a malformed export (which
+    flamegraph renderers reject silently) fails loudly.
+    """
+    for line in lines:
+        stack, _, value = line.rpartition(" ")
+        if not stack or not value.isdigit():
+            raise ValueError(f"malformed collapsed-stack line: {line!r}")

@@ -21,6 +21,7 @@ resume.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
@@ -34,6 +35,7 @@ from repro.machine.speed import SpeedModel
 from repro.machine.topology import ExecutionPlace, Machine
 from repro.metrics.collector import TraceCollector
 from repro.metrics.records import TaskRecord
+from repro.profile.phases import active_phases
 from repro.runtime.assembly import Assembly
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.queues import WorkStealingQueue
@@ -124,6 +126,9 @@ class SimulatedRuntime:
         self.collector = TraceCollector(machine.num_cores)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._tracing = self.tracer.enabled
+        #: Active profiling phase timer, captured once at construction
+        #: (None in unprofiled runs — every hook is one predicate).
+        self._phases = active_phases()
         if self._tracing:
             self.tracer.clock = lambda: env.now
             # Share the tracer with a speed model built elsewhere (e.g. by
@@ -144,6 +149,15 @@ class SimulatedRuntime:
         self._steal_rngs = worker_rngs[:n]
         self._noise_rng = worker_rngs[n]
         self._wake_rng = worker_rngs[n + 1]
+        #: Pre-drawn victim slots per thief (single-probe stealing only).
+        #: ``Generator.integers(lo, hi, size=k)`` consumes the bit stream
+        #: exactly like k scalar draws, so buffering is stream-identical
+        #: to drawing one victim per attempt — it just amortizes the
+        #: numpy call overhead across 64 steal attempts.
+        self._steal_buf: List = [None] * n
+        self._steal_idx: List[int] = [0] * n
+        self._num_cores = n
+        self._steal_tries_eff = min(self.config.steal_tries, n - 1) if n > 1 else 0
 
         self.wsqs: List[WorkStealingQueue] = [WorkStealingQueue(c) for c in range(n)]
         self.aqs: List[Deque[Assembly]] = [deque() for _ in range(n)]
@@ -155,6 +169,10 @@ class SimulatedRuntime:
         self._current_assembly: List[Optional[Assembly]] = [None] * n
         self._idle_events: Dict[int, Event] = {}
         self._ready_time: Dict[int, float] = {}
+        #: Total tasks currently parked across all WSQs, maintained at the
+        #: push/pop/steal/reclaim sites so the steal-backoff decision is
+        #: O(1) instead of scanning every queue.
+        self._wsq_total = 0
         #: Memoized kernel cost profiles.  ``KernelModel.profile`` is pure
         #: in (kernel, machine, place) and the machine is fixed for the
         #: executor's lifetime, so profiles are computed once per distinct
@@ -227,18 +245,46 @@ class SimulatedRuntime:
         if not self._started:
             self.start()
         deadline = self._start_time + self.config.max_time
-        while not self._shutdown:
-            if len(self.env._queue) == 0:
-                raise RuntimeStateError(
-                    f"{self.name}: deadlock — no pending events but "
-                    f"{self.graph.total_tasks - self.graph.completed_tasks} "
-                    "tasks remain"
-                )
-            self.env.step()
-            if self.env.now > deadline:
-                raise RuntimeStateError(
-                    f"{self.name}: exceeded max_time={self.config.max_time}"
-                )
+        phases = self._phases
+        if phases is not None:
+            phases.push("sim-loop")
+        # The event loop below is env.step() inlined (heappop raises
+        # IndexError exactly when no live events remain): this loop runs
+        # once per simulated event, so per-event method-call overhead is
+        # measurable.  Defunct (cancelled) heads are dropped before each
+        # pop, exactly as EventQueue.pop does.
+        env = self.env
+        queue = env._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        try:
+            while not self._shutdown:
+                if queue._defunct:
+                    queue._drop_defunct_head()
+                try:
+                    item = heappop(heap)
+                except IndexError:
+                    raise RuntimeStateError(
+                        f"{self.name}: deadlock — no pending events but "
+                        f"{self.graph.total_tasks - self.graph.completed_tasks} "
+                        "tasks remain"
+                    )
+                env._now = item[0]
+                event = item[3]
+                event._seq = -1
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._pooled:
+                    queue._recycle(event)
+                if env._now > deadline:
+                    raise RuntimeStateError(
+                        f"{self.name}: exceeded max_time={self.config.max_time}"
+                    )
+        finally:
+            if phases is not None:
+                phases.pop()
         return self.result()
 
     def result(self) -> RunResult:
@@ -319,83 +365,120 @@ class SimulatedRuntime:
             self._set_state(core, "dead")
 
     def _worker_loop(self, core: int):
+        # Everything loop-invariant is hoisted into locals: this loop is
+        # the hottest code in the simulator and each load of an unchanged
+        # attribute costs as much as the work it guards.  The deque behind
+        # the WSQ is stable for the queue's lifetime, so reading it
+        # directly also skips a method call per iteration.
         config = self.config
+        env = self.env
         wsq = self.wsqs[core]
         aq = self.aqs[core]
+        items = wsq._items
+        tracing = self._tracing  # fixed at construction
+        phases = self._phases
+        scheduler = self.scheduler
+        current_assembly = self._current_assembly
+        core_busy = self._core_busy_now
+        dispatch_overhead = config.dispatch_overhead
+        steal_overhead = config.steal_overhead
+        steal_backoff = config.steal_backoff
         while not self._shutdown:
             # A pending high-priority task in the local WSQ is dispatched
             # before joining further assemblies: its placement decision
             # (Algorithm 1) must not languish behind queued work.
-            tail = wsq.peek_tail()
+            tail = items[-1] if items else None
             has_urgent = tail is not None and tail.is_high_priority
 
             if aq and not has_urgent:
                 assembly = aq.popleft()
                 self._set_state(core, "exec")
-                self._current_assembly[core] = assembly
-                if self._tracing:
+                current_assembly[core] = assembly
+                if tracing:
                     self.tracer.emit(
                         QueueSampleEvent(
-                            t=self.env.now, core=core,
+                            t=env.now, core=core,
                             wsq=len(wsq), aq=len(aq), op="aq_pop",
                         )
                     )
-                self._core_busy_now[core] = True
+                core_busy[core] = True
                 if assembly.join(core):
                     self._start_assembly(assembly)
                 yield assembly.completed
-                self._core_busy_now[core] = False
-                self._current_assembly[core] = None
+                core_busy[core] = False
+                current_assembly[core] = None
                 continue
 
-            task = wsq.pop_local()
+            task = items.pop() if items else None
             if task is not None:
+                self._wsq_total -= 1
                 self._set_state(core, "poll")
-                if self._tracing:
+                if tracing:
                     self.tracer.emit(
                         QueueSampleEvent(
-                            t=self.env.now, core=core,
+                            t=env.now, core=core,
                             wsq=len(wsq), aq=len(aq), op="pop",
                         )
                     )
-                if config.dispatch_overhead > 0:
-                    yield self.env.timeout(config.dispatch_overhead)
-                place = self.scheduler.choose_place(task, core)
+                if dispatch_overhead > 0:
+                    yield env.sleep(dispatch_overhead)
+                if phases is not None:
+                    phases.push("policy-search")
+                place = scheduler.choose_place(task, core)
+                if phases is not None:
+                    phases.pop()
                 self._dispatch(task, place, core, stolen=False)
                 continue
 
             self._set_state(core, "steal")
             stolen = self._try_steal(core)
             if stolen is not None:
-                if config.steal_overhead > 0:
-                    yield self.env.timeout(config.steal_overhead)
-                place = self.scheduler.place_after_steal(stolen, core)
+                if steal_overhead > 0:
+                    yield env.sleep(steal_overhead)
+                if phases is not None:
+                    phases.push("policy-search")
+                place = scheduler.place_after_steal(stolen, core)
+                if phases is not None:
+                    phases.pop()
                 self._dispatch(stolen, place, core, stolen=True)
                 continue
 
-            if any(len(q) for q in self.wsqs):
+            if self._wsq_total > 0:
                 # Some queue still holds tasks (wrong victim, or only
                 # steal-exempt work): back off briefly and retry, like a
                 # spinning work-stealing loop.
-                yield self.env.timeout(config.steal_backoff)
+                yield env.sleep(steal_backoff)
             else:
                 self._set_state(core, "idle")
                 yield self._register_idle(core)
 
     def _try_steal(self, thief: int) -> Optional[Task]:
         """Probe up to ``config.steal_tries`` random victims for a task."""
-        rng = self._steal_rngs[thief]
-        n = self.machine.num_cores
+        n = self._num_cores
         if n <= 1:
             return None
-        tries = min(self.config.steal_tries, n - 1)
-        slots = rng.choice(n - 1, size=tries, replace=False)
+        tries = self._steal_tries_eff
+        if tries == 1:
+            # Stream-identical to choice(n-1, size=1, replace=False)[0]
+            # for numpy's Generator, without the choice() setup cost —
+            # the common single-probe configuration (see _steal_buf).
+            buf = self._steal_buf[thief]
+            idx = self._steal_idx[thief]
+            if buf is None or idx >= 64:
+                buf = self._steal_rngs[thief].integers(0, n - 1, size=64)
+                self._steal_buf[thief] = buf
+                idx = 0
+            self._steal_idx[thief] = idx + 1
+            slots = (int(buf[idx]),)
+        else:
+            slots = self._steal_rngs[thief].choice(n - 1, size=tries, replace=False)
         for slot in slots:
             victim = int(slot) + (1 if slot >= thief else 0)
-            if len(self.wsqs[victim]) == 0:
+            if not self.wsqs[victim]._items:
                 continue
             task = self.wsqs[victim].steal(self.scheduler.allow_steal)
             if task is not None:
+                self._wsq_total -= 1
                 self.collector.record_steal()
                 if self._tracing:
                     self.tracer.emit(
@@ -444,8 +527,7 @@ class SimulatedRuntime:
         """Wrap ``task`` in an assembly at ``place`` and enqueue it."""
         if self._faults_enabled:
             place = self._remap_dead_place(place, deciding_core)
-        self.machine.validate_place(place)
-        cores = self.machine.place_cores(place)
+        cores = self.machine.place_cores(place)  # validates unknown places
         profile = self._profile_for(task.kernel, place)
         if self._tracing:
             self._emit_decision(task, place, deciding_core, stolen)
@@ -571,20 +653,19 @@ class SimulatedRuntime:
         task = assembly.task
         self.scheduler.on_complete(task, assembly.place, observed)
 
+        md = task.metadata
         record = TaskRecord(
             task_id=task.task_id,
             type_name=task.type_name,
             priority=task.priority,
             place=assembly.place,
             ready_time=self._ready_time.pop(task.task_id, self._start_time),
-            dequeue_time=task.metadata.get("_dequeue_time", assembly.exec_start),
+            dequeue_time=md.get("_dequeue_time", assembly.exec_start),
             exec_start=assembly.exec_start,
             exec_end=assembly.exec_end,
             observed=observed,
-            stolen=bool(task.metadata.get("_stolen", False)),
-            metadata={
-                k: v for k, v in task.metadata.items() if not k.startswith("_")
-            },
+            stolen=bool(md.get("_stolen", False)),
+            metadata={k: v for k, v in md.items() if not k.startswith("_")},
         )
         self.collector.record_task(
             record, assembly.cores, joined_at=assembly.joined_at
@@ -616,8 +697,11 @@ class SimulatedRuntime:
         newly_ready = self.graph.complete(task)
         # Low-priority children are pushed first so the waker's LIFO pop
         # reaches the critical child immediately; the lows sit at the steal
-        # end of the queue for idle workers.
-        for child in sorted(newly_ready, key=lambda t: t.priority):
+        # end of the queue for idle workers.  (complete() hands us a fresh
+        # drained list, so sorting in place is safe.)
+        if len(newly_ready) > 1:
+            newly_ready.sort(key=lambda t: t.priority)
+        for child in newly_ready:
             self._enqueue_ready(child, waker_core=assembly.leader)
 
         assembly.completed.succeed()
@@ -642,6 +726,7 @@ class SimulatedRuntime:
         if self._faults_enabled and self._dead[target]:
             target = self._live_fallback(waker_core)
         self.wsqs[target].push(task)
+        self._wsq_total += 1
         if self._tracing:
             self.tracer.emit(
                 QueueSampleEvent(
@@ -750,6 +835,7 @@ class SimulatedRuntime:
             task = wsq.pop_local()
             if task is None:
                 break
+            self._wsq_total -= 1
             reclaimed.append(task)
         reclaimed.reverse()  # restore push (FIFO) order
 
@@ -899,7 +985,10 @@ class SimulatedRuntime:
     # idle management
     # ------------------------------------------------------------------
     def _register_idle(self, core: int) -> Event:
-        event = Event(self.env)
+        # Pooled: only this dict holds the event until it is succeeded,
+        # and the waiting worker's generator drops its reference when
+        # resumed, so recycling after processing is safe.
+        event = self.env._pooled_event()
         self._idle_events[core] = event
         return event
 

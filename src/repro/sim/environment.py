@@ -41,7 +41,7 @@ class Process(Event):
     processes can wait on each other.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_send", "_throw")
 
     def __init__(
         self,
@@ -53,13 +53,16 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self.generator = generator
+        # Bound methods cached once: _resume runs for every event any
+        # process waits on, so the two attribute lookups add up.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None when running
         #: its initialization or after termination).
         self._target: Optional[Event] = None
         # Kick off the process via an urgent initialization event.
-        init = Event(env)
-        init._ok = True
+        init = env._pooled_event()
         init._value = None
         init.callbacks.append(self._resume)
         env._queue.push(env.now, URGENT, init)
@@ -95,38 +98,37 @@ class Process(Event):
     # -- engine plumbing --------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
-                next_event = self.generator.send(event._value)
+                next_event = self._send(event._value)
             else:
-                next_event = self.generator.throw(event._value)
+                next_event = self._throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
             self._target = None
             self.succeed(stop.value)
             return
-        except BaseException as exc:
-            self.env._active_process = None
+        except BaseException:
             self._target = None
             # Propagate crashes out of the simulation: a process that dies
             # with an unexpected exception is a bug in the model, not a
             # simulated outcome.
             raise
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
         if not isinstance(next_event, Event):
             raise TypeError(
                 f"process {self.name!r} yielded {next_event!r}, expected an Event"
             )
-        if next_event.processed:
+        if next_event.callbacks is None:  # processed
             # Already happened: resume immediately via an urgent event.
-            bridge = Event(self.env)
+            bridge = env._pooled_event()
             bridge._ok = next_event._ok
             bridge._value = next_event._value
             bridge.callbacks.append(self._resume)
-            self.env._queue.push(self.env.now, URGENT, bridge)
+            env._queue.push(env._now, URGENT, bridge)
             self._target = bridge
         else:
             next_event.callbacks.append(self._resume)
@@ -159,6 +161,30 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` from now."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Event:
+        """Engine-internal :meth:`timeout` drawing from the event pool.
+
+        Schedules exactly like ``Timeout`` (same time, priority and heap
+        order) but reuses recycled pooled events instead of allocating.
+        Callers must not hold a reference past the wakeup — the event is
+        recycled as soon as its callbacks run — so this is only for the
+        ubiquitous ``yield env.sleep(dt)`` pattern in engine loops.
+        ``delay`` is not validated; engine callers pass constants.
+        """
+        event = self._pooled_event()
+        event._value = value
+        self._queue.push(self._now + delay, NORMAL, event)
+        return event
+
+    def _pooled_event(self) -> Event:
+        """A triggered-looking blank event from the free-list (or new)."""
+        free = self._queue._free
+        if free:
+            return free.pop()
+        event = Event(self)
+        event._pooled = True
+        return event
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Register ``generator`` as a process starting at the current time."""
@@ -193,12 +219,14 @@ class Environment:
             if next_time > limit:
                 break
             item = queue.pop()
-            event = item.event
-            self._now = item.time
+            event = item[3]
+            self._now = item[0]
             callbacks, event.callbacks = event.callbacks, None
             if callbacks:
                 for callback in callbacks:
                     callback(event)
+            if event._pooled:
+                queue._recycle(event)
         if until is not None:
             self._now = limit
         return self._now
@@ -209,12 +237,14 @@ class Environment:
         Raises ``IndexError`` when the queue is empty.
         """
         item = self._queue.pop()
-        event = item.event
-        self._now = item.time
+        event = item[3]
+        self._now = item[0]
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
             for callback in callbacks:
                 callback(event)
+        if event._pooled:
+            self._queue._recycle(event)
         return self._now
 
     def _push(self, event: Event, priority: int) -> None:

@@ -40,7 +40,7 @@ class Event:
     with the event's value (or the exception is thrown into it).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_seq", "_pooled")
 
     def __init__(self, env: "Any") -> None:
         self.env = env
@@ -48,6 +48,14 @@ class Event:
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok: bool = True
+        #: Heap sequence number while scheduled, -1 otherwise.  Cancelling
+        #: by sequence (not object identity) makes cancellation an epoch:
+        #: it can never leak onto a later schedule of a reused event.
+        self._seq: int = -1
+        #: True for engine-internal events owned by the environment's
+        #: free-list; recycled after processing.  Never set on events
+        #: handed to user code.
+        self._pooled: bool = False
 
     # -- state inspection ------------------------------------------------
     @property
@@ -106,10 +114,14 @@ class Event:
 
 
 class ScheduledItem(NamedTuple):
-    """Heap entry: ``(time, priority, seq)`` orders the queue.
+    """The shape of one heap entry: ``(time, priority, seq)`` orders it.
 
-    A NamedTuple so heap comparisons run at C tuple speed; ``seq`` is
-    unique, so the ``event`` field is never reached by a comparison.
+    ``seq`` is unique, so the ``event`` field is never reached by a
+    comparison.  The queue itself stores *plain* tuples of this shape —
+    a bare tuple literal constructs measurably faster than a NamedTuple
+    and the engine builds one per scheduled event — so treat this class
+    as documentation plus a wrapper for code that prefers named fields:
+    ``ScheduledItem(*queue.pop())``.
     """
 
     time: float
@@ -126,45 +138,75 @@ class EventQueue:
     top, and ``len`` never counts them.  The speed model uses this to
     retract superseded completion checks instead of letting stale
     markers pile up on the heap.
+
+    Cancellation is keyed by the event's heap sequence number, not its
+    object identity: an ``id()`` key could outlive the event and silently
+    cancel an unrelated event allocated at the same address (or a later
+    schedule of a pooled event).  The sequence is unique per push, so a
+    cancellation can only ever hit the schedule it targeted.
     """
 
-    __slots__ = ("_heap", "_seq", "_defunct")
+    __slots__ = ("_heap", "_seq", "_defunct", "_free")
+
+    #: Recycled engine-internal events kept for reuse, at most this many.
+    FREE_LIST_MAX = 256
 
     def __init__(self) -> None:
-        self._heap: List[ScheduledItem] = []
+        self._heap: List[tuple] = []
         self._seq = 0
         self._defunct: set = set()
+        #: Free-list of processed pooled events (see Event._pooled).
+        self._free: List[Event] = []
 
     def __len__(self) -> int:
         return len(self._heap) - len(self._defunct)
 
     def push(self, time: float, priority: int, event: Event) -> None:
         """Schedule ``event`` for processing at ``time``."""
-        heapq.heappush(self._heap, ScheduledItem(time, priority, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        event._seq = seq
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        self._seq = seq + 1
 
     def cancel(self, event: Event) -> None:
         """Lazily drop a scheduled (untriggered) event from the queue.
 
-        The caller must have pushed ``event`` exactly once and must not
-        push it again; a cancelled event is silently discarded instead of
-        being processed.
+        Cancelling an event that is not currently scheduled (never
+        pushed, already popped, or already cancelled) is a no-op.
         """
-        self._defunct.add(id(event))
+        seq = event._seq
+        if seq != -1:
+            self._defunct.add(seq)
+            event._seq = -1
+
+    def _recycle(self, event: Event) -> None:
+        """Reset a processed pooled event and park it on the free-list."""
+        event.callbacks = []
+        event._value = PENDING
+        event._ok = True
+        event._seq = -1
+        if len(self._free) < self.FREE_LIST_MAX:
+            self._free.append(event)
 
     def _drop_defunct_head(self) -> None:
-        while self._heap and id(self._heap[0].event) in self._defunct:
-            self._defunct.discard(id(self._heap[0].event))
-            heapq.heappop(self._heap)
+        heap = self._heap
+        defunct = self._defunct
+        while heap and heap[0][2] in defunct:
+            defunct.discard(heap[0][2])
+            event = heapq.heappop(heap)[3]
+            if event._pooled:
+                self._recycle(event)
 
     def peek_time(self) -> float:
         """Time of the next live item; raises ``IndexError`` when empty."""
         if self._defunct:
             self._drop_defunct_head()
-        return self._heap[0].time
+        return self._heap[0][0]
 
-    def pop(self) -> ScheduledItem:
-        """Pop the next live item in (time, priority, seq) order."""
+    def pop(self) -> tuple:
+        """Pop the next live ``(time, priority, seq, event)`` tuple."""
         if self._defunct:
             self._drop_defunct_head()
-        return heapq.heappop(self._heap)
+        item = heapq.heappop(self._heap)
+        item[3]._seq = -1
+        return item

@@ -191,12 +191,15 @@ METRICS: Dict[str, Callable] = {
 
 def extract_metrics(result, names) -> Dict[str, Any]:
     """Evaluate the named metric extractors against a RunResult."""
-    out: Dict[str, Any] = {}
-    for name in names:
-        if name not in METRICS:
-            raise ConfigurationError(f"unknown metric {name!r}")
-        out[name] = METRICS[name](result)
-    return out
+    from repro.profile.phases import phase_scope
+
+    with phase_scope("metrics"):
+        out: Dict[str, Any] = {}
+        for name in names:
+            if name not in METRICS:
+                raise ConfigurationError(f"unknown metric {name!r}")
+            out[name] = METRICS[name](result)
+        return out
 
 
 # ----------------------------------------------------------------------

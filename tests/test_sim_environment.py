@@ -51,8 +51,8 @@ class TestEventQueue:
         e1, e2 = Event(env), Event(env)
         q.push(2.0, 1, e1)
         q.push(1.0, 1, e2)
-        assert q.pop().event is e2
-        assert q.pop().event is e1
+        assert q.pop()[3] is e2
+        assert q.pop()[3] is e1
 
     def test_ties_break_by_priority_then_insertion(self):
         q = EventQueue()
@@ -61,9 +61,9 @@ class TestEventQueue:
         q.push(1.0, 1, events[0])
         q.push(1.0, 0, events[1])  # urgent
         q.push(1.0, 1, events[2])
-        assert q.pop().event is events[1]
-        assert q.pop().event is events[0]
-        assert q.pop().event is events[2]
+        assert q.pop()[3] is events[1]
+        assert q.pop()[3] is events[0]
+        assert q.pop()[3] is events[2]
 
     def test_cancel_drops_event_lazily(self):
         q = EventQueue()
@@ -74,7 +74,7 @@ class TestEventQueue:
         q.cancel(cancelled)
         assert len(q) == 1
         assert q.peek_time() == 2.0
-        assert q.pop().event is keep
+        assert q.pop()[3] is keep
         assert len(q) == 0
 
     def test_cancel_all_leaves_queue_empty(self):
