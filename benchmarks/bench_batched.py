@@ -1,0 +1,138 @@
+"""Wall-clock evidence for batched replicate execution (BENCH_batched.json).
+
+One measurement, two comparisons:
+
+``batched_sweep``
+    The fig5-style replicated sweep (matmul P=2 under the modelled TX2
+    co-runner, five scheduler cells, adaptive at a 2%/95% CI target)
+    executed twice in this tree — ``batch_runs="off"`` (scalar
+    replicates) versus ``batch_runs="auto"`` (each adaptive round's
+    same-cell replicates packed into one batched run).  The aggregated
+    results are asserted **bit-identical** (``==``, not approx) before
+    any timing is reported, so the speedup compares equal work at equal
+    confidence.
+
+``pre_pr`` (merged by hand)
+    The same ``batch_runs="off"``-equivalent sweep timed on the commit
+    before this change, alternating before/after processes to cancel
+    host drift.  Reproduction recipe in docs/performance.md.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batched.py [--out out.json]
+    # on a pre-change tree (no --batch-runs support):
+    PYTHONPATH=src python benchmarks/bench_batched.py --scalar-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+
+def _fig5_style_cells(scale: float) -> list:
+    from repro.experiments.common import ExperimentSettings
+    from repro.experiments.fig4_corunner import fig4_spec
+
+    settings = ExperimentSettings(scale=scale)
+    return [
+        fig4_spec(settings, "matmul", 2, sched)
+        for sched in ("rws", "fa", "fam-c", "da", "dam-c")
+    ]
+
+
+def _run_adaptive(cells, batch_runs, ci, min_seeds, max_seeds):
+    from repro.sweep import AdaptivePolicy, SweepRunner
+
+    kwargs = {}
+    if batch_runs is not None:
+        kwargs["batch_runs"] = batch_runs
+    runner = SweepRunner(jobs=1, use_cache=False, progress=False, **kwargs)
+    policy = AdaptivePolicy(ci=ci, min_seeds=min_seeds, max_seeds=max_seeds)
+    start = time.perf_counter()
+    results = runner.run_adaptive(cells, policy)
+    return results, time.perf_counter() - start, runner.last_stats
+
+
+def time_batched_sweep(
+    scale: float = 0.02,
+    ci: float = 0.02,
+    min_seeds: int = 3,
+    max_seeds: int = 12,
+    repeats: int = 3,
+    scalar_only: bool = False,
+) -> dict:
+    """Best-of-N scalar vs batched adaptive sweep, interleaved.
+
+    The two modes alternate within each repeat so host-load drift hits
+    both equally; per-replicate aggregated metrics must compare equal
+    before the timing counts.
+    """
+    cells = _fig5_style_cells(scale)
+    best_off = best_auto = float("inf")
+    stats = None
+    for _ in range(repeats):
+        ref, off_elapsed, _ = _run_adaptive(
+            cells, "off" if not scalar_only else None, ci, min_seeds,
+            max_seeds,
+        )
+        best_off = min(best_off, off_elapsed)
+        if scalar_only:
+            continue
+        got, auto_elapsed, stats = _run_adaptive(
+            cells, "auto", ci, min_seeds, max_seeds
+        )
+        if got != ref:
+            raise AssertionError(
+                "batched adaptive sweep diverged from the scalar path"
+            )
+        best_auto = min(best_auto, auto_elapsed)
+    payload = {
+        "cells": len(cells),
+        "scale": scale,
+        "ci": ci,
+        "min_seeds": min_seeds,
+        "max_seeds": max_seeds,
+        "scalar_seconds": best_off,
+    }
+    if not scalar_only:
+        payload.update(
+            batched_seconds=best_auto,
+            batched_speedup=best_off / best_auto,
+            bit_identical=True,
+            batches=stats.batches,
+            batched_runs=stats.batched_runs,
+            executed=stats.executed,
+        )
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--scalar-only", action="store_true",
+        help="time only the scalar sweep (for pre-change trees that have "
+        "no batch_runs knob)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = {
+        "batched_sweep": time_batched_sweep(
+            scale=args.scale, repeats=args.repeats,
+            scalar_only=args.scalar_only,
+        )
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

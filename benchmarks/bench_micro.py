@@ -192,3 +192,36 @@ def test_speed_model_retime(benchmark):
         speed.set_cpu_share([0, 1, 2], 1.0)
 
     benchmark(toggle)
+
+
+def test_sweep_batched_adaptive(benchmark):
+    """Batched replicate execution through the real adaptive sweep.
+
+    A two-cell fig4 slice at a fixed 3 replicates per cell with
+    ``batch_runs="auto"``: each cell's round of replicates must pack
+    into one batched run (asserted via ``SweepStats``), exercising the
+    batch planning, the stacked PTT/rate state and the per-replicate
+    scalar execution path end to end.  Gated: a regression here is a
+    regression of the default ``--adaptive`` path.
+    """
+    from repro.experiments.common import ExperimentSettings
+    from repro.experiments.fig4_corunner import fig4_spec
+    from repro.sweep import AdaptivePolicy, SweepRunner
+
+    settings = ExperimentSettings(scale=0.01)
+    specs = [
+        fig4_spec(settings, "matmul", 2, sched) for sched in ("rws", "dam-c")
+    ]
+    policy = AdaptivePolicy(ci=0.0, min_seeds=3, max_seeds=3)
+
+    def run_sweep():
+        runner = SweepRunner(
+            jobs=1, use_cache=False, progress=False, batch_runs="auto"
+        )
+        rows = runner.run_adaptive(specs, policy)
+        return rows, runner.last_stats
+
+    rows, stats = benchmark.pedantic(run_sweep, rounds=3, iterations=1)
+    assert len(rows) == 2
+    assert all(row["adaptive"]["replicates"] == 3 for row in rows)
+    assert stats.batches == 2 and stats.batched_runs == 6

@@ -1,0 +1,529 @@
+"""Batched replicate execution: N same-cell runs in one vectorized pass.
+
+Adaptive replication (:mod:`repro.sweep.adaptive`) re-runs one *cell* —
+one parameter point — across derived seeds until its confidence interval
+converges.  Those replicates share everything except their RNG streams:
+the machine topology, the DAG structure (via the template cache), the
+kernel cost profiles and the scheduler configuration.  This module
+exploits that sharing:
+
+* :class:`BatchedPttStore` stacks the replicates' Performance Trace
+  Tables: per task kind one ``(runs x slots)`` value/sample matrix, with
+  each run's :class:`~repro.core.ptt.PerformanceTraceTable` operating on
+  its row *view* — scalar updates from the runtime flow straight into
+  the stack, and the batched readers (:meth:`~BatchedPttStore.stack`,
+  :meth:`~BatchedPttStore.predict_all_runs`) and the run-axis writer
+  (:meth:`~BatchedPttStore.update_slot_runs`) see the whole batch
+  without copying.
+* :class:`BatchedRates` holds the dynamic rate inputs as
+  ``(runs x cores)`` matrices; every DVFS / co-runner / fault transition
+  a replicate's :class:`BatchedSpeedModel` applies lands as a row-wise
+  masked update.
+* :func:`execute_batch` drives N replicates through one shared machine,
+  template-instantiated DAGs and a shared kernel-profile cache, running
+  each replicate's event queue to completion in turn.
+
+Replicates *diverge* at their first seeded-RNG decision (steal-victim
+draws, wake shuffles), so their event queues cannot be advanced in a
+single vectorized step without changing results; the batched engine
+therefore keeps per-replicate execution exactly on the scalar code path
+(bit-identical metrics, property-tested) and takes its wall-clock win
+from the shared construction work and stacked state.  Cells that cannot
+batch — fault injection enabled, kernels the template cache cannot key
+(e.g. carrying live RNG state), non-``single`` executors such as the
+distributed runtime, traced runs — fall back to scalar execution; see
+:func:`can_batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ptt import PerformanceTraceTable, PttStore
+from repro.errors import ConfigurationError
+from repro.machine.speed import TRANSITION_KINDS, SpeedModel
+from repro.machine.topology import Machine
+from repro.sim.environment import Environment
+from repro.sweep.spec import BATCH_KIND, RunSpec
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+
+# ----------------------------------------------------------------------
+# stacked performance trace tables
+# ----------------------------------------------------------------------
+
+class _RunPttTable(PerformanceTraceTable):
+    """A PTT whose storage is one row of a batch's stacked matrices.
+
+    Behaviour is exactly the scalar table's — same fold arithmetic, same
+    Python-list mirror, same lost-core handling — only ``_values`` and
+    ``_samples`` are views into the owning :class:`BatchedPttStore`'s
+    ``(runs x slots)`` matrices, so every scalar update is immediately
+    visible to the batched readers.
+    """
+
+    def __init__(
+        self,
+        store: "BatchedPttStore",
+        run: int,
+        machine: Machine,
+        new_weight: int,
+        total_weight: int,
+        tracer: Tracer = NULL_TRACER,
+        label: str = "",
+    ) -> None:
+        super().__init__(
+            machine, new_weight, total_weight, tracer=tracer, label=label
+        )
+        values, samples = store._matrices(label)
+        self.bind_storage(values[run], samples[run])
+
+
+class _RunPttStore(PttStore):
+    """Per-replicate :class:`PttStore` facade over a batch's stack."""
+
+    def __init__(
+        self,
+        batched: "BatchedPttStore",
+        run: int,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        super().__init__(
+            batched.machine, batched.new_weight, batched.total_weight,
+            tracer=tracer,
+        )
+        self._batched = batched
+        self._run = run
+
+    def table(self, type_name: str) -> PerformanceTraceTable:
+        table = self._tables.get(type_name)
+        if table is None:
+            table = _RunPttTable(
+                self._batched, self._run, self.machine,
+                self.new_weight, self.total_weight,
+                tracer=self.tracer, label=type_name,
+            )
+            for core in self._lost_cores:
+                table.mark_core_lost(core)
+            self._tables[type_name] = table
+        return table
+
+
+class BatchedPttStore:
+    """PTT state of N replicate runs, stacked per task kind.
+
+    Per kind, values live in one ``(runs x slots)`` float64 matrix and
+    sample counts in an int64 matrix of the same shape; run ``r``'s
+    tables (via :meth:`store_for`) are row views, so the scalar runtime
+    path and the batched APIs read and write the same memory.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        runs: int,
+        new_weight: int = 1,
+        total_weight: int = 5,
+    ) -> None:
+        if runs < 1:
+            raise ConfigurationError(f"runs must be >= 1, got {runs}")
+        self.machine = machine
+        self.runs = int(runs)
+        self.new_weight = int(new_weight)
+        self.total_weight = int(total_weight)
+        self._values: Dict[str, np.ndarray] = {}
+        self._samples: Dict[str, np.ndarray] = {}
+        self._kinds: List[str] = []
+        self._rows = np.arange(self.runs)
+
+    def _matrices(self, kind: str) -> Tuple[np.ndarray, np.ndarray]:
+        """The (values, samples) matrices of ``kind``, created on demand."""
+        values = self._values.get(kind)
+        if values is None:
+            slots = len(self.machine.places)
+            values = np.zeros((self.runs, slots), dtype=np.float64)
+            self._values[kind] = values
+            self._samples[kind] = np.zeros((self.runs, slots), dtype=np.int64)
+            self._kinds.append(kind)
+        return values, self._samples[kind]
+
+    def store_for(self, run: int, tracer: Tracer = NULL_TRACER) -> PttStore:
+        """The per-replicate store whose tables view row ``run``."""
+        if not (0 <= run < self.runs):
+            raise ConfigurationError(
+                f"run {run} out of range [0, {self.runs})"
+            )
+        return _RunPttStore(self, run, tracer=tracer)
+
+    def kinds(self) -> Tuple[str, ...]:
+        """Task kinds observed so far, in first-seen order."""
+        return tuple(self._kinds)
+
+    def predict_all_runs(self, kind: str) -> np.ndarray:
+        """All runs' predicted times for ``kind``: a ``(runs x slots)``
+        view (read-only by convention, like ``predict_all``)."""
+        return self._matrices(kind)[0]
+
+    def samples_all_runs(self, kind: str) -> np.ndarray:
+        """All runs' sample counts for ``kind`` (``(runs x slots)`` view)."""
+        return self._matrices(kind)[1]
+
+    def update_slot_runs(
+        self, kind: str, slots: Sequence[int], observed: Sequence[float]
+    ) -> np.ndarray:
+        """Fold one observation per run, batched over the run axis.
+
+        ``slots[r]`` / ``observed[r]`` is run ``r``'s sample.  Applies the
+        scalar table's exact fold — first sample replaces the zero
+        initializer, later samples take the weighted average — as one
+        masked vector operation, and returns the new values (one per
+        run).
+        """
+        values, samples = self._matrices(kind)
+        slots = np.asarray(slots, dtype=np.intp)
+        observed = np.asarray(observed, dtype=np.float64)
+        if slots.shape != (self.runs,) or observed.shape != (self.runs,):
+            raise ConfigurationError(
+                f"need one (slot, observed) pair per run "
+                f"({self.runs}), got {slots.shape} / {observed.shape}"
+            )
+        if np.any(observed < 0):
+            raise ConfigurationError("observed times must be >= 0")
+        rows = self._rows
+        old = values[rows, slots]
+        w_new = self.new_weight
+        w_old = self.total_weight - w_new
+        folded = (w_old * old + w_new * observed) / self.total_weight
+        first = samples[rows, slots] == 0
+        new = np.where(first, observed, folded)
+        values[rows, slots] = new
+        samples[rows, slots] += 1
+        return new
+
+    def stack(self) -> np.ndarray:
+        """Materialized ``(runs x kinds x slots)`` snapshot of all values.
+
+        Kind order follows :meth:`kinds`.  With no kinds observed yet the
+        array is empty along the kind axis.
+        """
+        slots = len(self.machine.places)
+        if not self._kinds:
+            return np.zeros((self.runs, 0, slots), dtype=np.float64)
+        return np.stack([self._values[k] for k in self._kinds], axis=1)
+
+
+# ----------------------------------------------------------------------
+# stacked speed-model rates
+# ----------------------------------------------------------------------
+
+class BatchedRates:
+    """Dynamic rate inputs of N replicate runs as ``(runs x cores)``
+    matrices.
+
+    Each replicate's :class:`BatchedSpeedModel` mirrors its transitions
+    into its row (a masked write over the affected cores), so the batch
+    always has a current vectorized view of every run's DVFS frequency
+    scale, co-runner CPU share and fault multiplier.
+    """
+
+    #: SpeedModel transition kinds mirrored into a matrix — one attribute
+    #: per kind, named identically, sourced from the model's own registry
+    #: so a new rate input cannot be silently left unmirrored.
+    KINDS = TRANSITION_KINDS
+
+    def __init__(self, machine: Machine, runs: int) -> None:
+        if runs < 1:
+            raise ConfigurationError(f"runs must be >= 1, got {runs}")
+        self.machine = machine
+        self.runs = int(runs)
+        n = machine.num_cores
+        self.freq_scale = np.ones((runs, n), dtype=np.float64)
+        self.cpu_share = np.ones((runs, n), dtype=np.float64)
+        self.fault_scale = np.ones((runs, n), dtype=np.float64)
+        self._base = np.array(
+            [c.base_speed for c in machine.cores], dtype=np.float64
+        )
+
+    def effective(self) -> np.ndarray:
+        """Effective core rates, ``(runs x cores)``, ignoring
+        time-sharing (which depends on in-flight work, not on the rate
+        inputs)."""
+        return self._base * self.freq_scale * self.cpu_share * self.fault_scale
+
+
+class BatchedSpeedModel(SpeedModel):
+    """A :class:`SpeedModel` that mirrors its transitions into a batch row.
+
+    Simulation behaviour is untouched — the scalar tables stay the
+    authoritative state the hot paths read — but every
+    ``_transition_cores`` write is repeated as a row-wise masked update
+    of the shared :class:`BatchedRates` matrices, keeping the stacked
+    view current at transition granularity.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        machine: Machine,
+        rates: BatchedRates,
+        run: int,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        if rates.machine is not machine:
+            raise ConfigurationError("rates matrix machine must match")
+        if not (0 <= run < rates.runs):
+            raise ConfigurationError(
+                f"run {run} out of range [0, {rates.runs})"
+            )
+        super().__init__(env, machine, tracer)
+        self._batched_rates = rates
+        self._batched_run = run
+
+    def _transition_cores(self, table, core_ids, value, kind) -> None:
+        core_ids = list(core_ids)
+        super()._transition_cores(table, core_ids, value, kind)
+        matrix = getattr(self._batched_rates, kind, None)
+        if matrix is not None and core_ids:
+            matrix[self._batched_run, core_ids] = value
+
+
+# ----------------------------------------------------------------------
+# batch specs and eligibility
+# ----------------------------------------------------------------------
+
+def _scenario_has_faults(scenario: Optional[Mapping[str, Any]]) -> bool:
+    """Whether a declarative scenario mapping injects faults anywhere."""
+    if scenario is None:
+        return False
+    name = scenario.get("name")
+    if name == "faults":
+        return True
+    if name == "composite":
+        return any(
+            _scenario_has_faults(sub) for sub in scenario.get("scenarios", ())
+        )
+    return False
+
+
+def can_batch(spec: RunSpec) -> bool:
+    """Whether ``spec`` is eligible for batched replicate execution.
+
+    Ineligible (scalar-fallback) cells:
+
+    * non-``single`` executors — the distributed and application
+      runtimes wire their own environments;
+    * traced runs — a trace captures one concrete run's event stream;
+    * fault-injection scenarios — recovery mutates PTT rows (inf pins /
+      re-exploration resets) and worker liveness in ways the batch does
+      not model;
+    * workloads whose kernels the template cache cannot key (e.g.
+      kernels carrying live RNG state) — without a template the DAG
+      cannot be shared, which is the batch's reason to exist.
+    """
+    if spec.kind != "single":
+        return False
+    params = spec.params
+    if params.get("trace") is not None:
+        return False
+    if _scenario_has_faults(params.get("scenario")):
+        return False
+    workload = params.get("workload") or {}
+    if workload.get("name") != "layered":
+        return False
+    try:
+        from repro.graph.templates import kernel_cache_key
+        from repro.sweep.registry import make_kernel
+
+        kernel = make_kernel(
+            workload.get("kernel"), workload.get("tile")
+        )
+    except Exception:
+        return False
+    return kernel_cache_key(kernel) is not None
+
+
+def batch_group_key(spec: RunSpec) -> str:
+    """Identity of a spec's *cell*: everything but the seed.
+
+    Replicates of one cell share this key, so pending replicates that
+    hash alike can execute as one batch.
+    """
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        {
+            "kind": spec.kind,
+            "params": spec.params,
+            "metrics": sorted(spec.metrics),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def make_batch_spec(members: Sequence[RunSpec]) -> RunSpec:
+    """The pseudo-spec that executes ``members`` as one batched run.
+
+    The members ride along as plain data under ``params["runs"]``, so
+    the batch job moves through the sweep engine's existing machinery
+    (worker pipes, crash retry, predictive dispatch) like any other
+    spec.  Batch pseudo-specs are never cached or checkpointed as such —
+    the engine records their per-replicate results under the members'
+    own keys.
+    """
+    if len(members) < 2:
+        raise ConfigurationError(
+            f"a batch needs >= 2 replicates, got {len(members)}"
+        )
+    base_key = batch_group_key(members[0])
+    for member in members[1:]:
+        if batch_group_key(member) != base_key:
+            raise ConfigurationError(
+                "batch members must be replicates of one cell"
+            )
+    return RunSpec(
+        kind=BATCH_KIND,
+        params={
+            "runs": [
+                {
+                    "kind": m.kind,
+                    "params": dict(m.params),
+                    "seed": m.seed,
+                    "metrics": list(m.metrics),
+                }
+                for m in members
+            ]
+        },
+        seed=members[0].seed,
+        metrics=(),
+        tags={"batch": len(members)},
+    )
+
+
+def parse_batch_spec(spec: RunSpec) -> List[RunSpec]:
+    """Reconstruct the member :class:`RunSpec`\\ s of a batch pseudo-spec."""
+    if spec.kind != BATCH_KIND:
+        raise ConfigurationError(f"not a batch spec: kind={spec.kind!r}")
+    runs = spec.params.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ConfigurationError("batch spec carries no member runs")
+    return [
+        RunSpec(
+            kind=entry["kind"],
+            params=entry["params"],
+            seed=entry["seed"],
+            metrics=tuple(entry["metrics"]),
+        )
+        for entry in runs
+    ]
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+def execute_batch(specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
+    """Run N same-cell replicates in one batched pass.
+
+    Returns one payload per replicate, in order: ``{"ok": metrics}`` on
+    success or ``{"err": {"type", "message"}}`` when that replicate's
+    execution raised (mirroring the scalar engine's deterministic-failure
+    capture; one broken replicate never aborts its batchmates).
+
+    Shared across the batch: the machine (static topology, built once),
+    the DAG template (each run instantiates a fresh graph from it), the
+    kernel cost-profile cache, the stacked PTT matrices and the stacked
+    rate matrices.  Per replicate: environment, speed-model dynamics,
+    scheduler state, RNG streams — everything that makes its metrics
+    bit-identical to a scalar run of the same spec.
+    """
+    from repro.core.policies.registry import make_scheduler
+    from repro.runtime.config import RuntimeConfig
+    from repro.runtime.executor import SimulatedRuntime
+    from repro.sweep.registry import (
+        build_machine,
+        build_scenario,
+        build_workload,
+        extract_metrics,
+    )
+
+    if not specs:
+        return []
+    base = specs[0]
+    base_key = batch_group_key(base)
+    for spec in specs[1:]:
+        if batch_group_key(spec) != base_key:
+            raise ConfigurationError(
+                "batch members must be replicates of one cell"
+            )
+    if not can_batch(base):
+        raise ConfigurationError(
+            "cell is not batchable; use the scalar path"
+        )
+
+    params = base.params
+    machine = build_machine(params["machine"])
+    runs = len(specs)
+    rates = BatchedRates(machine, runs)
+    ptt_stack: Optional[BatchedPttStore] = None
+    shared_profiles: Dict[tuple, Any] = {}
+    payloads: List[Dict[str, Any]] = []
+    for run, spec in enumerate(specs):
+        try:
+            graph = build_workload(params["workload"])
+            policy = make_scheduler(
+                params["scheduler"], **(params.get("scheduler_kwargs") or {})
+            )
+            scenario = build_scenario(params.get("scenario"))
+            config = RuntimeConfig(**(params.get("config") or {}))
+            env = Environment()
+            speed = BatchedSpeedModel(env, machine, rates, run)
+            if scenario is not None:
+                scenario.install(env, speed, machine)
+            runtime = SimulatedRuntime(
+                env, machine, graph, policy, config=config, speed=speed,
+                seed=spec.seed,
+            )
+            if policy.uses_ptt and policy.ptt is not None:
+                if ptt_stack is None:
+                    ptt_stack = BatchedPttStore(
+                        machine, runs,
+                        policy.ptt_new_weight, policy.ptt_total_weight,
+                    )
+                policy.ptt = ptt_stack.store_for(run, tracer=policy.tracer)
+            # Kernel profiles are pure in (kernel, machine, place); the
+            # machine and the template's kernel objects are shared across
+            # the batch, so the memo carries over run to run.
+            runtime._profile_cache = shared_profiles
+            result = runtime.run()
+            metrics = extract_metrics(result, spec.metrics)
+        except Exception as exc:
+            payloads.append(
+                {"err": {"type": type(exc).__name__, "message": str(exc)}}
+            )
+        else:
+            payloads.append({"ok": metrics})
+    return payloads
+
+
+def run_batch_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Executor body of the :data:`~repro.sweep.spec.BATCH_KIND` kind."""
+    return {"replicates": execute_batch(parse_batch_spec(spec))}
+
+
+__all__ = [
+    "BATCH_KIND",
+    "BatchedPttStore",
+    "BatchedRates",
+    "BatchedSpeedModel",
+    "batch_group_key",
+    "can_batch",
+    "execute_batch",
+    "make_batch_spec",
+    "parse_batch_spec",
+    "run_batch_spec",
+]

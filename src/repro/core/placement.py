@@ -121,6 +121,104 @@ def _vector_search(
     return best_place
 
 
+def _scan_cost(
+    machine: Machine,
+    values: Sequence[float],
+    backlog: Optional[Backlog],
+) -> ExecutionPlace:
+    """Pure-scalar sweep minimizing ``time x width`` over all places.
+
+    Identical decisions to ``_vector_search(machine, values * widths, …)``:
+    each key is the same IEEE-double product, the strict ``<`` keeps the
+    first minimum exactly like ``np.argmin``, and the tie-break visits the
+    same slots in the same order.
+    """
+    widths = machine._place_widths_list
+    best = 0
+    best_key = values[0] * widths[0]
+    for slot in range(1, len(widths)):
+        key = values[slot] * widths[slot]
+        if key < best_key:
+            best_key = key
+            best = slot
+    places = machine.places
+    winner = places[best]
+    if backlog is None:
+        return winner
+    threshold = best_key * (1.0 + TIE_TOLERANCE)
+    width = winner.width
+    members = machine._place_members
+    best_pair = None
+    best_place = winner
+    for slot in range(len(widths)):
+        if widths[slot] != width or values[slot] * widths[slot] > threshold:
+            continue
+        place = places[slot]
+        load = max(backlog(core) for core in members[slot])
+        pair = (load, place)
+        if best_pair is None or pair < best_pair:
+            best_pair = pair
+            best_place = place
+    return best_place
+
+
+def _scan_performance(
+    machine: Machine,
+    values: Sequence[float],
+    slots: Optional[Sequence[int]],
+    backlog: Optional[Backlog],
+) -> ExecutionPlace:
+    """Pure-scalar sweep minimizing predicted time, ``_vector_search``-exact.
+
+    ``slots`` (when given) restricts the sweep to a subset, e.g. the
+    width-one places; its tie-break then has no width filter, mirroring
+    the restricted branch of :func:`_vector_search`.
+    """
+    places = machine.places
+    if slots is None:
+        best = 0
+        best_key = values[0]
+        for slot in range(1, len(values)):
+            key = values[slot]
+            if key < best_key:
+                best_key = key
+                best = slot
+        winner = places[best]
+    else:
+        best = slots[0]
+        best_key = values[best]
+        for slot in slots:
+            key = values[slot]
+            if key < best_key:
+                best_key = key
+                best = slot
+        winner = places[best]
+    if backlog is None:
+        return winner
+    threshold = best_key * (1.0 + TIE_TOLERANCE)
+    members = machine._place_members
+    best_pair = None
+    best_place = winner
+    if slots is None:
+        width = winner.width
+        pool = range(len(values))
+    else:
+        width = None
+        pool = slots
+    for slot in pool:
+        if values[slot] > threshold:
+            continue
+        if width is not None and places[slot].width != width:
+            continue
+        place = places[slot]
+        load = max(backlog(core) for core in members[slot])
+        pair = (load, place)
+        if best_pair is None or pair < best_pair:
+            best_pair = pair
+            best_place = place
+    return best_place
+
+
 def local_search_cost(
     ptt: PerformanceTraceTable, machine: Machine, core: int
 ) -> ExecutionPlace:
@@ -153,9 +251,13 @@ def global_search_cost(
     backlog: Optional[Backlog] = None,
 ) -> ExecutionPlace:
     """Best place machine-wide, minimizing parallel cost (DAM-C line 8)."""
-    if places is None and hasattr(ptt, "predict_all"):
-        keys = ptt.predict_all() * machine._place_widths
-        return _vector_search(machine, keys, None, backlog)
+    if places is None:
+        values = getattr(ptt, "_values_list", None)
+        if values is not None and hasattr(machine, "_place_widths_list"):
+            return _scan_cost(machine, values, backlog)
+        if hasattr(ptt, "predict_all"):
+            keys = ptt.predict_all() * machine._place_widths
+            return _vector_search(machine, keys, None, backlog)
     pool = machine.places if places is None else places
     return _argmin_place(pool, lambda p: ptt.predict(p) * p.width, backlog)
 
@@ -167,6 +269,14 @@ def global_search_performance(
     backlog: Optional[Backlog] = None,
 ) -> ExecutionPlace:
     """Best place machine-wide, minimizing predicted time (DAM-P line 11)."""
+    values = getattr(ptt, "_values_list", None)
+    if values is not None and hasattr(machine, "_place_widths_list"):
+        if places is None:
+            return _scan_performance(machine, values, None, backlog)
+        if places is getattr(machine, "_width_one_places", None):
+            return _scan_performance(
+                machine, values, machine._width_one_slots_list, backlog
+            )
     if hasattr(ptt, "predict_all"):
         if places is None:
             return _vector_search(machine, ptt.predict_all(), None, backlog)

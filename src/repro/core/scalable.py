@@ -55,6 +55,13 @@ class ScalableSearchIndex:
             )
             for name, places in self._cluster_places.items()
         }
+        #: cluster name -> ((slot, width), ...) for the scalar refresh
+        self._cluster_slot_widths: Dict[str, Tuple[Tuple[int, float], ...]] = {
+            name: tuple(
+                (place_index[p], float(p.width)) for p in places
+            )
+            for name, places in self._cluster_places.items()
+        }
         #: cluster name -> (min cost, min time)
         self._minima: Dict[str, Tuple[float, float]] = {}
         for name in self._cluster_places:
@@ -63,7 +70,22 @@ class ScalableSearchIndex:
 
     # -- maintenance -----------------------------------------------------
     def _refresh(self, cluster_name: str) -> None:
-        if hasattr(self.table, "predict_all"):
+        values_list = getattr(self.table, "_values_list", None)
+        if values_list is not None:
+            # Scalar sweep over the cluster's dozen-odd slots: identical
+            # minima to the ndarray reduction (same IEEE products), minus
+            # the per-update fancy-indexing overhead.
+            slot_widths = self._cluster_slot_widths[cluster_name]
+            best_cost = float("inf")
+            best_time = float("inf")
+            for slot, width in slot_widths:
+                value = values_list[slot]
+                cost = value * width
+                if cost < best_cost:
+                    best_cost = cost
+                if value < best_time:
+                    best_time = value
+        elif hasattr(self.table, "predict_all"):
             slots, widths = self._cluster_arrays[cluster_name]
             values = self.table.predict_all()[slots]
             best_cost = float((values * widths).min())

@@ -64,6 +64,13 @@ class ExperimentSettings:
     timeouts (see ``docs/robustness.md``); ``resume`` replays completed
     cells from the per-figure checkpoint instead of recomputing them
     after an interrupted sweep.
+
+    ``batch_runs`` controls batched replicate execution under
+    ``adaptive`` (see ``docs/performance.md``): ``"auto"`` packs each
+    adaptive round's same-cell replicates into one batched run with no
+    width cap, ``"off"`` forces the scalar path, and an integer string
+    caps the batch width.  It only takes effect when ``adaptive`` is on
+    — the plain path never replicates, so there is nothing to batch.
     """
 
     scale: float = 0.05
@@ -79,12 +86,25 @@ class ExperimentSettings:
     run_timeout: Optional[float] = None
     max_attempts: int = 2
     resume: bool = False
+    batch_runs: str = "auto"
 
     def __post_init__(self) -> None:
         if not (0 < self.scale <= 1.0):
             raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batch_runs not in ("auto", "off"):
+            try:
+                width = int(self.batch_runs)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    "batch_runs must be 'auto', 'off' or a positive "
+                    f"integer, got {self.batch_runs!r}"
+                ) from None
+            if width < 1:
+                raise ConfigurationError(
+                    f"batch_runs must be >= 1, got {self.batch_runs!r}"
+                )
         if self.adaptive and self.trace_out:
             raise ConfigurationError(
                 "adaptive replication and tracing are mutually exclusive "
@@ -218,6 +238,7 @@ def sweep(specs, settings: ExperimentSettings, label: str):
         timeout=settings.run_timeout,
         max_attempts=settings.max_attempts,
         resume=settings.resume,
+        batch_runs=settings.batch_runs,
     )
     return runner.run_adaptive(specs, settings.adaptive_policy())
 

@@ -139,6 +139,15 @@ def main(argv=None) -> int:
         help="adaptive: hard per-cell replicate budget (default 12)",
     )
     parser.add_argument(
+        "--batch-runs",
+        default="auto",
+        metavar="{auto,off,N}",
+        help="batched replicate execution under --adaptive: 'auto' packs "
+        "each round's same-cell replicates into one batched run, 'off' "
+        "forces scalar runs, N caps batch width (default auto; no effect "
+        "without --adaptive — see docs/performance.md)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="record structured traces for every run (implies --trace-out "
@@ -235,6 +244,7 @@ def main(argv=None) -> int:
             run_timeout=args.run_timeout,
             max_attempts=args.max_attempts,
             resume=args.resume,
+            batch_runs=args.batch_runs,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)

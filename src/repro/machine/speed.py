@@ -35,6 +35,15 @@ from repro.trace.tracer import NULL_TRACER, Tracer
 
 _EPS = 1e-9
 
+#: The per-core rate-input tables a transition can write, by the ``kind``
+#: tag flowing through :meth:`SpeedModel._transition_cores` (and into
+#: :class:`~repro.trace.events.SpeedEvent`).  Mirrors of the model's
+#: dynamic state — e.g. the batched replicate engine's stacked rate
+#: matrices (:class:`repro.core.batched.BatchedRates`) — key their
+#: per-kind storage off this tuple, so a new rate input added here is a
+#: loud reminder to extend them rather than a silently unmirrored table.
+TRANSITION_KINDS = ("freq_scale", "cpu_share", "fault_scale")
+
 
 class ActiveWork:
     """A unit of in-flight work registered with the :class:`SpeedModel`.
@@ -276,6 +285,11 @@ class SpeedModel:
         self, table: List[float], core_ids: Iterable[int], value: float, kind: str
     ) -> None:
         """Apply a per-core rate-input change and re-time what it touched."""
+        if kind not in TRANSITION_KINDS:
+            raise ConfigurationError(
+                f"unknown rate-input kind {kind!r}; known kinds: "
+                f"{', '.join(TRANSITION_KINDS)}"
+            )
         core_ids = list(core_ids)
         for cid in core_ids:
             self.machine._check_core(cid)

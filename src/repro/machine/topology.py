@@ -155,6 +155,15 @@ class Machine:
             [self._place_index[p] for p in self._width_one_places],
             dtype=np.intp,
         )
+        # Python-scalar mirrors of the numpy search arrays: the placement
+        # argmins iterate a dozen-odd places per call, where list indexing
+        # and float arithmetic beat ndarray scalar access several-fold.
+        self._place_widths_list: Tuple[float, ...] = tuple(
+            float(w) for w in self._place_widths
+        )
+        self._width_one_slots_list: Tuple[int, ...] = tuple(
+            int(s) for s in self._width_one_slots
+        )
         # Per core: ((slot, width, place), ...) for the local-search
         # candidates local_place_for(core, w) over widths_at(core).
         local_entries: List[Tuple[Tuple[int, int, ExecutionPlace], ...]] = []

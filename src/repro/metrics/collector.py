@@ -54,5 +54,10 @@ class TraceCollector:
     def record_failed_scan(self) -> None:
         self.failed_steal_scans += 1
 
+    def record_failed_scans(self, count: int) -> None:
+        """Bulk form of :meth:`record_failed_scan` for fast-forwarded
+        steal-backoff spins (see the executor's spin collapse)."""
+        self.failed_steal_scans += count
+
     def __len__(self) -> int:
         return len(self.records)

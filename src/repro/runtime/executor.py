@@ -40,7 +40,7 @@ from repro.runtime.assembly import Assembly
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.queues import WorkStealingQueue
 from repro.sim.environment import Environment, Interrupt, Process
-from repro.sim.events import Event
+from repro.sim.events import Event, NORMAL, PENDING
 from repro.trace.events import (
     DecisionEvent,
     QueueReclaimEvent,
@@ -55,6 +55,11 @@ from repro.trace.events import (
 )
 from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.util.rng import SeedLike, make_rng, spawn_rngs
+
+#: Spin-tick verdict delivered through the worker's barrier event when
+#: the worker should re-run its loop top (own work appeared / shutdown).
+#: Any other verdict is the stolen task itself.
+_SPIN_RECHECK = object()
 
 
 @dataclass
@@ -173,6 +178,21 @@ class SimulatedRuntime:
         #: push/pop/steal/reclaim sites so the steal-backoff decision is
         #: O(1) instead of scanning every queue.
         self._wsq_total = 0
+        # Spin-tick driver state (single-probe steal fast path only; see
+        # _worker_loop).  A worker's steal-backoff wake is scheduled as a
+        # plain callback event — the "spin tick" — instead of a generator
+        # resume; these maps let any tick locate every spinner's RNG
+        # buffer and pending tick so provably-missing spins can be
+        # fast-forwarded without touching the event loop (_spin_collapse).
+        self._spin_rng: List[Optional[list]] = [None] * n
+        self._spin_integers: List[Optional[Callable]] = [None] * n
+        self._spin_push: List[Optional[Callable]] = [None] * n
+        #: Heap sequence number of each in-flight spin tick, and the
+        #: reverse map seq -> spinning core used to recognize tick heap
+        #: entries.  Sequence numbers are unique per push, so an entry can
+        #: never alias a recycled event's later schedule.
+        self._spin_tick_seq: List[int] = [-1] * n
+        self._spin_ticks: Dict[int, int] = {}
         #: Memoized kernel cost profiles.  ``KernelModel.profile`` is pure
         #: in (kernel, machine, place) and the machine is fixed for the
         #: executor's lifetime, so profiles are computed once per distinct
@@ -383,6 +403,141 @@ class SimulatedRuntime:
         dispatch_overhead = config.dispatch_overhead
         steal_overhead = config.steal_overhead
         steal_backoff = config.steal_backoff
+        worker_state = self._worker_state
+        # Single-probe steal fast path: with the default one-try scan and
+        # neither tracing nor faults armed, the whole probe inlines here
+        # with its RNG buffer held in loop locals (the generator frame
+        # keeps them alive across yields).  Draws, outcomes and counter
+        # updates are stream-identical to _try_steal — only the attribute
+        # traffic is gone.  Any other configuration falls back to the
+        # method.
+        wsqs = self.wsqs
+        n_cores = self._num_cores
+        inline_steal = (
+            self._steal_tries_eff == 1
+            and n_cores > 1
+            and not tracing
+            and not self._faults_enabled
+        )
+        steal_integers = self._steal_rngs[core].integers if inline_steal else None
+        allow_steal = scheduler.allow_steal
+        record_steal = self.collector.record_steal
+        record_failed_scan = self.collector.record_failed_scan
+        # Spin-tick driver (inline-steal configurations only): the
+        # steal-backoff wait is scheduled as a pooled callback event
+        # instead of a generator sleep.  The tick callback replays the
+        # loop-top decision sequence for an empty-handed worker in the
+        # steal state — same draws, same counters, same heap schedule —
+        # and only resumes this generator when the outcome needs it
+        # (stolen task, own work appeared, or queues drained to idle).
+        # Misses stay inside the callback, which costs a fraction of a
+        # generator resume, and consecutive provably-missing ticks are
+        # fast-forwarded wholesale by _spin_collapse.
+        sbuf = [None, 64]  # shared RNG buffer: [victim slots, next index]
+        spin_tick = None
+        barrier = None
+        if inline_steal:
+            queue = env._queue
+            qfree = queue._free
+            spin_ticks = self._spin_ticks
+            spin_tick_seq = self._spin_tick_seq
+            self._spin_rng[core] = sbuf
+            self._spin_integers[core] = steal_integers
+            # The barrier is yielded on while a tick is in flight.  It is
+            # never scheduled: the tick callback triggers it directly, so
+            # the resume runs inside the tick's own heap slot, exactly
+            # where the original sleep resume ran.
+            barrier = Event(env)
+
+            def wake(verdict):
+                callbacks = barrier.callbacks
+                barrier.callbacks = None
+                barrier._value = verdict
+                for callback in callbacks:
+                    callback(barrier)
+
+            def push_tick(at):
+                free = qfree
+                if free:
+                    tick = free.pop()
+                else:
+                    tick = Event(env)
+                    tick._pooled = True
+                tick.callbacks.append(spin_tick)
+                seq = queue._seq
+                spin_tick_seq[core] = seq
+                spin_ticks[seq] = core
+                queue.push(at, NORMAL, tick)
+
+            idle_events = self._idle_events
+
+            def register_idle():
+                # Driver-mode _register_idle: the parked event's callback
+                # is idle_tick, so a wake probes (and possibly re-parks)
+                # without resuming the generator.
+                free = qfree
+                if free:
+                    parked = free.pop()
+                else:
+                    parked = Event(env)
+                    parked._pooled = True
+                parked.callbacks.append(idle_tick)
+                idle_events[core] = parked
+
+            def probe_and_park():
+                # The shared tail of a wake: one victim probe, then a hit
+                # hand-off, the next backoff tick, or going idle — the
+                # exact loop-top sequence for an empty-handed worker
+                # already in the steal state.
+                buf, idx = sbuf
+                if idx >= 64:
+                    buf = steal_integers(0, n_cores - 1, size=64)
+                    sbuf[0] = buf
+                    idx = 0
+                sbuf[1] = idx + 1
+                slot = buf[idx]
+                victim = int(slot) + (1 if slot >= core else 0)
+                if wsqs[victim]._items:
+                    stolen = wsqs[victim].steal(allow_steal)
+                    if stolen is not None:
+                        self._wsq_total -= 1
+                        record_steal()
+                        wake(stolen)
+                        return
+                record_failed_scan()
+                if self._wsq_total > 0:
+                    if self._any_stealable():
+                        push_tick(env._now + steal_backoff)
+                    else:
+                        self._spin_collapse(core, env._now + steal_backoff)
+                else:
+                    if worker_state[core] != "idle":
+                        worker_state[core] = "idle"
+                    register_idle()
+
+            def spin_tick(_tick):
+                # One steal-backoff wake.  Divert back to the generator
+                # the moment anything else needs doing, otherwise probe.
+                spin_ticks.pop(spin_tick_seq[core], None)
+                if self._shutdown or items or aq:
+                    wake(_SPIN_RECHECK)
+                    return
+                probe_and_park()
+
+            def idle_tick(_parked):
+                # An idle wake (queue push / AQ insert / shutdown).  The
+                # loop top would transition idle -> steal and probe; a
+                # miss parks the worker again with no generator resume —
+                # which is what makes waking every idle worker on a
+                # stealable push cheap.
+                if self._shutdown or items or aq:
+                    wake(_SPIN_RECHECK)
+                    return
+                if worker_state[core] != "steal":
+                    worker_state[core] = "steal"
+                probe_and_park()
+
+            self._spin_push[core] = push_tick
         while not self._shutdown:
             # A pending high-priority task in the local WSQ is dispatched
             # before joining further assemblies: its placement decision
@@ -392,7 +547,12 @@ class SimulatedRuntime:
 
             if aq and not has_urgent:
                 assembly = aq.popleft()
-                self._set_state(core, "exec")
+                if worker_state[core] != "exec":
+                    worker_state[core] = "exec"
+                    if tracing:
+                        self.tracer.emit(
+                            WorkerStateEvent(t=env.now, core=core, state="exec")
+                        )
                 current_assembly[core] = assembly
                 if tracing:
                     self.tracer.emit(
@@ -412,7 +572,12 @@ class SimulatedRuntime:
             task = items.pop() if items else None
             if task is not None:
                 self._wsq_total -= 1
-                self._set_state(core, "poll")
+                if worker_state[core] != "poll":
+                    worker_state[core] = "poll"
+                    if tracing:
+                        self.tracer.emit(
+                            WorkerStateEvent(t=env.now, core=core, state="poll")
+                        )
                 if tracing:
                     self.tracer.emit(
                         QueueSampleEvent(
@@ -430,8 +595,31 @@ class SimulatedRuntime:
                 self._dispatch(task, place, core, stolen=False)
                 continue
 
-            self._set_state(core, "steal")
-            stolen = self._try_steal(core)
+            if worker_state[core] != "steal":
+                worker_state[core] = "steal"
+                if tracing:
+                    self.tracer.emit(
+                        WorkerStateEvent(t=env.now, core=core, state="steal")
+                    )
+            if inline_steal:
+                buf, idx = sbuf
+                if idx >= 64:
+                    buf = steal_integers(0, n_cores - 1, size=64)
+                    sbuf[0] = buf
+                    idx = 0
+                sbuf[1] = idx + 1
+                slot = buf[idx]
+                victim = int(slot) + (1 if slot >= core else 0)
+                stolen = None
+                if wsqs[victim]._items:
+                    stolen = wsqs[victim].steal(allow_steal)
+                    if stolen is not None:
+                        self._wsq_total -= 1
+                        record_steal()
+                if stolen is None:
+                    record_failed_scan()
+            else:
+                stolen = self._try_steal(core)
             if stolen is not None:
                 if steal_overhead > 0:
                     yield env.sleep(steal_overhead)
@@ -443,13 +631,44 @@ class SimulatedRuntime:
                 self._dispatch(stolen, place, core, stolen=True)
                 continue
 
-            if self._wsq_total > 0:
+            if spin_tick is not None:
+                # Tick-driver mode: hand the whole empty-handed episode
+                # (backoff spins and idle parks alike) to the callbacks;
+                # the generator only resumes when the episode ends with a
+                # stolen task or with something to re-check.
+                if self._wsq_total > 0:
+                    push_tick(env._now + steal_backoff)
+                else:
+                    if worker_state[core] != "idle":
+                        worker_state[core] = "idle"
+                    register_idle()
+                verdict = yield barrier
+                barrier.callbacks = []
+                barrier._value = PENDING
+                if verdict is _SPIN_RECHECK:
+                    continue
+                # The driver stole a task: finish the hit exactly as the
+                # inline path above does.
+                if steal_overhead > 0:
+                    yield env.sleep(steal_overhead)
+                if phases is not None:
+                    phases.push("policy-search")
+                place = scheduler.place_after_steal(verdict, core)
+                if phases is not None:
+                    phases.pop()
+                self._dispatch(verdict, place, core, stolen=True)
+            elif self._wsq_total > 0:
                 # Some queue still holds tasks (wrong victim, or only
                 # steal-exempt work): back off briefly and retry, like a
                 # spinning work-stealing loop.
                 yield env.sleep(steal_backoff)
             else:
-                self._set_state(core, "idle")
+                if worker_state[core] != "idle":
+                    worker_state[core] = "idle"
+                    if tracing:
+                        self.tracer.emit(
+                            WorkerStateEvent(t=env.now, core=core, state="idle")
+                        )
                 yield self._register_idle(core)
 
     def _try_steal(self, thief: int) -> Optional[Task]:
@@ -504,6 +723,110 @@ class SimulatedRuntime:
                 )
             )
         return None
+
+    def _any_stealable(self) -> bool:
+        """True when some WSQ holds a task the policy lets thieves take.
+
+        ``allow_steal`` depends only on the task (never on the thief), so
+        a False answer proves *every* worker's next probe misses no
+        matter which victim it draws — the precondition for
+        :meth:`_spin_collapse`.
+        """
+        allow = self.scheduler.allow_steal
+        for wsq in self.wsqs:
+            items = wsq._items
+            if items:
+                for task in items:
+                    if allow(task):
+                        return True
+        return False
+
+    def _spin_collapse(self, core: int, phase: float) -> None:
+        """Fast-forward steal-backoff spins that are provable misses.
+
+        Called from ``core``'s spin tick after a failed probe when no
+        queued task anywhere is stealable.  Until another event mutates
+        queue state, every backoff wake — this worker's and any other
+        spinner's — repeats the same guaranteed miss, whose only effects
+        are one victim draw from the spinner's own RNG stream and one
+        failed-scan count.  Those wakes are simulated here in a tight
+        loop and each affected spinner gets a single tick re-scheduled
+        at its first wake at or after the next real event:
+
+        * draws advance each spinner's private buffered stream exactly
+          as its ticks would (streams are independent, so interleaving
+          order across spinners cannot matter);
+        * wake times are accumulated by the same repeated addition the
+          per-tick schedule uses, keeping every float bit-exact;
+        * only ticks of spinners whose own queues are still empty are
+          consumed — a tick that would divert back to its generator is
+          left in place and ends the frozen window;
+        * re-scheduled ticks are pushed in ascending (time, prior tick
+          seq) order, reproducing the relative heap order the per-tick
+          schedule would have given ticks that land at equal times.
+        """
+        env = self.env
+        queue = env._queue
+        heap = queue._heap
+        defunct = queue._defunct
+        heappop = heapq.heappop
+        backoff = self.config.steal_backoff
+        ticks = self._spin_ticks
+        rng = self._spin_rng
+        integers = self._spin_integers
+        wsqs = self.wsqs
+        aqs = self.aqs
+        n1 = self._num_cores - 1
+        virtual = {core: (phase, self._spin_tick_seq[core])}
+        scans = 0
+        while heap:
+            head = heap[0]
+            seq = head[2]
+            if seq in defunct:
+                defunct.discard(seq)
+                dead = heappop(heap)[3]
+                if dead._pooled:
+                    queue._recycle(dead)
+                continue
+            owner = ticks.get(seq)
+            if owner is None or wsqs[owner]._items or aqs[owner]:
+                # A real event, or a spinner with work of its own: the
+                # frozen window ends here.
+                break
+            heappop(heap)
+            del ticks[seq]
+            queue._recycle(head[3])
+            cell = rng[owner]
+            idx = cell[1]
+            if idx >= 64:
+                cell[0] = integers[owner](0, n1, size=64)
+                idx = 0
+            cell[1] = idx + 1
+            scans += 1
+            virtual[owner] = (head[0] + backoff, seq)
+        if heap:
+            head_time = heap[0][0]
+            for owner, (t, order) in list(virtual.items()):
+                if t < head_time:
+                    cell = rng[owner]
+                    draw = integers[owner]
+                    idx = cell[1]
+                    while t < head_time:
+                        if idx >= 64:
+                            cell[0] = draw(0, n1, size=64)
+                            idx = 0
+                        idx += 1
+                        scans += 1
+                        t += backoff
+                    cell[1] = idx
+                    virtual[owner] = (t, order)
+        push = self._spin_push
+        for owner, (t, _order) in sorted(
+            virtual.items(), key=lambda kv: (kv[1][0], kv[1][1])
+        ):
+            push[owner](t)
+        if scans:
+            self.collector.record_failed_scans(scans)
 
     # ------------------------------------------------------------------
     # dispatch & execution
@@ -667,9 +990,17 @@ class SimulatedRuntime:
             stolen=bool(md.get("_stolen", False)),
             metadata={k: v for k, v in md.items() if not k.startswith("_")},
         )
-        self.collector.record_task(
-            record, assembly.cores, joined_at=assembly.joined_at
-        )
+        # collector.record_task inlined (joined_at is always populated for
+        # assemblies built here): one bound-method dispatch less per task
+        # on the busiest commit path, identical accounting.
+        collector = self.collector
+        collector.records.append(record)
+        joined_at = assembly.joined_at
+        end = assembly.exec_end
+        core_busy = collector.core_busy
+        exec_start = assembly.exec_start
+        for core in assembly.cores:
+            core_busy[core] += end - joined_at.get(core, exec_start)
         if self._faults_enabled:
             crashed_at = task.metadata.pop("_crashed_at", None)
             if crashed_at is not None:

@@ -172,9 +172,15 @@ class Environment:
         ubiquitous ``yield env.sleep(dt)`` pattern in engine loops.
         ``delay`` is not validated; engine callers pass constants.
         """
-        event = self._pooled_event()
+        queue = self._queue
+        free = queue._free
+        if free:
+            event = free.pop()
+        else:
+            event = Event(self)
+            event._pooled = True
         event._value = value
-        self._queue.push(self._now + delay, NORMAL, event)
+        queue.push(self._now + delay, NORMAL, event)
         return event
 
     def _pooled_event(self) -> Event:

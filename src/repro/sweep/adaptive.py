@@ -75,6 +75,23 @@ class AdaptivePolicy:
         if self.growth < 1:
             raise ConfigurationError(f"growth must be >= 1, got {self.growth}")
 
+    def next_target(self, have: int) -> int:
+        """Replicate count a cell should reach in its next round.
+
+        A fresh cell (``have == 0``) jumps straight to ``min_seeds``; an
+        unconverged one grows by ``growth``, clamped to ``max_seeds``.
+        The round increment (``next_target(have) - have``) is also the
+        width the batched replicate engine packs into one run (see
+        ``docs/performance.md``).
+        """
+        if have < 0:
+            raise ConfigurationError(
+                f"replicate count must be >= 0, got {have}"
+            )
+        if have == 0:
+            return self.min_seeds
+        return min(have + self.growth, self.max_seeds)
+
 
 def replicate_spec(spec: RunSpec, rep: int) -> RunSpec:
     """The ``rep``-th replicate of ``spec``.

@@ -22,7 +22,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.sweep.spec import RunSpec
+from repro.sweep.spec import BATCH_KIND, RunSpec
 
 #: Persisted-model location relative to the sweep cache directory.  Lives
 #: in a subdirectory so the cache root stays purely ``<hash>.json`` result
@@ -93,8 +93,28 @@ class CostModel:
         os.replace(tmp, self.path)
 
     # -- estimation -----------------------------------------------------
+    @staticmethod
+    def _batch_members(spec: RunSpec) -> Optional[list]:
+        """Member specs of a batched-replicate pseudo-spec, else ``None``."""
+        if spec.kind != BATCH_KIND:
+            return None
+        from repro.core.batched import parse_batch_spec
+
+        return parse_batch_spec(spec)
+
     def predict(self, spec: RunSpec) -> Optional[float]:
-        """Expected wall seconds, or ``None`` for a fully unknown spec."""
+        """Expected wall seconds, or ``None`` for a fully unknown spec.
+
+        A batched-replicate pseudo-spec is priced at its *members'*
+        per-replicate marginal estimate times the batch width — the
+        members share one cost key (features exclude the seed), so the
+        estimate transfers across batch compositions and between the
+        batched and scalar paths.
+        """
+        members = self._batch_members(spec)
+        if members is not None:
+            marginal = self.predict(members[0])
+            return None if marginal is None else marginal * len(members)
         exact = self._exact.get(spec.cost_key())
         if exact is not None:
             return exact[0]
@@ -104,8 +124,19 @@ class CostModel:
         return None
 
     def observe(self, spec: RunSpec, seconds: float) -> None:
-        """Fold one measured wall time into the model."""
+        """Fold one measured wall time into the model.
+
+        A batch observation is folded at its per-replicate *marginal*
+        cost (``seconds / width``) under the members' own key — one
+        wall-clock measurement stays one model observation, and the
+        learned estimate prices future replicates whether they run
+        batched or scalar (never the naive ``width x`` total).
+        """
         if seconds < 0:
+            return
+        members = self._batch_members(spec)
+        if members is not None:
+            self.observe(members[0], seconds / len(members))
             return
         for table, key in (
             (self._exact, spec.cost_key()),

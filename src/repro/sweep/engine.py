@@ -73,6 +73,40 @@ _CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
 ERROR_KEY = "error"
 
 
+def _parse_batch_runs(value) -> Optional[int]:
+    """Normalize a ``batch_runs`` knob into an internal width cap.
+
+    ``"off"``/``None``/``1`` disable batching (returns ``None``);
+    ``"auto"`` batches with unlimited width (returns ``0``); an integer
+    ``N >= 2`` caps each batch at ``N`` replicates.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "off":
+            return None
+        if text == "auto":
+            return 0
+        try:
+            value = int(text)
+        except ValueError:
+            raise ConfigurationError(
+                f"batch_runs must be 'auto', 'off' or an integer >= 1, "
+                f"got {value!r}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"batch_runs must be 'auto', 'off' or an integer >= 1, "
+            f"got {value!r}"
+        )
+    if value < 1:
+        raise ConfigurationError(
+            f"batch_runs must be >= 1 when numeric, got {value}"
+        )
+    return None if value == 1 else value
+
+
 def default_cache_dir() -> Path:
     """The result-cache directory honouring ``$REPRO_SWEEP_CACHE``."""
     return Path(os.environ.get(_CACHE_ENV_VAR, DEFAULT_CACHE_DIR)).expanduser()
@@ -126,6 +160,11 @@ class SweepStats:
     retries: int = 0
     timeouts: int = 0
     resumed: int = 0
+    #: Batched replication (see :mod:`repro.core.batched`): batch jobs
+    #: submitted and replicates executed inside them.  ``seeds_added``
+    #: and ``executed`` always count *replicates*, never batches.
+    batches: int = 0
+    batched_runs: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -151,6 +190,11 @@ class SweepStats:
                 f"+{self.seeds_added} seeds grown, "
                 f"{self.seeds_saved} seeds saved"
             )
+        if self.batches:
+            text += (
+                f"; batched: {self.batched_runs} replicates in "
+                f"{self.batches} batch{'es' if self.batches != 1 else ''}"
+            )
         return text
 
     def as_dict(self) -> Dict[str, Any]:
@@ -171,6 +215,8 @@ class SweepStats:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "resumed": self.resumed,
+            "batches": self.batches,
+            "batched_runs": self.batched_runs,
         }
 
 
@@ -260,6 +306,8 @@ class _BatchStats:
     retries: int = 0
     timeouts: int = 0
     workers: int = 0
+    batches: int = 0
+    batched_runs: int = 0
 
 
 class SweepRunner:
@@ -303,6 +351,16 @@ class SweepRunner:
         served from ``<cache_dir>/checkpoints/<label>.jsonl`` instead of
         being recomputed.  Without ``resume`` the checkpoint is started
         afresh on each :meth:`run`.
+    batch_runs:
+        Batched replicate execution inside :meth:`run_adaptive` (see
+        :mod:`repro.core.batched`): ``"auto"`` (default) packs each
+        adaptive round's pending same-cell replicates into one batched
+        run, ``"off"`` keeps every replicate scalar, and an integer
+        ``N`` caps the batch width.  Cells that cannot batch (faults,
+        unkeyable kernels, non-``single`` executors, traced runs) fall
+        back to scalar execution; plain :meth:`run` never batches.
+        Per-replicate metrics, cache entries and checkpoints are
+        bit-identical either way.
     """
 
     def __init__(
@@ -317,6 +375,7 @@ class SweepRunner:
         max_attempts: int = 2,
         retry_backoff: float = 0.5,
         resume: bool = False,
+        batch_runs="auto",
     ) -> None:
         self.jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
         if self.jobs < 1:
@@ -349,6 +408,13 @@ class SweepRunner:
         self._checkpoint_entries: Optional[Dict[str, Dict[str, Any]]] = None
         self._attempts: Dict[str, int] = {}
         self._sources: Dict[str, str] = {}
+        #: Batch width cap: None = batching off, 0 = unlimited, N = cap.
+        self._batch_cap = _parse_batch_runs(batch_runs)
+        #: Pseudo-spec key -> [(replicate key, replicate spec), ...] of
+        #: every in-flight batch job, and replicate key -> batch width
+        #: for replicates that actually executed batched (manifest).
+        self._batch_members: Dict[str, List[Tuple[str, RunSpec]]] = {}
+        self._batched_width: Dict[str, int] = {}
 
     # -- cache ----------------------------------------------------------
     def _cache_path(self, key: str) -> Path:
@@ -427,6 +493,8 @@ class SweepRunner:
         """Reset per-sweep bookkeeping; start or load the checkpoint."""
         self._attempts = {}
         self._sources = {}
+        self._batch_members = {}
+        self._batched_width = {}
         if self.resume:
             if self._checkpoint_entries is None:
                 self._checkpoint_entries = self._load_checkpoint()
@@ -442,7 +510,7 @@ class SweepRunner:
             print(f"[sweep:{self.label}] {message}", file=sys.stderr, flush=True)
 
     def _execute_unique(
-        self, unique: Dict[str, RunSpec]
+        self, unique: Dict[str, RunSpec], allow_batching: bool = False
     ) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, float], _BatchStats]:
         """Resolve every unique spec: checkpoint, cache, then fan-out.
 
@@ -450,6 +518,10 @@ class SweepRunner:
         chosen by the cost model (unknown first, then longest-first) but
         results are keyed by content hash, so the order — like the pool's
         completion order — cannot influence any returned value.
+
+        With ``allow_batching`` (the adaptive path), pending replicates
+        of one cell are packed into batched pseudo-runs; their results
+        still land under the individual replicate keys.
         """
         results: Dict[str, Dict[str, Any]] = {}
         walls: Dict[str, float] = {}
@@ -475,6 +547,9 @@ class SweepRunner:
         pending = [
             (key, spec) for key, spec in unique.items() if key not in results
         ]
+        planned_batches = planned_reps = 0
+        if allow_batching and self._batch_cap is not None and len(pending) > 1:
+            pending, planned_batches, planned_reps = self._plan_batches(pending)
         pending = self.cost_model.order(pending)
 
         workers = min(self.jobs, len(pending)) if pending else 0
@@ -483,6 +558,11 @@ class SweepRunner:
             f"{len(unique)} unique: {batch.hits} cached"
             + (f" ({batch.resumed} resumed)" if batch.resumed else "")
             + f", {len(pending)} to execute"
+            + (
+                f" ({planned_reps} replicates in {planned_batches} batches)"
+                if planned_batches
+                else ""
+            )
             + (f" on {workers} workers" if workers > 1 else "")
         )
         if workers > 1 or (workers == 1 and self.timeout is not None):
@@ -493,6 +573,57 @@ class SweepRunner:
             self.cost_model.save()
         return results, walls, batch
 
+    def _plan_batches(
+        self, pending: Sequence[Tuple[str, RunSpec]]
+    ) -> Tuple[List[Tuple[str, RunSpec]], int, int]:
+        """Pack pending same-cell replicates into batch pseudo-jobs.
+
+        Replicates group by cell identity (spec minus seed); groups of
+        two or more eligible replicates become one batched run each
+        (chunked by the width cap), everything else stays scalar.
+        Returns ``(new pending, batches, replicates batched)``.
+        """
+        from repro.core.batched import (
+            batch_group_key,
+            can_batch,
+            make_batch_spec,
+        )
+
+        scalar: List[Tuple[str, RunSpec]] = []
+        groups: Dict[str, List[Tuple[str, RunSpec]]] = {}
+        order: List[str] = []
+        for key, spec in pending:
+            if can_batch(spec):
+                group = batch_group_key(spec)
+                if group not in groups:
+                    groups[group] = []
+                    order.append(group)
+                groups[group].append((key, spec))
+            else:
+                scalar.append((key, spec))
+        out = scalar
+        cap = self._batch_cap if self._batch_cap else len(pending)
+        n_batches = n_reps = 0
+        for group in order:
+            members = groups[group]
+            for start in range(0, len(members), cap):
+                chunk = members[start:start + cap]
+                if len(chunk) < 2:
+                    out.extend(chunk)
+                    continue
+                pseudo = make_batch_spec([spec for _, spec in chunk])
+                pseudo_key = pseudo.key()
+                self._batch_members[pseudo_key] = chunk
+                out.append((pseudo_key, pseudo))
+                n_batches += 1
+                n_reps += len(chunk)
+        return out, n_batches, n_reps
+
+    def _job_width(self, job: _Job) -> int:
+        """Replicates inside ``job`` (1 for a scalar spec)."""
+        members = self._batch_members.get(job.key)
+        return len(members) if members else 1
+
     def _record_success(
         self,
         job: _Job,
@@ -500,7 +631,14 @@ class SweepRunner:
         wall: float,
         results: Dict[str, Dict[str, Any]],
         walls: Dict[str, float],
+        batch: _BatchStats,
     ) -> None:
+        members = self._batch_members.pop(job.key, None)
+        if members is not None:
+            self._record_batch_success(
+                job, members, metrics, wall, results, walls, batch
+            )
+            return
         results[job.key] = metrics
         walls[job.key] = wall
         self._attempts[job.key] = job.attempts + 1
@@ -510,6 +648,61 @@ class SweepRunner:
             if self.use_cache:
                 self._cache_store(job.spec, job.key, metrics)
             self._checkpoint_append(job.spec, job.key, metrics)
+
+    def _record_batch_success(
+        self,
+        job: _Job,
+        members: List[Tuple[str, RunSpec]],
+        metrics: Dict[str, Any],
+        wall: float,
+        results: Dict[str, Dict[str, Any]],
+        walls: Dict[str, float],
+        batch: _BatchStats,
+    ) -> None:
+        """Unpack one batched run into per-replicate results.
+
+        Each replicate is cached, checkpointed and recorded under its
+        own key exactly as a scalar execution of that spec would be; the
+        batch's wall time is attributed at the per-replicate marginal
+        and folded into the cost model at that marginal too.
+        """
+        reps = metrics.get("replicates") if isinstance(metrics, dict) else None
+        if not isinstance(reps, list) or len(reps) != len(members):
+            reps = [
+                {
+                    "err": {
+                        "type": "SweepBatchError",
+                        "message": "malformed batch payload",
+                    }
+                }
+            ] * len(members)
+        attempts = job.attempts + 1
+        width = len(members)
+        marginal = wall / width
+        self.cost_model.observe(job.spec, wall)
+        batch.batches += 1
+        for (rep_key, rep_spec), payload in zip(members, reps):
+            self._attempts[rep_key] = attempts
+            rep_metrics = payload.get("ok") if isinstance(payload, dict) else None
+            if rep_metrics is None:
+                err = (payload.get("err") or {}) if isinstance(payload, dict) else {}
+                etype = err.get("type", "SweepBatchError")
+                message = err.get("message", "malformed batch payload")
+                results[rep_key] = _error_result(
+                    etype, message, attempts, "exception"
+                )
+                self._sources[rep_key] = "failed"
+                batch.failures += 1
+                self._log(f"run {rep_key[:12]} failed: {etype}: {message}")
+                continue
+            results[rep_key] = rep_metrics
+            walls[rep_key] = marginal
+            self._sources[rep_key] = "executed"
+            self._batched_width[rep_key] = width
+            batch.batched_runs += 1
+            if self.use_cache:
+                self._cache_store(rep_spec, rep_key, rep_metrics)
+            self._checkpoint_append(rep_spec, rep_key, rep_metrics)
 
     def _record_exception(
         self,
@@ -538,12 +731,26 @@ class SweepRunner:
         batch: _BatchStats,
     ) -> None:
         """Serial in-process execution (no timeout enforcement)."""
-        for key, spec in pending:
+        queue = deque(pending)
+        while queue:
+            key, spec = queue.popleft()
             job = _Job(key, spec)
             start = time.perf_counter()
             try:
                 metrics = execute_spec(spec)
             except Exception as exc:
+                members = self._batch_members.pop(key, None)
+                if members is not None:
+                    # The batch harness itself failed (per-replicate
+                    # errors come back inside a successful payload):
+                    # fall back to scalar runs of every member.
+                    self._log(
+                        f"batch {key[:12]} failed "
+                        f"({type(exc).__name__}); falling back to "
+                        f"{len(members)} scalar runs"
+                    )
+                    queue.extend(members)
+                    continue
                 self._record_exception(
                     job,
                     {"type": type(exc).__name__, "message": str(exc)},
@@ -552,7 +759,8 @@ class SweepRunner:
                 )
                 continue
             self._record_success(
-                job, metrics, time.perf_counter() - start, results, walls
+                job, metrics, time.perf_counter() - start, results, walls,
+                batch,
             )
 
     def _run_supervised(
@@ -608,11 +816,17 @@ class SweepRunner:
             if kind == "timeout":
                 batch.timeouts += 1
             if job.attempts >= self.max_attempts:
-                results[job.key] = _error_result(
-                    etype, message, job.attempts, kind
-                )
-                self._sources[job.key] = "failed"
-                batch.failures += 1
+                # A batch job that exhausts its budget resolves every
+                # member replicate to an error result, never the pseudo
+                # key (which no caller ever looks up).
+                members = self._batch_members.pop(job.key, None)
+                for rep_key, _rep_spec in members or [(job.key, job.spec)]:
+                    results[rep_key] = _error_result(
+                        etype, message, job.attempts, kind
+                    )
+                    self._sources[rep_key] = "failed"
+                    self._attempts[rep_key] = job.attempts
+                    batch.failures += 1
                 done += 1
                 self._log(
                     f"run {job.key[:12]}: {kind} on attempt "
@@ -643,7 +857,9 @@ class SweepRunner:
                 job = todo.popleft()
                 handle.job = job
                 handle.deadline = (
-                    (time.monotonic() + self.timeout)
+                    # A batched run legitimately takes up to width times a
+                    # scalar run's wall clock: scale its deadline to match.
+                    (time.monotonic() + self.timeout * self._job_width(job))
                     if self.timeout is not None
                     else None
                 )
@@ -692,12 +908,30 @@ class SweepRunner:
                             handle.job = None
                             if ok:
                                 self._record_success(
-                                    job, payload, wall, results, walls
+                                    job, payload, wall, results, walls,
+                                    batch,
                                 )
                             else:
-                                self._record_exception(
-                                    job, payload, results, batch
+                                fallback = self._batch_members.pop(
+                                    job.key, None
                                 )
+                                if fallback is not None:
+                                    # Deterministic batch-harness failure:
+                                    # re-run every member scalar instead.
+                                    self._log(
+                                        f"batch {job.key[:12]} failed "
+                                        f"({payload.get('type')}); falling"
+                                        f" back to {len(fallback)} scalar"
+                                        " runs"
+                                    )
+                                    todo.extend(
+                                        _Job(k, s) for k, s in fallback
+                                    )
+                                    total += len(fallback)
+                                else:
+                                    self._record_exception(
+                                        job, payload, results, batch
+                                    )
                             done += 1
                             idle.append(handle)
                             resolved = True
@@ -778,6 +1012,8 @@ class SweepRunner:
             retries=batch.retries,
             timeouts=batch.timeouts,
             resumed=batch.resumed,
+            batches=batch.batches,
+            batched_runs=batch.batched_runs,
         )
         self._finish(stats)
         if self.manifest_dir is not None:
@@ -821,6 +1057,7 @@ class SweepRunner:
         counts: Dict[str, int] = {key: 0 for key in cells}
         total_hits = total_executed = total_unique = 0
         total_failures = total_retries = total_timeouts = total_resumed = 0
+        total_batches = total_batched_runs = 0
         max_workers = 0
 
         self._log(
@@ -835,11 +1072,7 @@ class SweepRunner:
             owners: List[Tuple[str, str]] = []  # (cell key, replicate key)
             for cell_key in active:
                 have = counts[cell_key]
-                target = (
-                    policy.min_seeds
-                    if have == 0
-                    else min(have + policy.growth, policy.max_seeds)
-                )
+                target = policy.next_target(have)
                 for rep in range(have, target):
                     rep_spec = replicate_spec(cells[cell_key], rep)
                     rep_key = rep_spec.key()
@@ -853,7 +1086,9 @@ class SweepRunner:
                 f"round {round_no}: {len(active)} cells unconverged, "
                 f"{len(batch_specs)} replicates"
             )
-            results, walls, batch = self._execute_unique(batch_specs)
+            results, walls, batch = self._execute_unique(
+                batch_specs, allow_batching=True
+            )
             all_walls.update(walls)
             all_results.update(results)
             total_hits += batch.hits
@@ -863,6 +1098,8 @@ class SweepRunner:
             total_retries += batch.retries
             total_timeouts += batch.timeouts
             total_resumed += batch.resumed
+            total_batches += batch.batches
+            total_batched_runs += batch.batched_runs
             max_workers = max(max_workers, batch.workers)
             for cell_key, rep_key in owners:
                 rep_results[cell_key].append(results[rep_key])
@@ -913,6 +1150,8 @@ class SweepRunner:
             retries=total_retries,
             timeouts=total_timeouts,
             resumed=total_resumed,
+            batches=total_batches,
+            batched_runs=total_batched_runs,
         )
         self._finish(stats)
         if self.manifest_dir is not None:
@@ -950,6 +1189,10 @@ class SweepRunner:
                 and key not in walls,
                 "attempts": self._attempts.get(key, 0),
             }
+            width = self._batched_width.get(key)
+            entry["batched"] = width is not None
+            if width is not None:
+                entry["batch"] = width
             result = (results or {}).get(key)
             if is_error_result(result):
                 entry["error"] = result[ERROR_KEY]

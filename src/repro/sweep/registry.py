@@ -387,6 +387,15 @@ def _execute_heat_cluster(spec: RunSpec) -> Dict[str, Any]:
     }
 
 
+@executor("replicate_batch")
+def _execute_replicate_batch(spec: RunSpec) -> Dict[str, Any]:
+    """N same-cell replicates in one batched pass (see
+    :mod:`repro.core.batched`)."""
+    from repro.core.batched import run_batch_spec
+
+    return run_batch_spec(spec)
+
+
 def execute_spec(spec: RunSpec) -> Dict[str, Any]:
     """Run one spec to completion and return its metrics dict."""
     if spec.kind not in EXECUTORS:

@@ -21,6 +21,12 @@ from repro.errors import ConfigurationError
 #: Default metrics extracted by the generic ``single`` executor.
 DEFAULT_METRICS: Tuple[str, ...] = ("makespan", "tasks_completed", "throughput")
 
+#: Spec kind of a batched-replicate pseudo-run (see
+#: :mod:`repro.core.batched`): its params embed N same-cell member specs
+#: and its result is one payload per member.  Batch specs flow through
+#: the sweep engine's dispatch machinery but are never cached as such.
+BATCH_KIND = "replicate_batch"
+
 
 def canonical(obj: Any) -> Any:
     """Normalize ``obj`` into canonical JSON-compatible data.

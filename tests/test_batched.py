@@ -1,0 +1,464 @@
+"""Tests of batched replicate execution (``repro.core.batched``).
+
+Contracts under test:
+
+* A :class:`BatchedPttStore` row view behaves bit-identically to a
+  scalar :class:`PerformanceTraceTable` over arbitrary update sequences,
+  including lost-core pinning, and ``update_slot_runs`` equals a loop of
+  per-run scalar updates.
+* ``execute_batch`` returns metrics bit-identical (``==``, not approx)
+  to scalar ``execute_spec`` per replicate, for random cells and widths.
+* ``run_adaptive`` with ``batch_runs="auto"`` returns exactly the
+  results of ``batch_runs="off"``, with per-replicate cache entries and
+  per-replicate ``seeds_added`` accounting.
+* Fallback triggers: fault scenarios, seeded-RNG (unkeyable) kernels,
+  traced runs and non-``single`` executors are rejected by
+  :func:`can_batch` and take the scalar path end to end.
+* The manifest marks batched replicates (``batched: true`` + width) and
+  the CLI/settings knob validates its inputs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batched import (
+    BatchedPttStore,
+    BatchedRates,
+    BatchedSpeedModel,
+    batch_group_key,
+    can_batch,
+    execute_batch,
+    make_batch_spec,
+    parse_batch_spec,
+    run_batch_spec,
+)
+from repro.core.ptt import PerformanceTraceTable, PttStore
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig4_corunner import fig4_spec
+from repro.machine.presets import jetson_tx2
+from repro.sim.environment import Environment
+from repro.sweep import AdaptivePolicy, RunSpec, SweepRunner, replicate_spec
+from repro.sweep.engine import _parse_batch_runs
+from repro.sweep.registry import execute_spec
+
+FAST = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+TINY = settings(
+    max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _cell(scheduler="dam-c", kernel="matmul", parallelism=2, seed=0):
+    return fig4_spec(
+        ExperimentSettings(scale=0.01, seed=seed), kernel, parallelism,
+        scheduler,
+    )
+
+
+def _replicates(spec, n):
+    return [replicate_spec(spec, rep) for rep in range(n)]
+
+
+# ----------------------------------------------------------------------
+# stacked PTT
+# ----------------------------------------------------------------------
+
+update_seq = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=16),  # slot index (mod n_slots)
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    ),
+    max_size=30,
+)
+
+
+class TestBatchedPtt:
+    @given(
+        runs=st.integers(min_value=1, max_value=4),
+        seqs=st.lists(update_seq, min_size=1, max_size=4),
+        lost=st.lists(st.integers(min_value=0, max_value=5), max_size=2),
+    )
+    @FAST
+    def test_row_view_matches_scalar_table(self, runs, seqs, lost):
+        machine = jetson_tx2()
+        n_slots = len(machine.places)
+        store = BatchedPttStore(machine, runs)
+        scalars = [
+            PerformanceTraceTable(machine, 1, 5, label="matmul")
+            for _ in range(runs)
+        ]
+        views = [
+            store.store_for(run).table("matmul") for run in range(runs)
+        ]
+        for run in range(runs):
+            seq = seqs[run % len(seqs)]
+            for slot, observed in seq:
+                slot %= n_slots
+                scalars[run].update_slot(slot, observed)
+                views[run].update_slot(slot, observed)
+            for core in lost:
+                scalars[run].mark_core_lost(core)
+                views[run].mark_core_lost(core)
+        for run in range(runs):
+            np.testing.assert_array_equal(
+                np.asarray(scalars[run].predict_all()),
+                np.asarray(views[run].predict_all()),
+            )
+            assert scalars[run]._values_list == views[run]._values_list
+            # The stacked matrix sees exactly what the row views wrote.
+            np.testing.assert_array_equal(
+                store.predict_all_runs("matmul")[run],
+                np.asarray(views[run].predict_all()),
+            )
+
+    @given(
+        runs=st.integers(min_value=1, max_value=5),
+        steps=st.integers(min_value=0, max_value=12),
+        data=st.data(),
+    )
+    @FAST
+    def test_update_slot_runs_equals_scalar_loop(self, runs, steps, data):
+        machine = jetson_tx2()
+        n_slots = len(machine.places)
+        batched = BatchedPttStore(machine, runs)
+        looped = BatchedPttStore(machine, runs)
+        loop_tables = [
+            looped.store_for(run).table("k") for run in range(runs)
+        ]
+        for _ in range(steps):
+            slots = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n_slots - 1),
+                    min_size=runs, max_size=runs,
+                )
+            )
+            obs = data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+                    min_size=runs, max_size=runs,
+                )
+            )
+            batched.update_slot_runs("k", slots, obs)
+            for run in range(runs):
+                loop_tables[run].update_slot(slots[run], obs[run])
+        np.testing.assert_array_equal(
+            batched.predict_all_runs("k"), looped.predict_all_runs("k")
+        )
+        np.testing.assert_array_equal(
+            batched.samples_all_runs("k"), looped.samples_all_runs("k")
+        )
+        np.testing.assert_array_equal(batched.stack(), looped.stack())
+
+    def test_store_for_validates_run(self):
+        store = BatchedPttStore(jetson_tx2(), 2)
+        with pytest.raises(ConfigurationError):
+            store.store_for(2)
+        with pytest.raises(ConfigurationError):
+            store.store_for(-1)
+
+    def test_update_slot_runs_validates_shapes(self):
+        store = BatchedPttStore(jetson_tx2(), 3)
+        with pytest.raises(ConfigurationError):
+            store.update_slot_runs("k", [0, 1], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            store.update_slot_runs("k", [0, 1, 2], [1.0, -2.0, 3.0])
+
+    def test_empty_stack_shape(self):
+        machine = jetson_tx2()
+        store = BatchedPttStore(machine, 3)
+        assert store.stack().shape == (3, 0, len(machine.places))
+        assert store.kinds() == ()
+
+
+class TestBatchedRates:
+    def test_speed_model_mirrors_transitions_into_row(self):
+        machine = jetson_tx2()
+        rates = BatchedRates(machine, 3)
+        env = Environment()
+        speed = BatchedSpeedModel(env, machine, rates, run=1)
+        speed.set_freq_scale([0, 1], 0.25)
+        speed.set_cpu_share([2], 0.5)
+        speed.set_fault_scale([3], 0.0)
+        assert rates.freq_scale[1, 0] == 0.25
+        assert rates.freq_scale[1, 1] == 0.25
+        assert rates.cpu_share[1, 2] == 0.5
+        assert rates.fault_scale[1, 3] == 0.0
+        # Other rows stay pristine.
+        assert np.all(rates.freq_scale[0] == 1.0)
+        assert np.all(rates.freq_scale[2] == 1.0)
+        # The mirrored row agrees with the scalar model's own view.
+        for core in range(machine.num_cores):
+            assert rates.effective()[1, core] == pytest.approx(
+                speed.core_rate(core)
+            )
+
+    def test_run_bounds_checked(self):
+        machine = jetson_tx2()
+        rates = BatchedRates(machine, 2)
+        with pytest.raises(ConfigurationError):
+            BatchedSpeedModel(Environment(), machine, rates, run=2)
+
+
+# ----------------------------------------------------------------------
+# eligibility and pseudo-specs
+# ----------------------------------------------------------------------
+
+class TestEligibility:
+    def test_plain_cell_is_batchable(self):
+        assert can_batch(_cell())
+
+    def test_fault_scenario_is_not(self):
+        spec = _cell()
+        params = dict(spec.params)
+        params["scenario"] = {"name": "faults", "rate": 0.1}
+        assert not can_batch(RunSpec(kind="single", params=params))
+        # ... also nested inside a composite.
+        params["scenario"] = {
+            "name": "composite",
+            "scenarios": [
+                {"name": "tx2_corunner", "kernel": "matmul"},
+                {"name": "faults", "rate": 0.1},
+            ],
+        }
+        assert not can_batch(RunSpec(kind="single", params=params))
+
+    def test_traced_and_foreign_kinds_are_not(self):
+        spec = _cell()
+        params = dict(spec.params)
+        params["trace"] = {"out_dir": "x", "label": "y"}
+        assert not can_batch(RunSpec(kind="single", params=params))
+        assert not can_batch(RunSpec(kind="heat_cluster", params={}))
+
+    def test_unkeyable_kernel_falls_back(self, monkeypatch):
+        import repro.core.batched as batched_mod
+
+        monkeypatch.setattr(
+            "repro.core.batched.can_batch", batched_mod.can_batch
+        )
+        monkeypatch.setattr(
+            "repro.graph.templates.kernel_cache_key", lambda kernel: None
+        )
+        assert not can_batch(_cell())
+
+    def test_batch_group_key_ignores_seed_only(self):
+        a, b = _cell(seed=0), _cell(seed=99)
+        assert batch_group_key(a) == batch_group_key(b)
+        other = _cell(scheduler="rws")
+        assert batch_group_key(a) != batch_group_key(other)
+
+    def test_make_parse_roundtrip(self):
+        members = _replicates(_cell(), 3)
+        pseudo = make_batch_spec(members)
+        assert pseudo.tags["batch"] == 3
+        # Tags are bookkeeping and deliberately dropped; everything that
+        # defines the runs' outcomes round-trips exactly.
+        assert [m.identity() for m in parse_batch_spec(pseudo)] == [
+            m.identity() for m in members
+        ]
+
+    def test_make_batch_spec_rejects_mixed_cells(self):
+        with pytest.raises(ConfigurationError):
+            make_batch_spec([_cell(), _cell(scheduler="rws")])
+        with pytest.raises(ConfigurationError):
+            make_batch_spec([_cell()])
+
+
+# ----------------------------------------------------------------------
+# bit-identity of batched execution
+# ----------------------------------------------------------------------
+
+class TestExecuteBatch:
+    @given(
+        scheduler=st.sampled_from(["rws", "fa", "fam-c", "da", "dam-c"]),
+        parallelism=st.integers(min_value=2, max_value=4),
+        width=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @TINY
+    def test_bit_identical_to_scalar_per_replicate(
+        self, scheduler, parallelism, width, seed
+    ):
+        cell = _cell(scheduler=scheduler, parallelism=parallelism, seed=seed)
+        members = _replicates(cell, width)
+        scalar = [execute_spec(spec) for spec in members]
+        batched = execute_batch(members)
+        assert [p["ok"] for p in batched] == scalar
+
+    def test_run_batch_spec_executor_roundtrip(self):
+        members = _replicates(_cell(), 3)
+        payload = execute_spec(make_batch_spec(members))
+        assert [p["ok"] for p in payload["replicates"]] == [
+            execute_spec(spec) for spec in members
+        ]
+
+    def test_broken_replicate_does_not_abort_batchmates(self, monkeypatch):
+        members = _replicates(_cell(), 3)
+        from repro.sweep import registry
+
+        real = registry.build_workload
+        calls = {"n": 0}
+
+        def flaky(workload):
+            calls["n"] += 1
+            if calls["n"] == 2:  # second replicate only
+                raise RuntimeError("boom")
+            return real(workload)
+
+        monkeypatch.setattr("repro.sweep.registry.build_workload", flaky)
+        payloads = execute_batch(members)
+        assert "ok" in payloads[0] and "ok" in payloads[2]
+        assert payloads[1]["err"]["type"] == "RuntimeError"
+
+    def test_rejects_unbatchable_and_mixed(self):
+        spec = _cell()
+        params = dict(spec.params)
+        params["scenario"] = {"name": "faults", "rate": 0.1}
+        bad = RunSpec(kind="single", params=params)
+        with pytest.raises(ConfigurationError):
+            execute_batch([bad, bad])
+        with pytest.raises(ConfigurationError):
+            execute_batch([_cell(), _cell(scheduler="rws")])
+        assert execute_batch([]) == []
+
+
+# ----------------------------------------------------------------------
+# engine integration
+# ----------------------------------------------------------------------
+
+def _adaptive(specs, tmp_path=None, **kwargs):
+    policy = AdaptivePolicy(ci=0.02, min_seeds=3, max_seeds=5)
+    runner = SweepRunner(jobs=1, use_cache=False, **kwargs)
+    return runner.run_adaptive(specs, policy), runner.last_stats
+
+
+class TestEngineIntegration:
+    def test_auto_equals_off_bit_identical(self):
+        specs = [_cell(scheduler=s) for s in ("rws", "fa", "dam-c")]
+        off, _ = _adaptive(specs, batch_runs="off")
+        on, stats = _adaptive(specs, batch_runs="auto")
+        assert on == off
+        assert stats.batches == 3
+        assert stats.batched_runs == 9  # min_seeds x 3 cells, round 1
+        assert "batched: 9 replicates in 3 batches" in stats.summary()
+
+    def test_width_cap_chunks_batches(self):
+        specs = [_cell(scheduler="dam-c")]
+        off, _ = _adaptive(specs, batch_runs="off")
+        on, stats = _adaptive(specs, batch_runs="2")
+        assert on == off
+        # 3 initial replicates under a width-2 cap: one batch of 2 plus
+        # one scalar leftover.
+        assert stats.batches == 1
+        assert stats.batched_runs == 2
+
+    def test_fault_cells_take_scalar_path(self):
+        spec = _cell()
+        params = dict(spec.params)
+        params["scenario"] = {
+            "name": "faults", "mtbf": 5.0, "mttr": 1.0, "cores": [0],
+        }
+        faulty = RunSpec(
+            kind="single", params=params, seed=0, metrics=("throughput",)
+        )
+        results, stats = _adaptive([faulty], batch_runs="auto")
+        assert stats.batches == 0 and stats.batched_runs == 0
+        assert results and "throughput" in results[0]
+
+    def test_seeds_added_counts_replicates_not_batches(self):
+        specs = [_cell(scheduler=s) for s in ("rws", "dam-c")]
+        _, off_stats = _adaptive(specs, batch_runs="off")
+        _, on_stats = _adaptive(specs, batch_runs="auto")
+        assert on_stats.seeds_added == off_stats.seeds_added
+        assert on_stats.executed == off_stats.executed
+        assert on_stats.as_dict()["batched_runs"] == on_stats.batched_runs
+
+    def test_cache_entries_are_per_replicate(self, tmp_path):
+        specs = [_cell(scheduler="dam-c")]
+        policy = AdaptivePolicy(ci=0.02, min_seeds=3, max_seeds=5)
+        warm = SweepRunner(
+            jobs=1, cache_dir=tmp_path, use_cache=True, batch_runs="auto"
+        )
+        first = warm.run_adaptive(specs, policy)
+        replay = SweepRunner(
+            jobs=1, cache_dir=tmp_path, use_cache=True, batch_runs="off"
+        )
+        second = replay.run_adaptive(specs, policy)
+        assert second == first
+        assert replay.last_stats.executed == 0
+        assert replay.last_stats.hits == replay.last_stats.unique
+
+    def test_manifest_marks_batched_runs(self, tmp_path):
+        specs = [_cell(scheduler="dam-c")]
+        policy = AdaptivePolicy(ci=0.02, min_seeds=3, max_seeds=5)
+        runner = SweepRunner(
+            jobs=1, use_cache=False, manifest_dir=tmp_path,
+            batch_runs="auto",
+        )
+        runner.run_adaptive(specs, policy)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        widths = [r.get("batch") for r in manifest["runs"] if r["batched"]]
+        assert widths and all(w == 3 for w in widths)
+        assert manifest["stats"]["batches"] >= 1
+        scalars = [r for r in manifest["runs"] if not r["batched"]]
+        assert all("batch" not in r for r in scalars)
+
+    def test_batch_harness_failure_falls_back_to_scalar(self, monkeypatch):
+        specs = [_cell(scheduler="dam-c")]
+        off, _ = _adaptive(specs, batch_runs="off")
+
+        def broken(spec):
+            raise RuntimeError("batch harness down")
+
+        monkeypatch.setattr("repro.core.batched.run_batch_spec", broken)
+        on, stats = _adaptive(specs, batch_runs="auto")
+        assert on == off
+        assert stats.batched_runs == 0
+        assert stats.failures == 0
+
+
+class TestKnobParsing:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, None), ("off", None), ("OFF", None), (1, None), ("1", None),
+            ("auto", 0), (" AUTO ", 0), (2, 2), ("8", 8),
+        ],
+    )
+    def test_parse(self, value, expected):
+        assert _parse_batch_runs(value) == expected
+
+    @pytest.mark.parametrize("value", ["nope", 0, -3, 2.5, True])
+    def test_parse_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            _parse_batch_runs(value)
+
+    def test_settings_validation(self):
+        assert ExperimentSettings(batch_runs="auto").batch_runs == "auto"
+        assert ExperimentSettings(batch_runs="4").batch_runs == "4"
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(batch_runs="sometimes")
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(batch_runs="0")
+
+    def test_cli_flag_reaches_settings(self, monkeypatch):
+        from repro.experiments import runner as cli
+
+        captured = {}
+
+        class _Result:
+            def report(self):
+                return "ok"
+
+        def fake_harness(settings):
+            captured["batch_runs"] = settings.batch_runs
+            return _Result()
+
+        monkeypatch.setitem(cli._HARNESSES, "fig4", fake_harness)
+        assert cli.main(["fig4", "--batch-runs", "off", "--no-cache"]) == 0
+        assert captured["batch_runs"] == "off"

@@ -37,6 +37,7 @@ from repro.graph.generators import (
 from repro.graph.task import Priority, TaskState
 from repro.graph.templates import clear_template_cache, template_cache_stats
 from repro.kernels.fixed import FixedWorkKernel
+from repro.kernels.matmul import MatMulKernel
 from repro.machine.presets import jetson_tx2, symmetric_machine
 from repro.sim.environment import Environment, Timeout
 from repro.sim.events import Event, EventQueue
@@ -353,3 +354,46 @@ class TestStealDrawEquivalence:
         batched = [int(v) for v in r_batch.integers(0, n, size=64)]
         batched += [int(v) for v in r_batch.integers(0, n, size=64)]
         assert singles == choices == batched
+
+
+class TestTickDriverEquivalence:
+    """The steal-backoff tick driver vs the plain generator path.
+
+    Under the default single-try steal configuration the executor drives
+    backoff waits, spin collapse and idle wakes through pooled callback
+    events; with tracing enabled it takes the original sleep-and-resume
+    generator path.  Tracing is observational (it never consumes
+    randomness or schedules events), so the two paths must produce the
+    same schedule to the bit — including the bulk-counted failed steal
+    scans the collapse fast-forwards.
+    """
+
+    @staticmethod
+    def _fingerprint(result):
+        return (
+            result.makespan,
+            result.tasks_completed,
+            result.collector.steals,
+            result.collector.failed_steal_scans,
+            sorted(
+                (r.task_id, r.type_name, r.place, r.ready_time,
+                 r.dequeue_time, r.exec_start, r.exec_end, r.observed,
+                 r.stolen)
+                for r in result.collector.records
+            ),
+            sorted(result.collector.core_busy.items()),
+        )
+
+    @pytest.mark.parametrize("scheduler", ["rws", "fa", "fam-c", "da", "dam-c"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_driver_matches_generator_path(self, scheduler, seed):
+        from repro.session import run_graph
+        from repro.trace import FullTracer
+
+        def run(tracer=None):
+            graph = layered_synthetic_dag(MatMulKernel(), 4, 60)
+            return run_graph(graph, TX2, scheduler, seed=seed, tracer=tracer)
+
+        driven = self._fingerprint(run())
+        generated = self._fingerprint(run(tracer=FullTracer()))
+        assert driven == generated
