@@ -71,6 +71,14 @@ class ExperimentSettings:
     width cap, ``"off"`` forces the scalar path, and an integer string
     caps the batch width.  It only takes effect when ``adaptive`` is on
     — the plain path never replicates, so there is nothing to batch.
+
+    ``watch``/``report``/``telemetry_out`` turn on live sweep telemetry
+    (see :mod:`repro.telemetry` and ``docs/observability.md``): metrics
+    counters, worker heartbeats, ``metrics.jsonl`` + ``metrics.prom``
+    next to each sweep's ``manifest.json`` under
+    ``<telemetry_out>/<label>/`` (default ``telemetry/``), plus the
+    ``--watch`` terminal dashboard and/or the post-run ``report.html``.
+    All off by default — results are bit-identical either way.
     """
 
     scale: float = 0.05
@@ -87,6 +95,9 @@ class ExperimentSettings:
     max_attempts: int = 2
     resume: bool = False
     batch_runs: str = "auto"
+    watch: bool = False
+    report: bool = False
+    telemetry_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not (0 < self.scale <= 1.0):
@@ -118,6 +129,11 @@ class ExperimentSettings:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
             )
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        """Whether sweeps run with live telemetry recording on."""
+        return self.watch or self.report or self.telemetry_out is not None
 
     def adaptive_policy(self):
         """The :class:`~repro.sweep.adaptive.AdaptivePolicy` in force.
@@ -205,6 +221,13 @@ def sweep(specs, settings: ExperimentSettings, label: str):
     params entry routing its event stream to
     ``<trace_out>/<label>/<index>-<tags>.{chrome.json,jsonl}`` and the
     sweep writes a run manifest next to the exports.
+
+    With telemetry on (``settings.watch`` / ``settings.report`` /
+    ``settings.telemetry_out``) the sweep additionally records live
+    metrics and worker heartbeats, writes ``metrics.jsonl`` +
+    ``metrics.prom`` + ``manifest.json`` under
+    ``<telemetry_out>/<label>/``, and — for ``report`` — renders
+    ``report.html`` there after the run.
     """
     import os.path
     from dataclasses import replace
@@ -228,19 +251,37 @@ def sweep(specs, settings: ExperimentSettings, label: str):
             )
             for i, spec in enumerate(specs)
         ]
+    telemetry = None
+    if settings.telemetry_enabled:
+        from repro.telemetry import Telemetry
+
+        if manifest_dir is None:
+            manifest_dir = os.path.join(
+                settings.telemetry_out or "telemetry", label
+            )
+        telemetry = Telemetry(label=label, enabled=True, out_dir=manifest_dir)
     runner = SweepRunner(
         jobs=settings.jobs,
         cache_dir=settings.cache_dir,
         use_cache=settings.use_cache,
         label=label,
-        progress=settings.jobs > 1 or settings.use_cache,
+        progress=settings.jobs > 1 or settings.use_cache
+        or settings.telemetry_enabled,
         manifest_dir=manifest_dir,
         timeout=settings.run_timeout,
         max_attempts=settings.max_attempts,
         resume=settings.resume,
         batch_runs=settings.batch_runs,
+        telemetry=telemetry,
+        watch=settings.watch,
     )
-    return runner.run_adaptive(specs, settings.adaptive_policy())
+    results = runner.run_adaptive(specs, settings.adaptive_policy())
+    if settings.report and manifest_dir is not None:
+        from repro.telemetry.report import write_report
+
+        path = write_report(manifest_dir, title=label)
+        runner._log(f"report written to {path}")
+    return results
 
 
 def tx2_corunner(kernel_name: str) -> CorunnerInterference:

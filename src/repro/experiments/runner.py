@@ -161,6 +161,26 @@ def main(argv=None) -> int:
         "sweep; implies --trace)",
     )
     parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="live terminal dashboard on stderr while sweeps run (implies "
+        "telemetry recording; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="write a standalone HTML telemetry report (report.html, with "
+        "sparklines) next to each sweep's manifest after the run",
+    )
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        metavar="DIR",
+        help="telemetry artifact directory (metrics.jsonl, metrics.prom, "
+        "manifest.json, report.html under DIR/<sweep>/; default "
+        "telemetry/; implies --report)",
+    )
+    parser.add_argument(
         "--run-timeout",
         type=float,
         default=None,
@@ -199,6 +219,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.profile_out:
         args.profile = True
+    if args.report_out:
+        args.report = True
 
     if args.experiment == "trace":
         if args.target not in _HARNESSES:
@@ -245,6 +267,9 @@ def main(argv=None) -> int:
             max_attempts=args.max_attempts,
             resume=args.resume,
             batch_runs=args.batch_runs,
+            watch=args.watch,
+            report=args.report,
+            telemetry_out=args.report_out,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -308,6 +333,12 @@ def main(argv=None) -> int:
                 f"[traces + manifests under {trace_out}/<sweep>/ — open the "
                 ".chrome.json files in Perfetto]"
             )
+        if settings.telemetry_enabled:
+            tele_root = settings.telemetry_out or trace_out or "telemetry"
+            artifacts = "metrics.jsonl, metrics.prom, manifest.json"
+            if settings.report:
+                artifacts += ", report.html"
+            print(f"[telemetry under {tele_root}/<sweep>/: {artifacts}]")
         print()
     return EXIT_OK
 

@@ -229,6 +229,29 @@ class SimulatedRuntime:
             "tasks_retried": 0,
             "recovery_latencies": [],
         }
+        # Telemetry handles, bound at construction (cold paths only —
+        # with the default null registry these are shared no-ops, and
+        # recording never touches RNGs or the event queue, so results
+        # are bit-identical with metrics on or off).
+        from repro.telemetry.registry import get_registry
+
+        _reg = get_registry()
+        self._m_workers_lost = _reg.counter(
+            "runtime_workers_lost_total",
+            "Simulated workers confirmed lost after lease expiry",
+        )
+        self._m_workers_recovered = _reg.counter(
+            "runtime_workers_recovered_total",
+            "Simulated workers that rejoined after recovery",
+        )
+        self._m_tasks_reclaimed = _reg.counter(
+            "runtime_tasks_reclaimed_total",
+            "Queued tasks reclaimed from lost workers",
+        )
+        self._m_tasks_retried = _reg.counter(
+            "runtime_tasks_retried_total",
+            "In-flight tasks re-executed after their worker died",
+        )
         injectors = getattr(env, "fault_injectors", None)
         if injectors:
             for injector in injectors:
@@ -1155,6 +1178,7 @@ class SimulatedRuntime:
         crashed_at = self._crash_time[core]
         self._dead[core] = True
         self._fault_stats["workers_lost"] += 1
+        self._m_workers_lost.inc()
 
         if self.scheduler.ptt is not None:
             self.scheduler.ptt.mark_core_lost(core)
@@ -1209,6 +1233,8 @@ class SimulatedRuntime:
         # Never-started tasks re-enqueue immediately and do not burn the
         # retry budget; they were victims of placement, not execution.
         self._fault_stats["tasks_reclaimed"] += len(reclaimed)
+        if reclaimed:
+            self._m_tasks_reclaimed.inc(len(reclaimed))
         for task in reclaimed:
             task.metadata.setdefault("_crashed_at", crashed_at)
             self._requeue_recovered(task, core)
@@ -1237,6 +1263,7 @@ class SimulatedRuntime:
         task.metadata.setdefault("_crashed_at", self._crash_time[dead_core])
         backoff = self.config.retry_backoff * (2 ** (attempt - 1))
         self._fault_stats["tasks_retried"] += 1
+        self._m_tasks_retried.inc()
         if self._tracing:
             self.tracer.emit(
                 TaskRetryEvent(
@@ -1273,6 +1300,7 @@ class SimulatedRuntime:
         self._dead[core] = False
         if was_dead:
             self._fault_stats["workers_recovered"] += 1
+            self._m_workers_recovered.inc()
             if self.scheduler.ptt is not None:
                 self.scheduler.ptt.mark_core_recovered(core)
         if self._tracing:

@@ -44,7 +44,7 @@ import json
 import multiprocessing
 import os
 import re
-import sys
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.telemetry import HEARTBEAT_TAG, ProgressEmitter, Telemetry
 from repro.sweep.adaptive import (
     ADAPTIVE_KEY,
     AdaptivePolicy,
@@ -232,13 +233,26 @@ def pop_stats() -> List[SweepStats]:
 
 
 def _worker_main(conn) -> None:
-    """Long-lived pool worker: executes one (key, spec) per message.
+    """Long-lived pool worker: executes one assignment per message.
 
-    Replies ``(key, ok, payload, wall)`` where ``payload`` is the metrics
-    dict on success or ``{"type", "message"}`` when the run raised.  Only
-    ``Exception`` is caught — ``KeyboardInterrupt``/``SystemExit`` kill
-    the process, which the supervisor observes as a crash and retries.
+    An assignment is ``(key, spec, telem)``; ``telem`` is ``None`` when
+    telemetry is off, else a small config mapping (heartbeat interval).
+    Replies ``(key, ok, payload, wall, snap)`` where ``payload`` is the
+    metrics dict on success or ``{"type", "message"}`` when the run
+    raised, and ``snap`` is the worker-side metrics-registry snapshot
+    (``None`` with telemetry off).  While a metered run executes, a
+    :class:`~repro.telemetry.heartbeat.HeartbeatSender` thread multiplexes
+    ``(HEARTBEAT_TAG, key, elapsed)`` progress pings over the same pipe
+    (all sends share one lock).  Only ``Exception`` is caught —
+    ``KeyboardInterrupt``/``SystemExit`` kill the process, which the
+    supervisor observes as a crash and retries.
     """
+    send_lock = threading.Lock()
+
+    def _send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
     while True:
         try:
             item = conn.recv()
@@ -246,21 +260,39 @@ def _worker_main(conn) -> None:
             return
         if item is None:
             return
-        key, spec = item
+        key, spec, telem = item
         start = time.perf_counter()
+        snap = None
         try:
-            metrics = execute_spec(spec)
+            if telem:
+                from repro.telemetry import HeartbeatSender
+                from repro.telemetry.registry import MetricsRegistry, install
+
+                registry = MetricsRegistry()
+                previous = install(registry)
+                try:
+                    with HeartbeatSender(
+                        _send, key,
+                        float(telem.get("heartbeat_interval", 0.25)),
+                    ):
+                        metrics = execute_spec(spec)
+                finally:
+                    install(previous)
+                    snap = registry.snapshot()
+            else:
+                metrics = execute_spec(spec)
         except Exception as exc:
             payload = (
                 key,
                 False,
                 {"type": type(exc).__name__, "message": str(exc)},
                 time.perf_counter() - start,
+                snap,
             )
         else:
-            payload = (key, True, metrics, time.perf_counter() - start)
+            payload = (key, True, metrics, time.perf_counter() - start, snap)
         try:
-            conn.send(payload)
+            _send(payload)
         except (OSError, BrokenPipeError):
             return
 
@@ -294,6 +326,8 @@ class _Handle:
     conn: Any
     job: Optional[_Job] = None
     deadline: Optional[float] = None
+    #: This worker's row in the telemetry WorkerTable.
+    ident: int = -1
 
 
 @dataclass
@@ -361,6 +395,18 @@ class SweepRunner:
         back to scalar execution; plain :meth:`run` never batches.
         Per-replicate metrics, cache entries and checkpoints are
         bit-identical either way.
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` hub to record into.  When
+        omitted, a per-runner *disabled* hub is used — metric updates hit
+        shared no-op objects and nothing is written (the zero-overhead
+        contract; results are bit-identical either way).  When the hub is
+        enabled, the sweep maintains live counters/gauges/histograms, a
+        per-worker heartbeat table (see ``docs/observability.md``), and
+        writes ``metrics.jsonl`` + ``metrics.prom`` next to the manifest.
+    watch:
+        Render the live terminal dashboard (ANSI, stderr) while the
+        sweep runs.  Implies nothing about ``telemetry`` — harnesses
+        enable both together.
     """
 
     def __init__(
@@ -376,6 +422,8 @@ class SweepRunner:
         retry_backoff: float = 0.5,
         resume: bool = False,
         batch_runs="auto",
+        telemetry: Optional[Telemetry] = None,
+        watch: bool = False,
     ) -> None:
         self.jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
         if self.jobs < 1:
@@ -405,9 +453,84 @@ class SweepRunner:
         self.cost_model = CostModel(
             self.cache_dir / COST_MODEL_FILE if use_cache else None
         )
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(label=label, enabled=False)
+        )
+        if self.telemetry.out_dir is None and self.manifest_dir is not None:
+            self.telemetry.out_dir = self.manifest_dir
+        self.watch = watch
+        self._dashboard = None
+        #: Every ``[sweep:<label>]`` line flows through this emitter; the
+        #: dashboard installs itself as its sink while watching.
+        self._emitter = ProgressEmitter(label, enabled=progress)
+        self.telemetry.progress_emitter = self._emitter
+        reg = self.telemetry.registry
+        self._m_specs = reg.counter(
+            "sweep_specs_total", "Specs submitted to the sweep runner"
+        )
+        self._m_cache_hits = reg.counter(
+            "sweep_cache_hits_total",
+            "Unique specs served from the result cache",
+        )
+        self._m_cache_misses = reg.counter(
+            "sweep_cache_misses_total",
+            "Unique specs that had to execute (no cache/checkpoint entry)",
+        )
+        self._m_resumed = reg.counter(
+            "sweep_resumed_total",
+            "Unique specs replayed from the resume checkpoint",
+        )
+        self._m_runs_started = reg.counter(
+            "sweep_runs_started_total",
+            "Run assignments dispatched (retries re-count)",
+        )
+        self._m_runs_finished = reg.counter(
+            "sweep_runs_finished_total",
+            "Runs (replicates) that completed successfully",
+        )
+        self._m_failures = reg.counter(
+            "sweep_failures_total", "Specs that resolved to error results"
+        )
+        self._m_retries = reg.counter(
+            "sweep_retries_total",
+            "Re-dispatches after worker crashes or timeouts",
+        )
+        self._m_timeouts = reg.counter(
+            "sweep_timeouts_total", "Runs killed by the per-run timeout"
+        )
+        self._m_stragglers = reg.counter(
+            "sweep_stragglers_total",
+            "Busy runs flagged past their expected envelope (never killed)",
+        )
+        self._m_heartbeats = reg.counter(
+            "sweep_heartbeats_total", "Worker heartbeat messages received"
+        )
+        self._m_queue_depth = reg.gauge(
+            "sweep_queue_depth", "Specs waiting for a worker (incl. backoff)"
+        )
+        self._m_workers_busy = reg.gauge(
+            "sweep_workers_busy", "Workers currently executing a run"
+        )
+        self._m_workers_live = reg.gauge(
+            "sweep_workers_live", "Worker processes currently alive"
+        )
+        self._m_run_seconds = reg.histogram(
+            "sweep_run_seconds",
+            "Per-run wall seconds (batched runs at the replicate marginal)",
+        )
+        self._m_batch_width = reg.histogram(
+            "sweep_batch_width",
+            "Replicates packed per batched run",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        )
         self._checkpoint_entries: Optional[Dict[str, Dict[str, Any]]] = None
         self._attempts: Dict[str, int] = {}
         self._sources: Dict[str, str] = {}
+        #: Per-spec attempt history for the manifest: one
+        #: ``{"attempt", "outcome", "wall"}`` entry per dispatch outcome.
+        self._history: Dict[str, List[Dict[str, Any]]] = {}
         #: Batch width cap: None = batching off, 0 = unlimited, N = cap.
         self._batch_cap = _parse_batch_runs(batch_runs)
         #: Pseudo-spec key -> [(replicate key, replicate spec), ...] of
@@ -493,8 +616,18 @@ class SweepRunner:
         """Reset per-sweep bookkeeping; start or load the checkpoint."""
         self._attempts = {}
         self._sources = {}
+        self._history = {}
         self._batch_members = {}
         self._batched_width = {}
+        tele = self.telemetry
+        tele.set_progress(0, 0, None)
+        tele.begin()
+        if self.watch and self._dashboard is None:
+            from repro.telemetry.dashboard import Dashboard
+
+            self._dashboard = Dashboard(tele)
+        if self._dashboard is not None:
+            self._dashboard.open()
         if self.resume:
             if self._checkpoint_entries is None:
                 self._checkpoint_entries = self._load_checkpoint()
@@ -505,9 +638,58 @@ class SweepRunner:
                 pass
 
     # -- execution ------------------------------------------------------
-    def _log(self, message: str) -> None:
-        if self.progress:
-            print(f"[sweep:{self.label}] {message}", file=sys.stderr, flush=True)
+    def _log(self, message: str, kind: str = "info") -> None:
+        self._emitter.emit(message, kind)
+
+    def _tick(
+        self,
+        queue_depth: int,
+        busy: int,
+        live: int,
+        eta: Optional[float] = None,
+    ) -> None:
+        """One telemetry heartbeat of the dispatch loop: gauges, progress,
+        throttled JSONL flush, dashboard frame."""
+        tele = self.telemetry
+        self._m_queue_depth.set(queue_depth)
+        self._m_workers_busy.set(busy)
+        self._m_workers_live.set(live)
+        tele.set_progress(tele.total, tele.done, eta)
+        tele.flush()
+        if self._dashboard is not None:
+            self._dashboard.tick()
+
+    def _estimate_eta(
+        self,
+        queued: Sequence[_Job],
+        busy: Sequence[_Handle],
+        workers: int,
+    ) -> Optional[float]:
+        """Predicted seconds to drain the sweep, from the cost EWMAs.
+
+        Unknown specs are priced at the mean of the known predictions;
+        with no known prediction at all there is no estimate.
+        """
+        preds = [self.cost_model.predict(job.spec) for job in queued]
+        known = [p for p in preds if p is not None]
+        fill = (sum(known) / len(known)) if known else None
+        if preds and fill is None:
+            return None
+        ahead = sum((p if p is not None else fill) for p in preds)
+        now = self.telemetry.now()
+        running = 0.0
+        for handle in busy:
+            if handle.job is None:
+                continue
+            expected = self.cost_model.predict(handle.job.spec)
+            if expected is None:
+                expected = fill if fill is not None else 0.0
+            try:
+                elapsed = self.telemetry.workers.view(handle.ident).elapsed(now)
+            except KeyError:
+                elapsed = 0.0
+            running += max(0.0, expected - elapsed)
+        return (ahead + running) / max(workers, 1)
 
     def _execute_unique(
         self, unique: Dict[str, RunSpec], allow_batching: bool = False
@@ -544,9 +726,15 @@ class SweepRunner:
                     results[key] = cached
                     self._sources[key] = "cache"
         batch.hits = len(results)
+        tele = self.telemetry
+        tele.total += len(unique)
+        tele.done += batch.hits
+        self._m_cache_hits.inc(batch.hits - batch.resumed)
+        self._m_resumed.inc(batch.resumed)
         pending = [
             (key, spec) for key, spec in unique.items() if key not in results
         ]
+        self._m_cache_misses.inc(len(pending))
         planned_batches = planned_reps = 0
         if allow_batching and self._batch_cap is not None and len(pending) > 1:
             pending, planned_batches, planned_reps = self._plan_batches(pending)
@@ -643,6 +831,12 @@ class SweepRunner:
         walls[job.key] = wall
         self._attempts[job.key] = job.attempts + 1
         self._sources[job.key] = "executed"
+        self._history.setdefault(job.key, []).append(
+            {"attempt": job.attempts + 1, "outcome": "ok", "wall": wall}
+        )
+        self._m_runs_finished.inc()
+        self._m_run_seconds.observe(wall)
+        self.telemetry.done += 1
         self.cost_model.observe(job.spec, wall)
         if not _is_traced(job.spec):
             if self.use_cache:
@@ -681,8 +875,10 @@ class SweepRunner:
         marginal = wall / width
         self.cost_model.observe(job.spec, wall)
         batch.batches += 1
+        self._m_batch_width.observe(width)
         for (rep_key, rep_spec), payload in zip(members, reps):
             self._attempts[rep_key] = attempts
+            self.telemetry.done += 1
             rep_metrics = payload.get("ok") if isinstance(payload, dict) else None
             if rep_metrics is None:
                 err = (payload.get("err") or {}) if isinstance(payload, dict) else {}
@@ -692,14 +888,26 @@ class SweepRunner:
                     etype, message, attempts, "exception"
                 )
                 self._sources[rep_key] = "failed"
+                self._history.setdefault(rep_key, []).append(
+                    {"attempt": attempts, "outcome": "exception", "wall": None}
+                )
                 batch.failures += 1
-                self._log(f"run {rep_key[:12]} failed: {etype}: {message}")
+                self._m_failures.inc()
+                self._log(
+                    f"run {rep_key[:12]} failed: {etype}: {message}",
+                    kind="fail",
+                )
                 continue
             results[rep_key] = rep_metrics
             walls[rep_key] = marginal
             self._sources[rep_key] = "executed"
             self._batched_width[rep_key] = width
+            self._history.setdefault(rep_key, []).append(
+                {"attempt": attempts, "outcome": "ok", "wall": marginal}
+            )
             batch.batched_runs += 1
+            self._m_runs_finished.inc()
+            self._m_run_seconds.observe(marginal)
             if self.use_cache:
                 self._cache_store(rep_spec, rep_key, rep_metrics)
             self._checkpoint_append(rep_spec, rep_key, rep_metrics)
@@ -710,6 +918,7 @@ class SweepRunner:
         err: Dict[str, str],
         results: Dict[str, Dict[str, Any]],
         batch: _BatchStats,
+        wall: Optional[float] = None,
     ) -> None:
         """A run that raised: deterministic, captured once, never cached."""
         attempts = job.attempts + 1
@@ -718,9 +927,15 @@ class SweepRunner:
         )
         self._attempts[job.key] = attempts
         self._sources[job.key] = "failed"
+        self._history.setdefault(job.key, []).append(
+            {"attempt": attempts, "outcome": "exception", "wall": wall}
+        )
         batch.failures += 1
+        self._m_failures.inc()
+        self.telemetry.done += 1
         self._log(
-            f"run {job.key[:12]} failed: {err['type']}: {err['message']}"
+            f"run {job.key[:12]} failed: {err['type']}: {err['message']}",
+            kind="fail",
         )
 
     def _run_inline(
@@ -730,38 +945,67 @@ class SweepRunner:
         walls: Dict[str, float],
         batch: _BatchStats,
     ) -> None:
-        """Serial in-process execution (no timeout enforcement)."""
-        queue = deque(pending)
-        while queue:
-            key, spec = queue.popleft()
-            job = _Job(key, spec)
-            start = time.perf_counter()
-            try:
-                metrics = execute_spec(spec)
-            except Exception as exc:
-                members = self._batch_members.pop(key, None)
-                if members is not None:
-                    # The batch harness itself failed (per-replicate
-                    # errors come back inside a successful payload):
-                    # fall back to scalar runs of every member.
-                    self._log(
-                        f"batch {key[:12]} failed "
-                        f"({type(exc).__name__}); falling back to "
-                        f"{len(members)} scalar runs"
-                    )
-                    queue.extend(members)
-                    continue
-                self._record_exception(
-                    job,
-                    {"type": type(exc).__name__, "message": str(exc)},
-                    results,
-                    batch,
+        """Serial in-process execution (no timeout enforcement).
+
+        Inline runs execute in the parent process, so when telemetry is
+        on the hub's own registry is installed for their duration —
+        runtime fault counters land directly, no snapshot merge needed.
+        """
+        from repro.telemetry.registry import install
+
+        tele = self.telemetry
+        ident = tele.workers.inline()
+        previous = install(tele.registry) if tele.enabled else None
+        try:
+            queue = deque(pending)
+            while queue:
+                key, spec = queue.popleft()
+                job = _Job(key, spec)
+                tele.workers.assign(
+                    ident,
+                    key,
+                    self.label,
+                    attempt=1,
+                    width=self._job_width(job),
+                    now=tele.now(),
+                    expected=self.cost_model.predict(spec),
                 )
-                continue
-            self._record_success(
-                job, metrics, time.perf_counter() - start, results, walls,
-                batch,
-            )
+                self._m_runs_started.inc()
+                start = time.perf_counter()
+                try:
+                    metrics = execute_spec(spec)
+                except Exception as exc:
+                    tele.workers.finish(ident)
+                    members = self._batch_members.pop(key, None)
+                    if members is not None:
+                        # The batch harness itself failed (per-replicate
+                        # errors come back inside a successful payload):
+                        # fall back to scalar runs of every member.
+                        self._log(
+                            f"batch {key[:12]} failed "
+                            f"({type(exc).__name__}); falling back to "
+                            f"{len(members)} scalar runs"
+                        )
+                        queue.extend(members)
+                        continue
+                    self._record_exception(
+                        job,
+                        {"type": type(exc).__name__, "message": str(exc)},
+                        results,
+                        batch,
+                        wall=time.perf_counter() - start,
+                    )
+                    self._tick(len(queue), busy=0, live=1)
+                    continue
+                tele.workers.finish(ident)
+                self._record_success(
+                    job, metrics, time.perf_counter() - start, results,
+                    walls, batch,
+                )
+                self._tick(len(queue), busy=0, live=1)
+        finally:
+            if previous is not None:
+                install(previous)
 
     def _run_supervised(
         self,
@@ -783,6 +1027,12 @@ class SweepRunner:
         """
         from multiprocessing import connection as mpc
 
+        tele = self.telemetry
+        telem_cfg = (
+            {"heartbeat_interval": tele.heartbeat_interval}
+            if tele.enabled
+            else None
+        )
         todo = deque(_Job(key, spec) for key, spec in pending)
         backoff: List[_Job] = []
         idle: List[_Handle] = []
@@ -797,9 +1047,12 @@ class SweepRunner:
             )
             proc.start()
             child.close()
-            return _Handle(proc=proc, conn=parent)
+            return _Handle(
+                proc=proc, conn=parent, ident=tele.workers.spawn(proc.pid)
+            )
 
         def _retire(handle: _Handle, terminate: bool) -> None:
+            tele.workers.retire(handle.ident)
             try:
                 handle.conn.close()
             except OSError:
@@ -815,6 +1068,19 @@ class SweepRunner:
             self._attempts[job.key] = job.attempts
             if kind == "timeout":
                 batch.timeouts += 1
+                self._m_timeouts.inc()
+            fault_wall = (
+                self.timeout * self._job_width(job)
+                if kind == "timeout" and self.timeout is not None
+                else None
+            )
+            for rep_key, _rep_spec in self._batch_members.get(job.key) or [
+                (job.key, job.spec)
+            ]:
+                self._history.setdefault(rep_key, []).append(
+                    {"attempt": job.attempts, "outcome": kind,
+                     "wall": fault_wall}
+                )
             if job.attempts >= self.max_attempts:
                 # A batch job that exhausts its budget resolves every
                 # member replicate to an error result, never the pseudo
@@ -827,21 +1093,27 @@ class SweepRunner:
                     self._sources[rep_key] = "failed"
                     self._attempts[rep_key] = job.attempts
                     batch.failures += 1
+                width = len(members) if members else 1
+                self._m_failures.inc(width)
+                tele.done += width
                 done += 1
                 self._log(
                     f"run {job.key[:12]}: {kind} on attempt "
                     f"{job.attempts}/{self.max_attempts}; giving up "
-                    f"({message})"
+                    f"({message})",
+                    kind="fail",
                 )
             else:
                 batch.retries += 1
+                self._m_retries.inc()
                 delay = self.retry_backoff * (2 ** (job.attempts - 1))
                 job.not_before = time.monotonic() + delay
                 backoff.append(job)
                 self._log(
                     f"run {job.key[:12]}: {kind} on attempt "
                     f"{job.attempts}/{self.max_attempts}; retrying in "
-                    f"{delay:.2f}s"
+                    f"{delay:.2f}s",
+                    kind="retry",
                 )
 
         while done < total:
@@ -864,7 +1136,7 @@ class SweepRunner:
                     else None
                 )
                 try:
-                    handle.conn.send((job.key, job.spec))
+                    handle.conn.send((job.key, job.spec, telem_cfg))
                 except (OSError, BrokenPipeError):
                     # The worker died between assignments: recycle the job
                     # (not an attempt — it never started) and drop the
@@ -873,6 +1145,16 @@ class SweepRunner:
                     _retire(handle, terminate=True)
                     todo.appendleft(job)
                     continue
+                tele.workers.assign(
+                    handle.ident,
+                    job.key,
+                    self.label,
+                    attempt=job.attempts + 1,
+                    width=self._job_width(job),
+                    now=tele.now(),
+                    expected=self.cost_model.predict(job.spec),
+                )
+                self._m_runs_started.inc()
                 busy.append(handle)
 
             if not busy:
@@ -895,6 +1177,12 @@ class SweepRunner:
                 wait_timeout = (
                     wake if wait_timeout is None else min(wait_timeout, wake)
                 )
+            if self._dashboard is not None:
+                # Keep dashboard frames coming even when nothing else
+                # would wake the multiplexer.
+                wait_timeout = (
+                    0.5 if wait_timeout is None else min(wait_timeout, 0.5)
+                )
             ready = set(mpc.wait(wait_for, timeout=wait_timeout))
 
             still_busy: List[_Handle] = []
@@ -903,9 +1191,18 @@ class SweepRunner:
                 resolved = False
                 if handle.conn in ready or handle.proc.sentinel in ready:
                     try:
-                        if handle.conn.poll():
-                            _key, ok, payload, wall = handle.conn.recv()
+                        while not resolved and handle.conn.poll():
+                            message = handle.conn.recv()
+                            if message[0] == HEARTBEAT_TAG:
+                                tele.workers.heartbeat(
+                                    handle.ident, tele.now()
+                                )
+                                self._m_heartbeats.inc()
+                                continue
+                            _key, ok, payload, wall, snap = message
                             handle.job = None
+                            tele.registry.merge(snap)
+                            tele.workers.finish(handle.ident)
                             if ok:
                                 self._record_success(
                                     job, payload, wall, results, walls,
@@ -930,7 +1227,8 @@ class SweepRunner:
                                     total += len(fallback)
                                 else:
                                     self._record_exception(
-                                        job, payload, results, batch
+                                        job, payload, results, batch,
+                                        wall=wall,
                                     )
                             done += 1
                             idle.append(handle)
@@ -971,6 +1269,32 @@ class SweepRunner:
                     still_busy.append(handle)
             busy = still_busy
 
+            if tele.enabled:
+                now = tele.now()
+                for view in tele.workers.check_stragglers(now, self.timeout):
+                    self._m_stragglers.inc()
+                    expected = (
+                        f" (expected ~{view.expected:.1f}s)"
+                        if view.expected
+                        else ""
+                    )
+                    self._log(
+                        f"worker {view.ident} (pid {view.pid}) straggling "
+                        f"on run {(view.key or '')[:12]}: "
+                        f"{view.elapsed(now):.1f}s elapsed{expected}; "
+                        "letting it finish",
+                        kind="straggler",
+                    )
+            if tele.enabled or self._dashboard is not None:
+                self._tick(
+                    len(todo) + len(backoff),
+                    busy=len(busy),
+                    live=len(busy) + len(idle),
+                    eta=self._estimate_eta(
+                        list(todo) + backoff, busy, workers
+                    ),
+                )
+
             if done and done % 25 == 0:
                 self._log(f"{done}/{total} resolved")
 
@@ -992,6 +1316,7 @@ class SweepRunner:
         """
         start = time.perf_counter()
         self._begin_sweep()
+        self._m_specs.inc(len(specs))
         keys = [spec.key() for spec in specs]
         unique: Dict[str, RunSpec] = {}
         for key, spec in zip(keys, specs):
@@ -1044,6 +1369,32 @@ class SweepRunner:
             return self.run(specs)
         start = time.perf_counter()
         self._begin_sweep()
+        self._m_specs.inc(len(specs))
+        reg = self.telemetry.registry
+        m_rounds = reg.counter(
+            "adaptive_rounds_total", "Adaptive replication rounds executed"
+        )
+        m_unconverged = reg.gauge(
+            "adaptive_cells_unconverged",
+            "Cells still growing seeds after the latest round",
+        )
+        m_max_ci = reg.gauge(
+            "adaptive_max_relative_ci",
+            "Widest relative CI over all cells after the latest round",
+        )
+        m_seeds_added = reg.counter(
+            "adaptive_seeds_added_total",
+            "Replicates grown beyond the per-cell minimum",
+        )
+        m_seeds_saved = reg.counter(
+            "adaptive_seeds_saved_total",
+            "Replicates avoided against the per-cell maximum",
+        )
+        m_ci_width = reg.histogram(
+            "adaptive_ci_width",
+            "Per-cell max relative CI at each convergence check",
+            buckets=(0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0),
+        )
         keys = [spec.key() for spec in specs]
         cells: Dict[str, RunSpec] = {}
         for key, spec in zip(keys, specs):
@@ -1082,6 +1433,7 @@ class SweepRunner:
                     manifest_keys.append(rep_key)
                 counts[cell_key] = target
             round_no += 1
+            m_rounds.inc()
             self._log(
                 f"round {round_no}: {len(active)} cells unconverged, "
                 f"{len(batch_specs)} replicates"
@@ -1104,22 +1456,46 @@ class SweepRunner:
             for cell_key, rep_key in owners:
                 rep_results[cell_key].append(results[rep_key])
 
+            tele = self.telemetry
             still_active = []
+            round_max_ci = 0.0
             for cell_key in active:
-                if counts[cell_key] >= policy.max_seeds:
-                    continue
                 good = [
                     r
                     for r in rep_results[cell_key]
                     if not is_error_result(r)
                 ]
+                accs = None
+                if tele.enabled and good:
+                    accs = scalar_accumulators(good)
+                    rels = [
+                        acc.relative_ci(policy.confidence)
+                        for acc in accs.values()
+                    ]
+                    finite = [
+                        r for r in rels if r == r and r != float("inf")
+                    ]
+                    if finite:
+                        cell_ci = max(finite)
+                        round_max_ci = max(round_max_ci, cell_ci)
+                        m_ci_width.observe(cell_ci)
+                if counts[cell_key] >= policy.max_seeds:
+                    continue
                 if not good:
                     # Every replicate failed; more seeds won't fix a
                     # broken cell, so stop growing it.
                     continue
-                if not converged(scalar_accumulators(good), policy):
+                if accs is None:
+                    accs = scalar_accumulators(good)
+                if not converged(accs, policy):
                     still_active.append(cell_key)
             active = still_active
+            m_unconverged.set(len(active))
+            if round_max_ci:
+                m_max_ci.set(round_max_ci)
+            # One forced snapshot per round so the report can plot CI
+            # convergence against elapsed time.
+            tele.flush(force=True)
 
         aggregated: Dict[str, Dict[str, Any]] = {}
         for key, reps in rep_results.items():
@@ -1153,6 +1529,8 @@ class SweepRunner:
             batches=total_batches,
             batched_runs=total_batched_runs,
         )
+        m_seeds_added.inc(stats.seeds_added)
+        m_seeds_saved.inc(stats.seeds_saved)
         self._finish(stats)
         if self.manifest_dir is not None:
             self._write_manifest(
@@ -1163,7 +1541,13 @@ class SweepRunner:
     def _finish(self, stats: SweepStats) -> None:
         self.last_stats = stats
         _STATS_LOG.append(stats)
+        tele = self.telemetry
+        tele.set_progress(tele.total, tele.done, 0.0 if tele.total else None)
+        if self._dashboard is not None:
+            # Final frame, then give stderr back before the summary line.
+            self._dashboard.close()
         self._log(stats.summary())
+        tele.finalize()
 
     def _write_manifest(
         self,
@@ -1188,6 +1572,7 @@ class SweepRunner:
                 "cached": self._sources.get(key) in (None, "cache", "checkpoint")
                 and key not in walls,
                 "attempts": self._attempts.get(key, 0),
+                "history": self._history.get(key, []),
             }
             width = self._batched_width.get(key)
             entry["batched"] = width is not None

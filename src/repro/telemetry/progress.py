@@ -1,0 +1,70 @@
+"""The structured sweep progress stream.
+
+Every human-readable ``[sweep:<label>] ...`` line the sweep engine used
+to print ad hoc now flows through one :class:`ProgressEmitter`.  Plain
+mode prints the exact same lines to stderr; ``--watch`` mode installs
+the dashboard as a *sink* so the lines land in its log pane instead of
+tearing the ANSI frame — one source of truth, so the two modes cannot
+drift.  The emitter also keeps a bounded history of recent lines, which
+the dashboard and the telemetry snapshot expose.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+#: Progress line kinds (free-form, but these are the ones emitted today).
+KINDS = ("info", "straggler", "retry", "fail", "done")
+
+
+class ProgressEmitter:
+    """Formats, records and routes ``[sweep:<label>]`` progress lines.
+
+    Parameters
+    ----------
+    label:
+        Sweep label interpolated into every line.
+    enabled:
+        When False (and no sink is installed) lines are recorded but not
+        printed — the historical ``progress=False`` behaviour.
+    stream:
+        Destination for printed lines (default ``sys.stderr``).
+    keep:
+        Bounded history length.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        enabled: bool = True,
+        stream=None,
+        keep: int = 50,
+    ) -> None:
+        self.label = label
+        self.enabled = enabled
+        self.stream = stream
+        #: When set, lines are handed to this callable instead of being
+        #: printed (the dashboard installs itself here).
+        self.sink: Optional[Callable[[str, str], None]] = None
+        self.recent: Deque[Tuple[float, str, str]] = deque(maxlen=keep)
+        self._t0 = time.monotonic()
+
+    def emit(self, message: str, kind: str = "info") -> None:
+        line = f"[sweep:{self.label}] {message}"
+        self.recent.append((time.monotonic() - self._t0, kind, line))
+        if self.sink is not None:
+            self.sink(line, kind)
+        elif self.enabled:
+            print(line, file=self.stream or sys.stderr, flush=True)
+
+    def tail(self, n: int = 8) -> List[Tuple[float, str, str]]:
+        """The newest ``n`` ``(t, kind, line)`` entries, oldest first."""
+        if n <= 0:
+            return []
+        return list(self.recent)[-n:]
+
+
+__all__ = ["KINDS", "ProgressEmitter"]

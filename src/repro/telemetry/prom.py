@@ -1,0 +1,212 @@
+"""Prometheus text-format exposition of a metrics snapshot.
+
+:func:`render_prometheus` turns a
+:meth:`~repro.telemetry.registry.MetricsRegistry.snapshot` into the
+Prometheus `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+``# HELP`` / ``# TYPE`` headers, ``<name>_total`` counters, gauges, and
+cumulative ``le``-labelled histogram buckets with ``_sum``/``_count``.
+Sweeps write the rendered text as ``metrics.prom`` next to
+``manifest.json``; point a Prometheus *textfile collector* (or any CI
+trend script) at it.  No client library involved — the format is
+hand-rolled and pinned by a golden file in ``tests/test_telemetry.py``.
+
+``python -m repro.telemetry.prom <file.prom>`` validates a file against
+the format (CI's telemetry-smoke job runs this on real sweep output).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import sys
+from typing import Any, Dict, List, Optional
+
+#: Every exported metric name is prefixed with this namespace.
+PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LINE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$"
+)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus value formatting: integral floats print as integers."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def render_prometheus(
+    snapshot: Dict[str, Dict[str, Any]], prefix: str = PREFIX
+) -> str:
+    """Render a registry snapshot as Prometheus exposition text.
+
+    Metrics render in snapshot (registration) order.  Counter names gain
+    a ``_total`` suffix unless they already carry one; histogram buckets
+    are cumulated and closed with the mandatory ``+Inf`` bucket.
+    """
+    lines: List[str] = []
+    for raw_name, entry in (snapshot or {}).items():
+        kind = entry.get("type")
+        name = prefix + _sanitize(raw_name)
+        help_text = str(entry.get("help", "")).replace("\n", " ")
+        if kind == "counter":
+            if not name.endswith("_total"):
+                name += "_total"
+            lines.append(f"# HELP {name} {help_text}".rstrip())
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(float(entry.get('value', 0.0)))}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {name} {help_text}".rstrip())
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(float(entry.get('value', 0.0)))}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {name} {help_text}".rstrip())
+            lines.append(f"# TYPE {name} histogram")
+            buckets = entry.get("buckets") or []
+            counts = entry.get("counts") or []
+            running = 0
+            for bound, count in zip(buckets, counts):
+                running += int(count)
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(float(bound))}"}} {running}'
+                )
+            total = int(entry.get("count", 0))
+            lines.append(f'{name}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{name}_sum {_fmt(float(entry.get('sum', 0.0)))}")
+            lines.append(f"{name}_count {total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    path: os.PathLike, snapshot: Dict[str, Dict[str, Any]],
+    prefix: str = PREFIX,
+) -> str:
+    """Atomically write the exposition text to ``path``; returns it."""
+    text = render_prometheus(snapshot, prefix)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+    return text
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Problems with a Prometheus text exposition (empty list = valid).
+
+    Checks line syntax, that every sample is preceded by a matching
+    ``# TYPE``, that histogram buckets are cumulative and end with
+    ``+Inf == _count``, and that counters never carry a negative value.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    hist_last: Dict[str, float] = {}
+    hist_inf: Dict[str, Optional[float]] = {}
+    hist_count: Dict[str, Optional[float]] = {}
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                problems.append(f"line {i}: malformed TYPE line: {line!r}")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {i}: unknown comment: {line!r}")
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            problems.append(f"line {i}: malformed sample: {line!r}")
+            continue
+        name, labels, value_text = match.groups()
+        value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        base = re.sub(r"_(total|bucket|sum|count)$", "", name)
+        declared = types.get(name) or types.get(base)
+        if declared is None:
+            problems.append(f"line {i}: sample {name} has no TYPE header")
+            continue
+        if declared == "counter" and value < 0:
+            problems.append(f"line {i}: counter {name} is negative")
+        if name.endswith("_bucket") and declared == "histogram":
+            if value < hist_last.get(base, 0.0):
+                problems.append(
+                    f"line {i}: histogram {base} buckets not cumulative"
+                )
+            hist_last[base] = value
+            if labels and 'le="+Inf"' in labels:
+                hist_inf[base] = value
+        if name.endswith("_count") and declared == "histogram":
+            hist_count[base] = value
+    for base, count in hist_count.items():
+        inf = hist_inf.get(base)
+        if inf is None:
+            problems.append(f"histogram {base} is missing its +Inf bucket")
+        elif count is not None and inf != count:
+            problems.append(
+                f"histogram {base}: +Inf bucket {inf:g} != _count {count:g}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    """Validate one or more ``.prom`` files; exit 0 iff all are valid."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or any(a in ("-h", "--help") for a in args):
+        print(
+            "usage: python -m repro.telemetry.prom <metrics.prom> [...]\n"
+            "Validates Prometheus text-exposition files written by sweeps.",
+            file=sys.stderr,
+        )
+        return 0 if args else 2
+    status = 0
+    for path in args:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_exposition(text)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            samples = sum(
+                1
+                for line in text.splitlines()
+                if line.strip() and not line.startswith("#")
+            )
+            print(f"{path}: OK ({samples} samples)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = [
+    "PREFIX",
+    "main",
+    "render_prometheus",
+    "validate_exposition",
+    "write_prometheus",
+]

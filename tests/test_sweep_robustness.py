@@ -174,6 +174,75 @@ class TestTimeout:
         assert stats.timeouts == 0 and stats.failures == 0
 
 
+class TestStragglers:
+    """Straggler detection vs the run timeout (see repro.telemetry).
+
+    Heartbeats are diagnostic, never disciplinary: an alive-but-slow
+    worker is flagged and reported but only the per-run wall-clock
+    ``timeout`` ever kills a run, and heartbeats neither extend nor
+    shorten that deadline.
+    """
+
+    def _telemetry(self, **kw):
+        from repro.telemetry import Telemetry
+
+        return Telemetry(label="chaos", enabled=True, **kw)
+
+    def test_slow_run_is_flagged_but_never_killed(self, tmp_path):
+        # timeout=2.5 puts the straggler yardstick at 1.25s; the run
+        # sleeps past it but finishes well inside the timeout.
+        pop_stats()
+        tele = self._telemetry()
+        runner = _runner(
+            tmp_path, jobs=1, timeout=2.5, telemetry=tele
+        )
+        (row,) = runner.run([_spec("chaos_hang", sleep=1.6)])
+        assert row == {"value": 0.0}  # completed, not killed
+        (stats,) = pop_stats()
+        assert stats.timeouts == 0 and stats.failures == 0
+        assert tele.workers.stragglers_flagged >= 1
+        snap = tele.registry.snapshot()
+        assert snap["sweep_stragglers_total"]["value"] >= 1
+        assert snap["sweep_heartbeats_total"]["value"] >= 1
+        # The flag was reported on the progress stream, not acted on.
+        kinds = [kind for _, kind, _ in tele.progress_emitter.tail(50)]
+        assert "straggler" in kinds
+
+    def test_heartbeats_never_extend_the_deadline(self, tmp_path):
+        # A hung run keeps heartbeating — proof of life must not win a
+        # reprieve from the wall-clock timeout.
+        pop_stats()
+        tele = self._telemetry(heartbeat_interval=0.05)
+        runner = _runner(
+            tmp_path, jobs=1, timeout=0.5, max_attempts=1, telemetry=tele
+        )
+        start = time.perf_counter()
+        (row,) = runner.run([_spec("chaos_hang", sleep=60.0)])
+        assert time.perf_counter() - start < 10.0
+        assert is_error_result(row)
+        assert row[ERROR_KEY]["kind"] == "timeout"
+        (stats,) = pop_stats()
+        assert stats.timeouts == 1
+        snap = tele.registry.snapshot()
+        assert snap["sweep_heartbeats_total"]["value"] >= 1
+
+    def test_silent_worker_is_not_killed_early(self, tmp_path):
+        # No heartbeat ever arrives (interval far beyond the run) — a
+        # GIL-bound worker looks exactly like this.  Stale heartbeat age
+        # must not shorten the deadline either: the run completes.
+        pop_stats()
+        tele = self._telemetry(heartbeat_interval=30.0)
+        runner = _runner(
+            tmp_path, jobs=1, timeout=10.0, telemetry=tele
+        )
+        (row,) = runner.run([_spec("chaos_hang", sleep=0.8)])
+        assert row == {"value": 0.0}
+        (stats,) = pop_stats()
+        assert stats.timeouts == 0 and stats.failures == 0
+        snap = tele.registry.snapshot()
+        assert snap["sweep_heartbeats_total"]["value"] == 0
+
+
 class TestDeterministicExceptions:
     def test_exception_captured_inline(self, tmp_path):
         pop_stats()
