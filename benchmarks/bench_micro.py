@@ -204,6 +204,30 @@ def test_sweep_tiny_fig4(benchmark):
     assert all(row["throughput"] > 0 for row in rows)
 
 
+def test_lockstep_batch(benchmark):
+    """Lockstep batch driver: 8 PTT-training replicates in one pass.
+
+    Calls :func:`repro.core.batched.execute_batch` directly on eight
+    ``da`` fig4 replicates (seed-derived specs, one shared machine),
+    exercising the lockstep driver, lean-records mode and the shared
+    environment setup.  Gated: a regression here is a regression of the
+    batched jobs=1 sweep path (see BENCH_lockstep.json).
+    """
+    from repro.core.batched import execute_batch
+    from repro.experiments.common import ExperimentSettings
+    from repro.experiments.fig4_corunner import fig4_spec
+
+    specs = [
+        fig4_spec(ExperimentSettings(scale=0.01, seed=seed), "matmul", 2, "da")
+        for seed in range(8)
+    ]
+
+    results = benchmark.pedantic(execute_batch, args=(specs,), rounds=3,
+                                 iterations=1)
+    assert len(results) == 8
+    assert all("ok" in row and row["ok"]["throughput"] > 0 for row in results)
+
+
 def test_speed_model_retime(benchmark):
     """Cost of a rate change with many in-flight work items."""
     env = Environment()

@@ -20,19 +20,26 @@ exploits that sharing:
   a replicate's :class:`BatchedSpeedModel` applies lands as a row-wise
   masked update.
 * :func:`execute_batch` drives N replicates through one shared machine,
-  template-instantiated DAGs and a shared kernel-profile cache, running
-  each replicate's event queue to completion in turn.
+  template-instantiated DAGs and a shared kernel-profile cache, then
+  hands the built runtimes to the lockstep driver
+  (:func:`repro.core.lockstep.drive_runs`), which co-advances all N
+  event calendars as one merged wavefront and answers the cross-run
+  homogeneous work — high-priority placement scans, PTT folds, metric
+  extraction — as runs-axis numpy passes over the stacked matrices.
 
 Replicates *diverge* at their first seeded-RNG decision (steal-victim
-draws, wake shuffles), so their event queues cannot be advanced in a
-single vectorized step without changing results; the batched engine
-therefore keeps per-replicate execution exactly on the scalar code path
-(bit-identical metrics, property-tested) and takes its wall-clock win
-from the shared construction work and stacked state.  Cells that cannot
-batch — fault injection enabled, kernels the template cache cannot key
-(e.g. carrying live RNG state), non-``single`` executors such as the
-distributed runtime, traced runs — fall back to scalar execution; see
-:func:`can_batch`.
+draws, wake shuffles), so their event queues cannot be fused into a
+single shared calendar without changing results; the lockstep driver
+therefore keeps each run's own event order, RNG draws and tie-breaking
+exactly on scalar semantics (bit-identical metrics, property-tested)
+and batches only the *decisions and folds* that are pure functions of
+the stacked per-run state, plus the record keeping the batch's metric
+demands provably never read.  ``REPRO_LOCKSTEP=0`` restores the legacy
+run-to-completion-in-turn loop.  Cells that cannot batch — fault
+injection enabled, kernels the template cache cannot key (e.g. carrying
+live RNG state), non-``single`` executors such as the distributed
+runtime, traced runs — fall back to scalar execution with the reason
+recorded in the sweep manifest; see :func:`batch_ineligible_reason`.
 """
 
 from __future__ import annotations
@@ -171,7 +178,11 @@ class BatchedPttStore:
         return self._matrices(kind)[1]
 
     def update_slot_runs(
-        self, kind: str, slots: Sequence[int], observed: Sequence[float]
+        self,
+        kind: str,
+        slots: Sequence[int],
+        observed: Sequence[float],
+        rows: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Fold one observation per run, batched over the run axis.
 
@@ -179,19 +190,29 @@ class BatchedPttStore:
         scalar table's exact fold — first sample replaces the zero
         initializer, later samples take the weighted average — as one
         masked vector operation, and returns the new values (one per
-        run).
+        run).  ``rows`` restricts the fold to a subset of runs (the
+        lockstep driver folds only the runs whose commits landed this
+        round); ``slots[i]`` / ``observed[i]`` then belong to run
+        ``rows[i]``.
         """
         values, samples = self._matrices(kind)
         slots = np.asarray(slots, dtype=np.intp)
         observed = np.asarray(observed, dtype=np.float64)
-        if slots.shape != (self.runs,) or observed.shape != (self.runs,):
+        if rows is None:
+            rows = self._rows
+        else:
+            rows = np.asarray(rows, dtype=np.intp)
+            if rows.size and (rows.min() < 0 or rows.max() >= self.runs):
+                raise ConfigurationError(
+                    f"rows must index [0, {self.runs}), got {rows}"
+                )
+        if slots.shape != rows.shape or observed.shape != rows.shape:
             raise ConfigurationError(
-                f"need one (slot, observed) pair per run "
-                f"({self.runs}), got {slots.shape} / {observed.shape}"
+                f"need one (slot, observed) pair per addressed run "
+                f"({rows.shape}), got {slots.shape} / {observed.shape}"
             )
         if np.any(observed < 0):
             raise ConfigurationError("observed times must be >= 0")
-        rows = self._rows
         old = values[rows, slots]
         w_new = self.new_weight
         w_old = self.total_weight - w_new
@@ -307,31 +328,39 @@ def _scenario_has_faults(scenario: Optional[Mapping[str, Any]]) -> bool:
     return False
 
 
-def can_batch(spec: RunSpec) -> bool:
-    """Whether ``spec`` is eligible for batched replicate execution.
+def batch_ineligible_reason(spec: RunSpec) -> Optional[str]:
+    """Why ``spec`` cannot batch, or ``None`` when it is eligible.
 
-    Ineligible (scalar-fallback) cells:
+    The reason string is what the sweep manifest surfaces as
+    ``{"batched": false, "reason": ...}``:
 
-    * non-``single`` executors — the distributed and application
-      runtimes wire their own environments;
-    * traced runs — a trace captures one concrete run's event stream;
-    * fault-injection scenarios — recovery mutates PTT rows (inf pins /
+    * ``"executor:<kind>"`` — non-``single`` executors: the distributed
+      and application runtimes wire their own environments;
+    * ``"traced"`` — a trace captures one concrete run's event stream
+      (worker timelines, steal arrows, per-task spans addressed to that
+      run's trace file); co-advancing it with batchmates would interleave
+      foreign progress into the capture, and the tracer's callbacks are
+      exactly the kind of per-event side channel the lockstep driver
+      must not have to replay.  Metered-but-untraced runs carry no such
+      per-event capture, so they batch;
+    * ``"faults"`` — recovery mutates PTT rows (inf pins /
       re-exploration resets) and worker liveness in ways the batch does
       not model;
-    * workloads whose kernels the template cache cannot key (e.g.
-      kernels carrying live RNG state) — without a template the DAG
-      cannot be shared, which is the batch's reason to exist.
+    * ``"workload"`` / ``"kernel-unkeyable"`` — workloads whose DAG or
+      kernels the template cache cannot key (e.g. kernels carrying live
+      RNG state) — without a template the DAG cannot be shared, which
+      is the batch's reason to exist.
     """
     if spec.kind != "single":
-        return False
+        return f"executor:{spec.kind}"
     params = spec.params
     if params.get("trace") is not None:
-        return False
+        return "traced"
     if _scenario_has_faults(params.get("scenario")):
-        return False
+        return "faults"
     workload = params.get("workload") or {}
     if workload.get("name") != "layered":
-        return False
+        return "workload"
     try:
         from repro.graph.templates import kernel_cache_key
         from repro.sweep.registry import make_kernel
@@ -340,8 +369,20 @@ def can_batch(spec: RunSpec) -> bool:
             workload.get("kernel"), workload.get("tile")
         )
     except Exception:
-        return False
-    return kernel_cache_key(kernel) is not None
+        return "kernel-unkeyable"
+    if kernel_cache_key(kernel) is None:
+        return "kernel-unkeyable"
+    return None
+
+
+def can_batch(spec: RunSpec) -> bool:
+    """Whether ``spec`` is eligible for batched replicate execution.
+
+    ``can_batch(spec)`` is ``batch_ineligible_reason(spec) is None`` —
+    see that function for the fallback taxonomy (and for why traced
+    runs are excluded while metered ones are not).
+    """
+    return batch_ineligible_reason(spec) is None
 
 
 def batch_group_key(spec: RunSpec) -> str:
@@ -426,21 +467,27 @@ def parse_batch_spec(spec: RunSpec) -> List[RunSpec]:
 # execution
 # ----------------------------------------------------------------------
 
-def execute_batch(specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
-    """Run N same-cell replicates in one batched pass.
+def _execute_batch_impl(
+    specs: Sequence[RunSpec],
+) -> Tuple[List[Dict[str, Any]], str]:
+    """Shared body of :func:`execute_batch`: payloads plus the mode run.
 
-    Returns one payload per replicate, in order: ``{"ok": metrics}`` on
-    success or ``{"err": {"type", "message"}}`` when that replicate's
-    execution raised (mirroring the scalar engine's deterministic-failure
-    capture; one broken replicate never aborts its batchmates).
-
-    Shared across the batch: the machine (static topology, built once),
-    the DAG template (each run instantiates a fresh graph from it), the
-    kernel cost-profile cache, the stacked PTT matrices and the stacked
-    rate matrices.  Per replicate: environment, speed-model dynamics,
-    scheduler state, RNG streams — everything that makes its metrics
-    bit-identical to a scalar run of the same spec.
+    Construction and execution are separate phases.  Phase one builds
+    every replicate's runtime (error-isolated: a replicate whose
+    *construction* raises resolves to its error payload immediately and
+    is excluded from execution).  Phase two either hands the built
+    runtimes to the lockstep driver (``mode == "lockstep"``) or, with
+    ``REPRO_LOCKSTEP=0``, runs each to completion in turn on the legacy
+    scalar path (``mode == "scalar"``).  Hoisting construction ahead of
+    all execution is bit-identical: RNG streams are derived per seed,
+    the DAG template cache is deterministic, and kernel profiles are
+    only computed (and memoized) during execution.
     """
+    from repro.core.lockstep import (
+        drive_runs,
+        lockstep_enabled,
+        parking_wanted,
+    )
     from repro.core.policies.registry import make_scheduler
     from repro.runtime.config import RuntimeConfig
     from repro.runtime.executor import SimulatedRuntime
@@ -450,9 +497,10 @@ def execute_batch(specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
         build_workload,
         extract_metrics,
     )
+    from repro.telemetry import get_registry
 
     if not specs:
-        return []
+        return [], "lockstep" if lockstep_enabled() else "scalar"
     base = specs[0]
     base_key = batch_group_key(base)
     for spec in specs[1:]:
@@ -468,10 +516,24 @@ def execute_batch(specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
     params = base.params
     machine = build_machine(params["machine"])
     runs = len(specs)
-    rates = BatchedRates(machine, runs)
+    lockstep = lockstep_enabled()
+    # Stacked per-run PTT state only pays when a parking mode will read
+    # it (runs-axis predicts for decisions, vector folds for commits):
+    # every scalar fold through a stacked row view costs a strided numpy
+    # write the plain per-run table avoids.  The legacy scalar-in-turn
+    # path keeps the unconditional swap it shipped with.
+    stack_ptt = not lockstep or any(parking_wanted(machine, runs))
+    # Same reasoning for the stacked rate matrices: the lockstep driver
+    # batches placement scans and PTT folds, never cross-run retiming,
+    # so under lockstep the BatchedRates mirror is a write-only cost
+    # (one masked numpy write per scenario transition per run — the TX2
+    # co-runner cells pay it measurably).  Plain SpeedModels behave
+    # identically; the legacy path keeps the mirror it shipped with.
+    rates = None if lockstep else BatchedRates(machine, runs)
     ptt_stack: Optional[BatchedPttStore] = None
     shared_profiles: Dict[tuple, Any] = {}
-    payloads: List[Dict[str, Any]] = []
+    payloads: List[Optional[Dict[str, Any]]] = [None] * runs
+    entries: List[Tuple[int, RunSpec, Any]] = []
     for run, spec in enumerate(specs):
         try:
             graph = build_workload(params["workload"])
@@ -481,14 +543,18 @@ def execute_batch(specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
             scenario = build_scenario(params.get("scenario"))
             config = RuntimeConfig(**(params.get("config") or {}))
             env = Environment()
-            speed = BatchedSpeedModel(env, machine, rates, run)
+            speed = (
+                SpeedModel(env, machine)
+                if rates is None
+                else BatchedSpeedModel(env, machine, rates, run)
+            )
             if scenario is not None:
                 scenario.install(env, speed, machine)
             runtime = SimulatedRuntime(
                 env, machine, graph, policy, config=config, speed=speed,
                 seed=spec.seed,
             )
-            if policy.uses_ptt and policy.ptt is not None:
+            if stack_ptt and policy.uses_ptt and policy.ptt is not None:
                 if ptt_stack is None:
                     ptt_stack = BatchedPttStore(
                         machine, runs,
@@ -499,20 +565,80 @@ def execute_batch(specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
             # machine and the template's kernel objects are shared across
             # the batch, so the memo carries over run to run.
             runtime._profile_cache = shared_profiles
-            result = runtime.run()
-            metrics = extract_metrics(result, spec.metrics)
         except Exception as exc:
-            payloads.append(
-                {"err": {"type": type(exc).__name__, "message": str(exc)}}
-            )
+            payloads[run] = {
+                "err": {"type": type(exc).__name__, "message": str(exc)}
+            }
         else:
-            payloads.append({"ok": metrics})
+            entries.append((run, spec, runtime))
+
+    if lockstep:
+        mode = "lockstep"
+        for run, payload in drive_runs(entries, ptt_stack).items():
+            payloads[run] = payload
+    else:
+        mode = "scalar"
+        for run, spec, runtime in entries:
+            try:
+                result = runtime.run()
+                metrics = extract_metrics(result, spec.metrics)
+            except Exception as exc:
+                payloads[run] = {
+                    "err": {"type": type(exc).__name__, "message": str(exc)}
+                }
+            else:
+                payloads[run] = {"ok": metrics}
+
+    # Telemetry: this runs in the sweep worker; the engine merges the
+    # worker's snapshot, so these land in --watch and the HTML report.
+    reg = get_registry()
+    if reg.enabled:
+        reg.gauge(
+            "sweep_batch_runs", "replicates in the latest executed batch"
+        ).set(runs)
+        if mode == "lockstep":
+            reg.counter(
+                "sweep_lockstep_batches_total",
+                "batches executed by the lockstep co-advance driver",
+            ).inc()
+        else:
+            reg.counter(
+                "sweep_scalar_batches_total",
+                "batches executed on the legacy run-in-turn scalar path",
+            ).inc()
+    return payloads, mode  # type: ignore[return-value]
+
+
+def execute_batch(specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
+    """Run N same-cell replicates in one batched pass.
+
+    Returns one payload per replicate, in order: ``{"ok": metrics}`` on
+    success or ``{"err": {"type", "message"}}`` when that replicate's
+    construction or execution raised (mirroring the scalar engine's
+    deterministic-failure capture; one broken replicate never aborts its
+    batchmates).
+
+    Shared across the batch: the machine (static topology, built once),
+    the DAG template (each run instantiates a fresh graph from it), the
+    kernel cost-profile cache, the stacked PTT matrices and the stacked
+    rate matrices.  Per replicate: environment, speed-model dynamics,
+    scheduler state, RNG streams — everything that makes its metrics
+    bit-identical to a scalar run of the same spec.  Execution itself is
+    the lockstep co-advance driver unless ``REPRO_LOCKSTEP=0`` (see the
+    module docstring and :mod:`repro.core.lockstep`).
+    """
+    payloads, _mode = _execute_batch_impl(specs)
     return payloads
 
 
 def run_batch_spec(spec: RunSpec) -> Dict[str, Any]:
-    """Executor body of the :data:`~repro.sweep.spec.BATCH_KIND` kind."""
-    return {"replicates": execute_batch(parse_batch_spec(spec))}
+    """Executor body of the :data:`~repro.sweep.spec.BATCH_KIND` kind.
+
+    The payload carries ``mode`` (``"lockstep"`` or ``"scalar"``) so the
+    engine can record how each batch actually executed in the manifest.
+    """
+    payloads, mode = _execute_batch_impl(parse_batch_spec(spec))
+    return {"replicates": payloads, "mode": mode}
 
 
 __all__ = [
@@ -521,6 +647,7 @@ __all__ = [
     "BatchedRates",
     "BatchedSpeedModel",
     "batch_group_key",
+    "batch_ineligible_reason",
     "can_batch",
     "execute_batch",
     "make_batch_spec",

@@ -1,0 +1,513 @@
+"""Lockstep batch driver: co-advance N replicate simulations.
+
+:func:`repro.core.batched.execute_batch` historically ran each replicate's
+event queue *to completion in turn*; this module replaces that inner loop
+with a driver that owns every replicate's event calendar at once and
+advances them as one merged wavefront.  Each run keeps its own
+environment, RNG streams, event order and tie-breaking — bit-identity
+with the scalar path is non-negotiable and property-tested — but the
+cross-run *homogeneous* work batches into numpy passes:
+
+* **Placement decisions.**  A policy whose high-priority placement is a
+  pure function of the task type's PTT row declares it via
+  :meth:`~repro.core.policies.base.SchedulerPolicy.batched_query`.  The
+  worker loop then *parks* the decision: it yields a fresh gate event and
+  suspends exactly where the scalar search would have run.  The driver
+  collects all parked decisions of one ``(scan kind, task type)`` across
+  runs and answers them with one runs-axis argmin
+  (:func:`~repro.core.placement.batched_scan_cost` /
+  :func:`~repro.core.placement.batched_scan_performance`) over the
+  stacked PTT matrix, then resumes each worker with its (bit-identical)
+  place via :meth:`~repro.sim.events.Event.trigger_direct`.
+* **PTT folds.**  Fold-eligible task commits park on the driver the same
+  way; one :meth:`~repro.core.batched.BatchedPttStore.update_slot_runs`
+  call applies every run's fold as a single masked vector op before the
+  commits' tails (:meth:`~repro.runtime.executor.SimulatedRuntime._commit_tail`)
+  run.
+* **Lean records.**  When the batch's metric demands are covered by
+  :data:`repro.sweep.registry.RECORD_FREE_METRICS` the runtimes skip all
+  per-task record keeping (TaskRecord construction, collector
+  accounting, ready-time bookkeeping) — none of it can influence the
+  simulation or the extracted metrics.
+* **Batched drain.**  Metrics are extracted for all runs after the last
+  one finishes, against the shared extractor table.
+
+Parking protocol
+----------------
+A run parks by setting its ``pending`` slot from inside an event
+callback; the driver's advance loop checks the slot after *every*
+callback and, on a park, stashes ``(event, remaining callbacks, index)``
+so the interrupted event resumes exactly where it stopped once the
+answer is delivered.  Decisions are delivered by triggering the parked
+gate in place (no heap round-trip — the resume runs at the same sim
+time, in the same heap slot, as the scalar search's return would have);
+commit tails are plain method calls.  A resumed worker may immediately
+park again (its next decision); the stashed continuation survives until
+the run truly drains the event.
+
+Every run is error-isolated: a replicate that raises (deadlock,
+max-time, a broken workload) resolves to its own error payload and never
+aborts its batchmates, mirroring the scalar engine's capture.
+
+Knobs (read once per batch, all default to the measured-best setting):
+
+* ``REPRO_LOCKSTEP=0`` — disable the driver entirely; ``execute_batch``
+  falls back to the legacy run-to-completion-in-turn loop.
+* ``REPRO_LOCKSTEP_DECISIONS=on|off|auto`` — decision parking.  ``auto``
+  (default) enables it only on machines with at least
+  :data:`DECISIONS_AUTO_MIN_PLACES` execution places: parking costs one
+  extra generator suspension per decision, which the batched argmin only
+  repays when the scalar scan is wide.
+* ``REPRO_LOCKSTEP_FOLDS=on|off|auto`` — fold parking.  ``auto``
+  (default) requires at least :data:`FOLDS_AUTO_MIN_RUNS` replicates
+  *and* a machine with at least :data:`DECISIONS_AUTO_MIN_PLACES`
+  places.  One vector fold must beat N scalar folds plus the parking
+  overhead, and on narrow tables (TX2: 10 slots) the scalar fold is so
+  cheap that parking is a measured net loss regardless of batch width.
+* ``REPRO_LOCKSTEP_LEAN=0`` — keep full record keeping even when the
+  metric demands would allow lean mode (debugging aid).
+
+See ``docs/performance.md`` ("Lockstep replicate execution") for the
+measured effect of each knob.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.placement import batched_scan_cost, batched_scan_performance
+from repro.errors import RuntimeStateError, SchedulingError
+from repro.sim.events import Event
+
+#: ``REPRO_LOCKSTEP_DECISIONS=auto``: park decisions only on machines
+#: with at least this many execution places.  Parking costs a generator
+#: suspension, a driver round-trip, and a numpy fancy-index per
+#: decision; measured on the bundled machines (TX2: 10 places,
+#: haswell16: 30) that overhead exceeds the scalar scan it replaces, so
+#: the auto gate stays closed below widths we have not measured a win
+#: at.  Force ``REPRO_LOCKSTEP_DECISIONS=on`` to override.
+DECISIONS_AUTO_MIN_PLACES = 64
+
+#: ``REPRO_LOCKSTEP_FOLDS=auto``: park folds only in batches of at least
+#: this many replicates (one vector fold must beat N scalar folds) and —
+#: like decisions — only on machines of at least
+#: :data:`DECISIONS_AUTO_MIN_PLACES` places, where the per-fold scalar
+#: work the park replaces is wide enough to pay for the suspension.
+FOLDS_AUTO_MIN_RUNS = 4
+
+_FALSY = frozenset({"0", "false", "off", "no"})
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+
+def _flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+def _tri_state(name: str) -> Optional[bool]:
+    """``True``/``False`` for an explicit on/off, ``None`` for auto."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    raw = raw.strip().lower()
+    if raw in _FALSY:
+        return False
+    if raw in _TRUTHY:
+        return True
+    return None
+
+
+def parking_wanted(machine, n_runs: int) -> Tuple[bool, bool]:
+    """Resolve the (decisions, folds) parking knobs for a prospective batch.
+
+    Shared by :func:`drive_runs` and the batch constructor: the stacked
+    PTT store only needs to be wired into the policies when at least one
+    parking mode can engage, and every scalar fold through a stacked
+    row view pays a strided-write premium over the plain per-run table,
+    so the constructor skips the swap entirely when both gates are
+    closed.
+    """
+    decisions = _tri_state("REPRO_LOCKSTEP_DECISIONS")
+    if decisions is None:
+        decisions = len(machine.places) >= DECISIONS_AUTO_MIN_PLACES
+    folds = _tri_state("REPRO_LOCKSTEP_FOLDS")
+    if folds is None:
+        folds = (
+            n_runs >= FOLDS_AUTO_MIN_RUNS
+            and len(machine.places) >= DECISIONS_AUTO_MIN_PLACES
+        )
+    return decisions, folds
+
+
+def lockstep_enabled() -> bool:
+    """Whether batches use the lockstep driver (``REPRO_LOCKSTEP``)."""
+    return _flag("REPRO_LOCKSTEP", True)
+
+
+class _RunState:
+    """One replicate's co-advance state and its executor-facing hooks."""
+
+    __slots__ = (
+        "index", "spec", "rt", "env", "queue", "heap", "policy",
+        "decisions", "folds", "deadline", "pending", "resume", "answer",
+        "fold_done", "finished", "error",
+    )
+
+    def __init__(self, index, spec, runtime, decisions: bool, folds: bool):
+        self.index = index
+        self.spec = spec
+        self.rt = runtime
+        self.env = runtime.env
+        self.queue = self.env._queue
+        self.heap = self.queue._heap
+        self.policy = runtime.scheduler
+        #: Whether this run parks batchable placement decisions.
+        self.decisions = decisions
+        #: Whether this run parks fold-eligible commits (read by
+        #: SimulatedRuntime._finish_assembly).
+        self.folds = folds
+        self.deadline = float("inf")
+        #: The parked request: ("d", scan_kind, type_name, gate) or
+        #: ("c", assembly, task, observed); None while advancing.
+        self.pending = None
+        #: (event, callbacks, next index) of the interrupted event.
+        self.resume = None
+        #: Batched decision answer awaiting delivery.
+        self.answer = None
+        #: Whether this round's batched fold covered this run's commit.
+        self.fold_done = False
+        self.finished = False
+        self.error = None
+
+    # -- hooks called from the worker generators -----------------------
+    def decide(self, task, core):
+        """Place for a WSQ dequeue — or a gate event parking it."""
+        if self.decisions:
+            query = self.policy.batched_query(task)
+            if query is not None:
+                gate = Event(self.env)
+                self.pending = ("d", query[0], query[1], gate)
+                return gate
+        return self.policy.choose_place(task, core)
+
+    def decide_steal(self, task, core):
+        """Place after a steal — or a gate event parking the decision."""
+        if self.decisions:
+            query = self.policy.batched_query(task)
+            if query is not None:
+                gate = Event(self.env)
+                self.pending = ("d", query[0], query[1], gate)
+                return gate
+        return self.policy.place_after_steal(task, core)
+
+    def park_commit(self, assembly, task, observed) -> None:
+        """Park a fold-eligible commit (called by _finish_assembly)."""
+        self.pending = ("c", assembly, task, observed)
+        self.fold_done = False
+
+
+def _advance(rs: _RunState) -> None:
+    """Run ``rs``'s event loop until it finishes or parks.
+
+    This is ``SimulatedRuntime.run``'s inlined loop with one addition:
+    after *every* callback the run's ``pending`` slot is checked, and a
+    park stashes the interrupted event's remaining callbacks in
+    ``rs.resume`` before returning.  Everything else — defunct-head
+    drops, the deadlock and max-time errors, pooled-event recycling — is
+    verbatim, so an un-parked run is bit-identical to a scalar one.
+    """
+    rt = rs.rt
+    env = rs.env
+    queue = rs.queue
+    heap = rs.heap
+    deadline = rs.deadline
+    heappop = heapq.heappop
+    if not rs.decisions and not rs.folds:
+        # Parks only originate from decide()/park_commit(), and both are
+        # gated on these flags — with neither set, ``pending`` can never
+        # be written, so the per-callback check is dead weight.  Run the
+        # scalar loop verbatim (it is measurable: the indexed callback
+        # walk costs a few ms per batch at showcase sizes).
+        while not rt._shutdown:
+            if queue._defunct:
+                queue._drop_defunct_head()
+            try:
+                item = heappop(heap)
+            except IndexError:
+                raise RuntimeStateError(
+                    f"{rt.name}: deadlock — no pending events but "
+                    f"{rt.graph.total_tasks - rt.graph.completed_tasks} "
+                    "tasks remain"
+                )
+            env._now = item[0]
+            event = item[3]
+            event._seq = -1
+            callbacks, event.callbacks = event.callbacks, None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            if event._pooled:
+                queue._recycle(event)
+            if env._now > deadline:
+                raise RuntimeStateError(
+                    f"{rt.name}: exceeded max_time={rt.config.max_time}"
+                )
+        rs.finished = True
+        return
+    while not rt._shutdown:
+        if queue._defunct:
+            queue._drop_defunct_head()
+        try:
+            item = heappop(heap)
+        except IndexError:
+            raise RuntimeStateError(
+                f"{rt.name}: deadlock — no pending events but "
+                f"{rt.graph.total_tasks - rt.graph.completed_tasks} "
+                "tasks remain"
+            )
+        env._now = item[0]
+        event = item[3]
+        event._seq = -1
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            i = 0
+            n = len(callbacks)
+            while i < n:
+                callback = callbacks[i]
+                i += 1
+                callback(event)
+                if rs.pending is not None:
+                    rs.resume = (event, callbacks, i)
+                    return
+        if event._pooled:
+            queue._recycle(event)
+        if env._now > deadline:
+            raise RuntimeStateError(
+                f"{rt.name}: exceeded max_time={rt.config.max_time}"
+            )
+    rs.finished = True
+
+
+def _finish_event(rs: _RunState) -> bool:
+    """Drain the interrupted event stashed in ``rs.resume``.
+
+    Runs the remaining callbacks (any of which may park again — the
+    stash is then refreshed and ``False`` returned), then applies the
+    loop's per-event epilogue (recycle, deadline check) exactly as
+    :func:`_advance` would have.
+    """
+    event, callbacks, i = rs.resume
+    rs.resume = None
+    n = len(callbacks)
+    while i < n:
+        callback = callbacks[i]
+        i += 1
+        callback(event)
+        if rs.pending is not None:
+            rs.resume = (event, callbacks, i)
+            return False
+    if event._pooled:
+        rs.queue._recycle(event)
+    if rs.env._now > rs.deadline:
+        raise RuntimeStateError(
+            f"{rs.rt.name}: exceeded max_time={rs.rt.config.max_time}"
+        )
+    return True
+
+
+def _deliver(rs: _RunState) -> None:
+    """Deliver ``rs``'s answered request and re-advance the run."""
+    pending = rs.pending
+    rs.pending = None
+    if pending[0] == "d":
+        gate = pending[3]
+        answer = rs.answer
+        rs.answer = None
+        # The resume runs here, inside the driver's current step — the
+        # same sim time and heap position the scalar search's return
+        # would have had.  The worker may park its next decision before
+        # yielding a real event; the stashed continuation stays valid.
+        gate.trigger_direct(answer)
+    else:
+        _tag, assembly, task, observed = pending
+        if not rs.fold_done:
+            # Not covered by the round's batched fold (e.g. a negative
+            # observation the vector fold refuses): take the scalar
+            # fold, which raises exactly what the scalar path would.
+            rs.rt.scheduler.on_complete(task, assembly.place, observed)
+        rs.rt._commit_tail(assembly, task, observed)
+    if rs.pending is not None:
+        return
+    if _finish_event(rs):
+        _advance(rs)
+
+
+def _answer_decisions(ptt_stack, machine, kind, type_name, members) -> None:
+    """Answer one decision group with a single runs-axis scan."""
+    rows = np.asarray([rs.index for rs in members], dtype=np.intp)
+    values_rows = ptt_stack.predict_all_runs(type_name)[rows]
+    backlogs = [rs.rt._backlog for rs in members]
+    if kind == "cost":
+        places = batched_scan_cost(machine, values_rows, backlogs)
+    elif kind == "perf":
+        places = batched_scan_performance(machine, values_rows, None, backlogs)
+    elif kind == "perf_w1":
+        places = batched_scan_performance(
+            machine, values_rows, machine._width_one_slots_list, backlogs
+        )
+    else:
+        raise SchedulingError(f"unknown batched query kind {kind!r}")
+    for rs, place in zip(members, places):
+        rs.answer = place
+
+
+def _apply_folds(ptt_stack, machine, type_name, members) -> None:
+    """Fold one commit group as a single runs-axis vector update.
+
+    The per-run Python-list mirrors of already-materialized tables are
+    patched with the exact folded values, so the scalar fast-path
+    searches keep reading state identical to the matrix.  Members whose
+    observation the vector fold would reject (negative) are left to the
+    scalar fold at delivery, preserving per-replicate error isolation.
+    """
+    folded = [rs for rs in members if rs.pending[3] >= 0]
+    if not folded:
+        return
+    place_index = machine._place_index
+    rows = [rs.index for rs in folded]
+    slots = [place_index[rs.pending[1].place] for rs in folded]
+    observed = [rs.pending[3] for rs in folded]
+    new_values = ptt_stack.update_slot_runs(
+        type_name, slots, observed, rows=rows
+    )
+    for rs, slot, value in zip(folded, slots, new_values):
+        table = rs.policy.ptt._tables.get(type_name)
+        if table is not None:
+            table._values_list[slot] = float(value)
+        rs.fold_done = True
+
+
+def drive_runs(
+    entries: Sequence[Tuple[int, Any, Any]], ptt_stack
+) -> Dict[int, Dict[str, Any]]:
+    """Co-advance built runtimes to completion; one payload per run.
+
+    ``entries`` is a sequence of ``(run index, spec, runtime)`` whose
+    runtimes were constructed (but not started) against shared batch
+    state; ``run index`` addresses the run's row in ``ptt_stack`` (which
+    may be ``None`` for model-free policies — no decisions or folds park
+    then).  Returns ``{index: {"ok": metrics} | {"err": {...}}}``,
+    mirroring the scalar engine's per-replicate capture.
+    """
+    from repro.core.policies.base import SchedulerPolicy
+    from repro.sweep.registry import RECORD_FREE_METRICS, extract_metrics
+
+    if not entries:
+        return {}
+    machine = entries[0][2].machine
+
+    decisions_knob, folds_knob = parking_wanted(machine, len(entries))
+    lean_knob = _flag("REPRO_LOCKSTEP_LEAN", True)
+
+    states: List[_RunState] = []
+    parked: List[_RunState] = []
+    for index, spec, rt in entries:
+        policy = rt.scheduler
+        batchable_model = ptt_stack is not None and policy.ptt is not None
+        folds = (
+            folds_knob
+            and batchable_model
+            and policy.uses_ptt
+            and type(policy).on_complete is SchedulerPolicy.on_complete
+        )
+        rs = _RunState(
+            index, spec, rt,
+            decisions=decisions_knob and batchable_model,
+            folds=folds,
+        )
+        states.append(rs)
+        lean = (
+            lean_knob
+            and set(spec.metrics) <= RECORD_FREE_METRICS
+            and not rt._tracing
+            and not rt._faults_enabled
+            and not rt.on_task_commit
+        )
+        try:
+            rt.arm_lockstep(rs, lean_records=lean)
+            rt.start()
+            rs.deadline = rt._start_time + rt.config.max_time
+            _advance(rs)
+        except Exception as exc:
+            rs.error = {"type": type(exc).__name__, "message": str(exc)}
+            rs.finished = True
+        if not rs.finished and rs.pending is not None:
+            parked.append(rs)
+
+    while parked:
+        # Merged-calendar wavefront: visit parked runs in ascending
+        # simulated time (ties by run index).  Runs never read each
+        # other's state, so this ordering is presentational — but it is
+        # the order a single merged calendar would process the batch in.
+        parked.sort(key=lambda rs: (rs.env._now, rs.index))
+        decision_groups: Dict[tuple, List[_RunState]] = {}
+        commit_groups: Dict[str, List[_RunState]] = {}
+        for rs in parked:
+            pending = rs.pending
+            if pending[0] == "d":
+                key = (pending[1], pending[2])
+                decision_groups.setdefault(key, []).append(rs)
+            else:
+                commit_groups.setdefault(
+                    pending[2].type_name, []
+                ).append(rs)
+        # Singleton groups go through the same batched kernels as wide
+        # ones (rows of height 1): one answer path, no drift to chase.
+        for (kind, type_name), members in decision_groups.items():
+            _answer_decisions(ptt_stack, machine, kind, type_name, members)
+        for type_name, members in commit_groups.items():
+            _apply_folds(ptt_stack, machine, type_name, members)
+        next_parked: List[_RunState] = []
+        for rs in parked:
+            try:
+                _deliver(rs)
+            except Exception as exc:
+                rs.error = {
+                    "type": type(exc).__name__, "message": str(exc)
+                }
+                rs.finished = True
+            if not rs.finished and rs.pending is not None:
+                next_parked.append(rs)
+        parked = next_parked
+
+    # Batched drain: extract every finished run's metrics in one pass.
+    payloads: Dict[int, Dict[str, Any]] = {}
+    for rs in states:
+        if rs.error is not None:
+            payloads[rs.index] = {"err": rs.error}
+            continue
+        try:
+            result = rs.rt.result()
+            metrics = extract_metrics(result, rs.spec.metrics)
+        except Exception as exc:
+            payloads[rs.index] = {
+                "err": {"type": type(exc).__name__, "message": str(exc)}
+            }
+        else:
+            payloads[rs.index] = {"ok": metrics}
+    return payloads
+
+
+__all__ = [
+    "DECISIONS_AUTO_MIN_PLACES",
+    "FOLDS_AUTO_MIN_RUNS",
+    "drive_runs",
+    "lockstep_enabled",
+    "parking_wanted",
+]

@@ -17,6 +17,18 @@ changes, all in-flight work is re-timed: remaining work is advanced under the
 old rate and the completion is re-scheduled under the new one.  Task
 durations therefore respond to interference exactly when it happens, which
 is what the runtime's Performance Trace Table observes.
+
+Batched replicate execution stacks these rate inputs as ``(runs x cores)``
+matrices (:class:`repro.core.batched.BatchedRates`): each replicate's
+:class:`~repro.core.batched.BatchedSpeedModel` applies its scenario's DVFS /
+co-runner / fault transitions as masked row updates, so cross-run readers see
+the whole batch without copying.  *Re-timing itself stays per run even under
+the lockstep co-advance driver* (:mod:`repro.core.lockstep`): a transition
+re-times only the work in flight at that replicate's own simulated time, and
+replicates diverge in which work is in flight and how much of it remains —
+there is no cross-run-homogeneous retime to batch.  What the driver batches
+instead is what *is* homogeneous across runs: placement scans and PTT folds
+over the stacked matrices.
 """
 
 from __future__ import annotations

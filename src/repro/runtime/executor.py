@@ -62,6 +62,10 @@ from repro.util.rng import SeedLike, make_rng, spawn_rngs
 _SPIN_RECHECK = object()
 
 
+def _noop() -> None:
+    """Stand-in for collector counter methods in lean-records mode."""
+
+
 @dataclass
 class RunResult:
     """Outcome of one simulated run.
@@ -203,6 +207,13 @@ class SimulatedRuntime:
         self._started = False
         self._start_time = 0.0
         self._root_rr = 0
+        #: Lockstep batch-driver state (see :meth:`arm_lockstep`); None
+        #: keeps every decision and commit on the scalar path.
+        self._lockstep_run = None
+        #: Lean-records mode: skip TaskRecord construction and collector
+        #: accounting (lockstep batches whose metric demands are record
+        #: free; see repro.sweep.registry.RECORD_FREE_METRICS).
+        self._lean_records = False
         #: Observers called with each TaskRecord as tasks commit.
         self.on_task_commit: List[Callable[[TaskRecord], None]] = []
         #: Run-specific attachments carried into every RunResult built by
@@ -277,6 +288,27 @@ class SimulatedRuntime:
             self._workers[core] = self.env.process(
                 self._worker(core), name=f"{self.name}-w{core}"
             )
+
+    def arm_lockstep(self, run_state, lean_records: bool = False) -> None:
+        """Attach a lockstep batch driver's per-run state.
+
+        ``run_state`` (a ``repro.core.lockstep`` run handle) intercepts
+        batchable placement decisions and PTT-fold commits: the worker
+        loops route them through ``run_state.decide`` /
+        ``run_state.decide_steal`` and :meth:`_finish_assembly` parks
+        fold-eligible commits on it, so the driver can answer whole
+        batches with one runs-axis numpy pass.  Must be called before
+        the workers start; the driver (not :meth:`run`) then advances
+        the event loop.  ``lean_records`` additionally skips all
+        per-task record keeping (only valid when the run's metric
+        demands never read it).
+        """
+        if self._started:
+            raise RuntimeStateError(
+                f"{self.name}: lockstep must be armed before start()"
+            )
+        self._lockstep_run = run_state
+        self._lean_records = bool(lean_records)
 
     def run(self) -> RunResult:
         """Drive the simulation until the graph finishes; returns the result.
@@ -444,8 +476,20 @@ class SimulatedRuntime:
         )
         steal_integers = self._steal_rngs[core].integers if inline_steal else None
         allow_steal = scheduler.allow_steal
-        record_steal = self.collector.record_steal
-        record_failed_scan = self.collector.record_failed_scan
+        # Lockstep batch-driver hooks (None on the scalar path, where the
+        # decision sites below reduce to one is-None check each).  With
+        # decision parking off the driver never answers queries, so the
+        # sites revert to direct policy calls — the wrapper hop is pure
+        # overhead then.  (Fold parking reads self._lockstep_run itself.)
+        lockstep = self._lockstep_run
+        if lockstep is not None and not lockstep.decisions:
+            lockstep = None
+        if self._lean_records:
+            record_steal = _noop
+            record_failed_scan = _noop
+        else:
+            record_steal = self.collector.record_steal
+            record_failed_scan = self.collector.record_failed_scan
         # Spin-tick driver (inline-steal configurations only): the
         # steal-backoff wait is scheduled as a pooled callback event
         # instead of a generator sleep.  The tick callback replays the
@@ -612,7 +656,16 @@ class SimulatedRuntime:
                     yield env.sleep(dispatch_overhead)
                 if phases is not None:
                     phases.push("policy-search")
-                place = scheduler.choose_place(task, core)
+                if lockstep is None:
+                    place = scheduler.choose_place(task, core)
+                else:
+                    # A gate means the driver parked this decision to
+                    # answer it batched across runs; the yield suspends
+                    # exactly where the scalar search would have run and
+                    # resumes with the (bit-identical) place.
+                    place = lockstep.decide(task, core)
+                    if place.__class__ is Event:
+                        place = yield place
                 if phases is not None:
                     phases.pop()
                 self._dispatch(task, place, core, stolen=False)
@@ -648,7 +701,12 @@ class SimulatedRuntime:
                     yield env.sleep(steal_overhead)
                 if phases is not None:
                     phases.push("policy-search")
-                place = scheduler.place_after_steal(stolen, core)
+                if lockstep is None:
+                    place = scheduler.place_after_steal(stolen, core)
+                else:
+                    place = lockstep.decide_steal(stolen, core)
+                    if place.__class__ is Event:
+                        place = yield place
                 if phases is not None:
                     phases.pop()
                 self._dispatch(stolen, place, core, stolen=True)
@@ -676,7 +734,12 @@ class SimulatedRuntime:
                     yield env.sleep(steal_overhead)
                 if phases is not None:
                     phases.push("policy-search")
-                place = scheduler.place_after_steal(verdict, core)
+                if lockstep is None:
+                    place = scheduler.place_after_steal(verdict, core)
+                else:
+                    place = lockstep.decide_steal(verdict, core)
+                    if place.__class__ is Event:
+                        place = yield place
                 if phases is not None:
                     phases.pop()
                 self._dispatch(verdict, place, core, stolen=True)
@@ -848,7 +911,7 @@ class SimulatedRuntime:
             virtual.items(), key=lambda kv: (kv[1][0], kv[1][1])
         ):
             push[owner](t)
-        if scans:
+        if scans and not self._lean_records:
             self.collector.record_failed_scans(scans)
 
     # ------------------------------------------------------------------
@@ -878,8 +941,9 @@ class SimulatedRuntime:
         if self._tracing:
             self._emit_decision(task, place, deciding_core, stolen)
         assembly = Assembly(self.env, task, place, cores, profile)
-        assembly.task.metadata.setdefault("_dequeue_time", self.env.now)
-        task.metadata["_stolen"] = stolen
+        if not self._lean_records:
+            assembly.task.metadata.setdefault("_dequeue_time", self.env.now)
+            task.metadata["_stolen"] = stolen
         # Plain FIFO append for every priority: assemblies must keep the
         # same relative order in all member AQs (a priority jump past an
         # assembly that another member has already joined deadlocks the
@@ -997,56 +1061,77 @@ class SimulatedRuntime:
             )
             observed = max(observed, 1e-9)
         task = assembly.task
+        lockstep = self._lockstep_run
+        if lockstep is not None and lockstep.folds:
+            # Park the commit on the driver: the PTT fold happens there
+            # as one runs-axis vector op over every run that committed
+            # this round, then the driver calls _commit_tail — at the
+            # same sim time, with the same state, in the same order
+            # relative to this run's other events as the scalar path.
+            lockstep.park_commit(assembly, task, observed)
+            return
         self.scheduler.on_complete(task, assembly.place, observed)
+        self._commit_tail(assembly, task, observed)
 
-        md = task.metadata
-        record = TaskRecord(
-            task_id=task.task_id,
-            type_name=task.type_name,
-            priority=task.priority,
-            place=assembly.place,
-            ready_time=self._ready_time.pop(task.task_id, self._start_time),
-            dequeue_time=md.get("_dequeue_time", assembly.exec_start),
-            exec_start=assembly.exec_start,
-            exec_end=assembly.exec_end,
-            observed=observed,
-            stolen=bool(md.get("_stolen", False)),
-            metadata={k: v for k, v in md.items() if not k.startswith("_")},
-        )
-        # collector.record_task inlined (joined_at is always populated for
-        # assemblies built here): one bound-method dispatch less per task
-        # on the busiest commit path, identical accounting.
-        collector = self.collector
-        collector.records.append(record)
-        joined_at = assembly.joined_at
-        end = assembly.exec_end
-        core_busy = collector.core_busy
-        exec_start = assembly.exec_start
-        for core in assembly.cores:
-            core_busy[core] += end - joined_at.get(core, exec_start)
-        if self._faults_enabled:
-            crashed_at = task.metadata.pop("_crashed_at", None)
-            if crashed_at is not None:
-                self._fault_stats["recovery_latencies"].append(
-                    self.env.now - crashed_at
-                )
-        if self._tracing:
-            self.tracer.emit(
-                TaskExecEvent(
-                    t=self.env.now,
-                    task_id=task.task_id,
-                    type_name=task.type_name,
-                    leader=assembly.leader,
-                    width=assembly.width,
-                    cores=assembly.cores,
-                    exec_start=assembly.exec_start,
-                    exec_end=assembly.exec_end,
-                    priority="high" if task.is_high_priority else "low",
-                    stolen=record.stolen,
-                )
+    def _commit_tail(
+        self, assembly: Assembly, task: Task, observed: float
+    ) -> None:
+        """Post-fold half of the commit: record, release, wake.
+
+        Split from :meth:`_finish_assembly` so the lockstep driver can
+        interpose the batched PTT fold between the two halves; on the
+        scalar path the pair runs back-to-back and is line-for-line the
+        previous single method.
+        """
+        if not self._lean_records:
+            md = task.metadata
+            record = TaskRecord(
+                task_id=task.task_id,
+                type_name=task.type_name,
+                priority=task.priority,
+                place=assembly.place,
+                ready_time=self._ready_time.pop(task.task_id, self._start_time),
+                dequeue_time=md.get("_dequeue_time", assembly.exec_start),
+                exec_start=assembly.exec_start,
+                exec_end=assembly.exec_end,
+                observed=observed,
+                stolen=bool(md.get("_stolen", False)),
+                metadata={k: v for k, v in md.items() if not k.startswith("_")},
             )
-        for observer in self.on_task_commit:
-            observer(record)
+            # collector.record_task inlined (joined_at is always populated
+            # for assemblies built here): one bound-method dispatch less
+            # per task on the busiest commit path, identical accounting.
+            collector = self.collector
+            collector.records.append(record)
+            joined_at = assembly.joined_at
+            end = assembly.exec_end
+            core_busy = collector.core_busy
+            exec_start = assembly.exec_start
+            for core in assembly.cores:
+                core_busy[core] += end - joined_at.get(core, exec_start)
+            if self._faults_enabled:
+                crashed_at = task.metadata.pop("_crashed_at", None)
+                if crashed_at is not None:
+                    self._fault_stats["recovery_latencies"].append(
+                        self.env.now - crashed_at
+                    )
+            if self._tracing:
+                self.tracer.emit(
+                    TaskExecEvent(
+                        t=self.env.now,
+                        task_id=task.task_id,
+                        type_name=task.type_name,
+                        leader=assembly.leader,
+                        width=assembly.width,
+                        cores=assembly.cores,
+                        exec_start=assembly.exec_start,
+                        exec_end=assembly.exec_end,
+                        priority="high" if task.is_high_priority else "low",
+                        stolen=record.stolen,
+                    )
+                )
+            for observer in self.on_task_commit:
+                observer(record)
 
         newly_ready = self.graph.complete(task)
         # Low-priority children are pushed first so the waker's LIFO pop
@@ -1071,7 +1156,8 @@ class SimulatedRuntime:
 
     def _enqueue_ready(self, task: Task, waker_core: int) -> None:
         """Route a released task to a WSQ per the policy's wake-up rule."""
-        self._ready_time[task.task_id] = self.env.now
+        if not self._lean_records:
+            self._ready_time[task.task_id] = self.env.now
         target = self.scheduler.on_ready(task, waker_core)
         if not (0 <= target < self.machine.num_cores):
             raise SchedulingError(

@@ -32,6 +32,14 @@ COST_MODEL_FILE = os.path.join("_meta", "cost_model.json")
 #: EWMA weight of the newest observation.
 DEFAULT_ALPHA = 0.3
 
+#: Exact-table key prefix for the per-replicate *batched* marginal of a
+#: cell.  Lockstep batching makes a replicate inside a batch genuinely
+#: cheaper than the same replicate run scalar (shared construction,
+#: vectorized decisions/folds), so the two marginals are separate
+#: estimates: batch observations train only the prefixed key, scalar
+#: observations only the plain one, and neither pollutes the other.
+BATCH_KEY_PREFIX = "batch:"
+
 
 class CostModel:
     """EWMA wall-time estimates keyed by spec structure.
@@ -105,16 +113,24 @@ class CostModel:
     def predict(self, spec: RunSpec) -> Optional[float]:
         """Expected wall seconds, or ``None`` for a fully unknown spec.
 
-        A batched-replicate pseudo-spec is priced at its *members'*
-        per-replicate marginal estimate times the batch width — the
-        members share one cost key (features exclude the seed), so the
-        estimate transfers across batch compositions and between the
-        batched and scalar paths.
+        A batched-replicate pseudo-spec is priced at the cell's *batched*
+        per-replicate marginal (the :data:`BATCH_KEY_PREFIX` estimate)
+        times the batch width; until a batch of that cell has been
+        observed, the members' scalar estimate stands in (an upper bound
+        under lockstep — construction sharing and vectorized passes make
+        the batched marginal cheaper).  Members share one cost key
+        (features exclude the seed), so both estimates transfer across
+        batch compositions.
         """
         members = self._batch_members(spec)
         if members is not None:
+            width = len(members)
+            member_key = members[0].cost_key()
+            batched = self._exact.get(BATCH_KEY_PREFIX + member_key)
+            if batched is not None:
+                return batched[0] * width
             marginal = self.predict(members[0])
-            return None if marginal is None else marginal * len(members)
+            return None if marginal is None else marginal * width
         exact = self._exact.get(spec.cost_key())
         if exact is not None:
             return exact[0]
@@ -123,34 +139,44 @@ class CostModel:
             return family[0]
         return None
 
+    def _fold(self, table: Dict[str, Tuple[float, int]],
+              key: str, seconds: float) -> None:
+        """The EWMA update: seed on first sight, blend at ``alpha`` after."""
+        prior = table.get(key)
+        if prior is None:
+            table[key] = (float(seconds), 1)
+        else:
+            mean, samples = prior
+            table[key] = (
+                (1.0 - self.alpha) * mean + self.alpha * float(seconds),
+                samples + 1,
+            )
+
     def observe(self, spec: RunSpec, seconds: float) -> None:
         """Fold one measured wall time into the model.
 
         A batch observation is folded at its per-replicate *marginal*
-        cost (``seconds / width``) under the members' own key — one
-        wall-clock measurement stays one model observation, and the
-        learned estimate prices future replicates whether they run
-        batched or scalar (never the naive ``width x`` total).
+        cost (``seconds / width``) under the cell's
+        :data:`BATCH_KEY_PREFIX` key only — one wall-clock measurement
+        stays one model observation, and the lockstep discount never
+        leaks into the scalar estimate (which would underpredict future
+        scalar runs of the same cell).  Scalar observations likewise
+        never touch the batched key, and only scalar runs train the
+        per-``kind`` family fallback.
         """
         if seconds < 0:
             return
         members = self._batch_members(spec)
         if members is not None:
-            self.observe(members[0], seconds / len(members))
+            marginal = seconds / len(members)
+            self._fold(
+                self._exact,
+                BATCH_KEY_PREFIX + members[0].cost_key(),
+                marginal,
+            )
             return
-        for table, key in (
-            (self._exact, spec.cost_key()),
-            (self._family, spec.kind),
-        ):
-            prior = table.get(key)
-            if prior is None:
-                table[key] = (float(seconds), 1)
-            else:
-                mean, samples = prior
-                table[key] = (
-                    (1.0 - self.alpha) * mean + self.alpha * float(seconds),
-                    samples + 1,
-                )
+        self._fold(self._exact, spec.cost_key(), seconds)
+        self._fold(self._family, spec.kind, seconds)
 
     # -- dispatch order -------------------------------------------------
     def order(
@@ -177,4 +203,9 @@ class CostModel:
         return unknown + [(key, spec) for _, key, spec in known]
 
 
-__all__ = ["COST_MODEL_FILE", "CostModel", "DEFAULT_ALPHA"]
+__all__ = [
+    "BATCH_KEY_PREFIX",
+    "COST_MODEL_FILE",
+    "CostModel",
+    "DEFAULT_ALPHA",
+]

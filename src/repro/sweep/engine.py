@@ -166,6 +166,9 @@ class SweepStats:
     #: and ``executed`` always count *replicates*, never batches.
     batches: int = 0
     batched_runs: int = 0
+    #: Of ``batches``, how many executed under the lockstep co-advance
+    #: driver (the rest ran the legacy scalar-in-turn batch path).
+    lockstep_batches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -196,6 +199,8 @@ class SweepStats:
                 f"; batched: {self.batched_runs} replicates in "
                 f"{self.batches} batch{'es' if self.batches != 1 else ''}"
             )
+            if self.lockstep_batches:
+                text += f" ({self.lockstep_batches} lockstep)"
         return text
 
     def as_dict(self) -> Dict[str, Any]:
@@ -218,6 +223,7 @@ class SweepStats:
             "resumed": self.resumed,
             "batches": self.batches,
             "batched_runs": self.batched_runs,
+            "lockstep_batches": self.lockstep_batches,
         }
 
 
@@ -342,6 +348,7 @@ class _BatchStats:
     workers: int = 0
     batches: int = 0
     batched_runs: int = 0
+    lockstep_batches: int = 0
 
 
 class SweepRunner:
@@ -525,6 +532,10 @@ class SweepRunner:
             "Replicates packed per batched run",
             buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
         )
+        self._m_batch_fallback = reg.counter(
+            "sweep_batch_fallback_total",
+            "Batches whose harness failed and whose members re-ran scalar",
+        )
         self._checkpoint_entries: Optional[Dict[str, Dict[str, Any]]] = None
         self._attempts: Dict[str, int] = {}
         self._sources: Dict[str, str] = {}
@@ -538,6 +549,14 @@ class SweepRunner:
         #: for replicates that actually executed batched (manifest).
         self._batch_members: Dict[str, List[Tuple[str, RunSpec]]] = {}
         self._batched_width: Dict[str, int] = {}
+        #: Replicate key -> execution mode of its batch ("lockstep" or
+        #: "scalar"), and replicate key -> why it did *not* run batched
+        #: (an eligibility reason from
+        #: :func:`repro.core.batched.batch_ineligible_reason`,
+        #: "solo-replicate", "batch-failed", or "batching-off").  Both
+        #: feed the manifest's structured ``batched`` entry.
+        self._batched_mode: Dict[str, str] = {}
+        self._batch_reason: Dict[str, str] = {}
 
     # -- cache ----------------------------------------------------------
     def _cache_path(self, key: str) -> Path:
@@ -619,6 +638,8 @@ class SweepRunner:
         self._history = {}
         self._batch_members = {}
         self._batched_width = {}
+        self._batched_mode = {}
+        self._batch_reason = {}
         tele = self.telemetry
         tele.set_progress(0, 0, None)
         tele.begin()
@@ -773,7 +794,7 @@ class SweepRunner:
         """
         from repro.core.batched import (
             batch_group_key,
-            can_batch,
+            batch_ineligible_reason,
             make_batch_spec,
         )
 
@@ -781,13 +802,15 @@ class SweepRunner:
         groups: Dict[str, List[Tuple[str, RunSpec]]] = {}
         order: List[str] = []
         for key, spec in pending:
-            if can_batch(spec):
+            reason = batch_ineligible_reason(spec)
+            if reason is None:
                 group = batch_group_key(spec)
                 if group not in groups:
                     groups[group] = []
                     order.append(group)
                 groups[group].append((key, spec))
             else:
+                self._batch_reason[key] = reason
                 scalar.append((key, spec))
         out = scalar
         cap = self._batch_cap if self._batch_cap else len(pending)
@@ -797,6 +820,8 @@ class SweepRunner:
             for start in range(0, len(members), cap):
                 chunk = members[start:start + cap]
                 if len(chunk) < 2:
+                    for chunk_key, _chunk_spec in chunk:
+                        self._batch_reason[chunk_key] = "solo-replicate"
                     out.extend(chunk)
                     continue
                 pseudo = make_batch_spec([spec for _, spec in chunk])
@@ -875,6 +900,11 @@ class SweepRunner:
         marginal = wall / width
         self.cost_model.observe(job.spec, wall)
         batch.batches += 1
+        mode = metrics.get("mode") if isinstance(metrics, dict) else None
+        if mode not in ("lockstep", "scalar"):
+            mode = "scalar"
+        if mode == "lockstep":
+            batch.lockstep_batches += 1
         self._m_batch_width.observe(width)
         for (rep_key, rep_spec), payload in zip(members, reps):
             self._attempts[rep_key] = attempts
@@ -902,6 +932,7 @@ class SweepRunner:
             walls[rep_key] = marginal
             self._sources[rep_key] = "executed"
             self._batched_width[rep_key] = width
+            self._batched_mode[rep_key] = mode
             self._history.setdefault(rep_key, []).append(
                 {"attempt": attempts, "outcome": "ok", "wall": marginal}
             )
@@ -986,6 +1017,9 @@ class SweepRunner:
                             f"({type(exc).__name__}); falling back to "
                             f"{len(members)} scalar runs"
                         )
+                        self._m_batch_fallback.inc()
+                        for member_key, _member_spec in members:
+                            self._batch_reason[member_key] = "batch-failed"
                         queue.extend(members)
                         continue
                     self._record_exception(
@@ -1221,6 +1255,11 @@ class SweepRunner:
                                         f" back to {len(fallback)} scalar"
                                         " runs"
                                     )
+                                    self._m_batch_fallback.inc()
+                                    for fb_key, _fb_spec in fallback:
+                                        self._batch_reason[fb_key] = (
+                                            "batch-failed"
+                                        )
                                     todo.extend(
                                         _Job(k, s) for k, s in fallback
                                     )
@@ -1339,6 +1378,7 @@ class SweepRunner:
             resumed=batch.resumed,
             batches=batch.batches,
             batched_runs=batch.batched_runs,
+            lockstep_batches=batch.lockstep_batches,
         )
         self._finish(stats)
         if self.manifest_dir is not None:
@@ -1408,7 +1448,7 @@ class SweepRunner:
         counts: Dict[str, int] = {key: 0 for key in cells}
         total_hits = total_executed = total_unique = 0
         total_failures = total_retries = total_timeouts = total_resumed = 0
-        total_batches = total_batched_runs = 0
+        total_batches = total_batched_runs = total_lockstep = 0
         max_workers = 0
 
         self._log(
@@ -1452,6 +1492,7 @@ class SweepRunner:
             total_resumed += batch.resumed
             total_batches += batch.batches
             total_batched_runs += batch.batched_runs
+            total_lockstep += batch.lockstep_batches
             max_workers = max(max_workers, batch.workers)
             for cell_key, rep_key in owners:
                 rep_results[cell_key].append(results[rep_key])
@@ -1528,6 +1569,7 @@ class SweepRunner:
             resumed=total_resumed,
             batches=total_batches,
             batched_runs=total_batched_runs,
+            lockstep_batches=total_lockstep,
         )
         m_seeds_added.inc(stats.seeds_added)
         m_seeds_saved.inc(stats.seeds_saved)
@@ -1574,10 +1616,23 @@ class SweepRunner:
                 "attempts": self._attempts.get(key, 0),
                 "history": self._history.get(key, []),
             }
+            # ``batched`` is structured: executed batches carry their
+            # width and driver mode; everything else records *why* it
+            # ran scalar ("batching-off" = never considered, e.g. a
+            # plain non-adaptive sweep or ``--batch-runs off``).
             width = self._batched_width.get(key)
-            entry["batched"] = width is not None
             if width is not None:
+                entry["batched"] = {
+                    "batched": True,
+                    "width": width,
+                    "mode": self._batched_mode.get(key, "scalar"),
+                }
                 entry["batch"] = width
+            else:
+                entry["batched"] = {
+                    "batched": False,
+                    "reason": self._batch_reason.get(key, "batching-off"),
+                }
             result = (results or {}).get(key)
             if is_error_result(result):
                 entry["error"] = result[ERROR_KEY]

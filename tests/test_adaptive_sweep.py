@@ -210,6 +210,60 @@ class TestCostModel:
         path.write_text(json.dumps([1, 2, 3]))
         assert CostModel(path).predict(self._spec("rws")) is None
 
+    def test_ewma_update_rule_pinned(self):
+        # Regression pin of the exact fold: first observation seeds the
+        # estimate at (seconds, 1); each later one blends at alpha=0.3.
+        model = CostModel()
+        spec = self._spec("rws")
+        model.observe(spec, 2.0)
+        assert model._exact[spec.cost_key()] == (2.0, 1)
+        model.observe(spec, 4.0)
+        mean, samples = model._exact[spec.cost_key()]
+        assert mean == pytest.approx(0.7 * 2.0 + 0.3 * 4.0)
+        assert samples == 2
+
+    def test_batch_marginal_trains_batch_key_only(self):
+        from repro.core.batched import make_batch_spec
+        from repro.sweep.cost import BATCH_KEY_PREFIX
+
+        model = CostModel()
+        member = self._spec("dam-c")
+        members = [replicate_spec(member, rep) for rep in range(4)]
+        pseudo = make_batch_spec(members)
+
+        # A lockstep batch is cheaper per replicate than a scalar run;
+        # observing its wall must not drag down the scalar estimate.
+        model.observe(member, 10.0)
+        model.observe(pseudo, 8.0)  # marginal 2.0 << scalar 10.0
+        assert model._exact[member.cost_key()] == (10.0, 1)
+        key = BATCH_KEY_PREFIX + member.cost_key()
+        assert model._exact[key] == (2.0, 1)
+        # Batch pricing uses the batched marginal once it exists...
+        assert model.predict(pseudo) == pytest.approx(2.0 * 4)
+        # ...and the batched marginal folds by the same pinned EWMA.
+        model.observe(pseudo, 4.0)  # marginal 1.0
+        mean, samples = model._exact[key]
+        assert mean == pytest.approx(0.7 * 2.0 + 0.3 * 1.0)
+        assert samples == 2
+        # Scalar prediction still reflects only scalar observations.
+        assert model.predict(member) == pytest.approx(10.0)
+
+    def test_unseen_batch_prices_at_member_estimate(self):
+        from repro.core.batched import make_batch_spec
+
+        model = CostModel()
+        member = self._spec("dam-c")
+        members = [replicate_spec(member, rep) for rep in range(3)]
+        pseudo = make_batch_spec(members)
+        assert model.predict(pseudo) is None
+        model.observe(member, 6.0)
+        # No batch observed yet: the scalar marginal stands in.
+        assert model.predict(pseudo) == pytest.approx(6.0 * 3)
+        # Batch observations never touch the per-kind family fallback.
+        assert model._family["single"] == (6.0, 1)
+        model.observe(pseudo, 3.0)
+        assert model._family["single"] == (6.0, 1)
+
 
 class TestAdaptiveEngine:
     @pytest.fixture(scope="class")

@@ -11,14 +11,23 @@ Contracts under test:
 * ``run_adaptive`` with ``batch_runs="auto"`` returns exactly the
   results of ``batch_runs="off"``, with per-replicate cache entries and
   per-replicate ``seeds_added`` accounting.
+* The lockstep co-advance driver (:mod:`repro.core.lockstep`), with
+  decision and fold parking forced on, is bit-identical to the legacy
+  scalar-in-turn batch path across schedulers, run counts 1..8 and
+  divergent-seed steal storms, and a replicate failing mid-drive never
+  aborts its batchmates.
 * Fallback triggers: fault scenarios, seeded-RNG (unkeyable) kernels,
   traced runs and non-``single`` executors are rejected by
-  :func:`can_batch` and take the scalar path end to end.
-* The manifest marks batched replicates (``batched: true`` + width) and
-  the CLI/settings knob validates its inputs.
+  :func:`can_batch` (with a specific :func:`batch_ineligible_reason`)
+  and take the scalar path end to end.
+* The manifest's structured ``batched`` entry carries width + driver
+  mode for batched replicates and the fallback reason for scalar ones,
+  and the CLI/settings knob validates its inputs.
 """
 
 import json
+import os
+from contextlib import contextmanager
 
 import numpy as np
 import pytest
@@ -30,6 +39,7 @@ from repro.core.batched import (
     BatchedRates,
     BatchedSpeedModel,
     batch_group_key,
+    batch_ineligible_reason,
     can_batch,
     execute_batch,
     make_batch_spec,
@@ -63,6 +73,35 @@ def _cell(scheduler="dam-c", kernel="matmul", parallelism=2, seed=0):
 
 def _replicates(spec, n):
     return [replicate_spec(spec, rep) for rep in range(n)]
+
+
+@contextmanager
+def _env(**overrides):
+    """Temporarily set (value) or unset (None) environment variables."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    for key, value in overrides.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    try:
+        yield
+    finally:
+        for key, old in saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
+
+
+#: Force every lockstep feature on, so decision parking and fold parking
+#: are exercised even on the small test machine and narrow batches that
+#: the auto gates would otherwise leave scalar.
+LOCKSTEP_ON = dict(
+    REPRO_LOCKSTEP="1",
+    REPRO_LOCKSTEP_DECISIONS="on",
+    REPRO_LOCKSTEP_FOLDS="on",
+)
 
 
 # ----------------------------------------------------------------------
@@ -328,6 +367,127 @@ class TestExecuteBatch:
 
 
 # ----------------------------------------------------------------------
+# lockstep co-advance driver
+# ----------------------------------------------------------------------
+
+class TestLockstep:
+    """The lockstep driver (:mod:`repro.core.lockstep`).
+
+    Bit-identity is the non-negotiable contract: with decision and fold
+    parking forced on, co-advanced runs must produce payloads equal
+    (``==``, not approx) to the legacy scalar-in-turn path for every
+    scheduler, run count and seed.
+    """
+
+    @given(
+        scheduler=st.sampled_from(
+            ["rws", "fa", "fam-c", "da", "dam-c", "dam-p"]
+        ),
+        width=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @TINY
+    def test_lockstep_bit_identical_to_scalar(self, scheduler, width, seed):
+        members = _replicates(_cell(scheduler=scheduler, seed=seed), width)
+        with _env(REPRO_LOCKSTEP="0"):
+            scalar = execute_batch(members)
+        with _env(**LOCKSTEP_ON):
+            lock = execute_batch(members)
+        assert lock == scalar
+
+    def test_steal_storm_with_divergent_seeds(self):
+        # High parallelism on the small machine forces heavy stealing;
+        # the six seeds diverge at their first steal-victim draw, so the
+        # runs park at thoroughly different simulated times.
+        members = _replicates(
+            _cell(scheduler="da", parallelism=8, seed=7), 6
+        )
+        with _env(REPRO_LOCKSTEP="0"):
+            scalar = execute_batch(members)
+        with _env(**LOCKSTEP_ON):
+            lock = execute_batch(members)
+        assert lock == scalar
+        assert all("ok" in p for p in lock)
+
+    def test_mid_drive_failure_never_aborts_batchmates(self, monkeypatch):
+        members = _replicates(_cell(scheduler="dam-c"), 4)
+        with _env(REPRO_LOCKSTEP="0"):
+            scalar = execute_batch(members)
+        from repro.core.policies import registry as policy_registry
+
+        real = policy_registry.make_scheduler
+        built = {"n": 0}
+
+        def flaky(name, **kwargs):
+            policy = real(name, **kwargs)
+            built["n"] += 1
+            if built["n"] == 2:  # the second replicate's policy
+                orig = policy.choose_place
+                calls = {"n": 0}
+
+                def boom(task, core):
+                    calls["n"] += 1
+                    if calls["n"] > 5:  # deep into the drive phase
+                        raise RuntimeError("replicate 1 exploded")
+                    return orig(task, core)
+
+                policy.choose_place = boom
+            return policy
+
+        monkeypatch.setattr(
+            "repro.core.policies.registry.make_scheduler", flaky
+        )
+        with _env(**LOCKSTEP_ON):
+            lock = execute_batch(members)
+        assert lock[1]["err"]["type"] == "RuntimeError"
+        assert [lock[i] for i in (0, 2, 3)] == [
+            scalar[i] for i in (0, 2, 3)
+        ]
+
+    def test_run_batch_spec_reports_mode(self):
+        pseudo = make_batch_spec(_replicates(_cell(), 3))
+        with _env(**LOCKSTEP_ON):
+            on = run_batch_spec(pseudo)
+        with _env(REPRO_LOCKSTEP="0"):
+            off = run_batch_spec(pseudo)
+        assert on["mode"] == "lockstep"
+        assert off["mode"] == "scalar"
+        assert on["replicates"] == off["replicates"]
+
+    def test_knobs(self):
+        from repro.core import lockstep
+
+        assert lockstep.lockstep_enabled()  # default on
+        with _env(REPRO_LOCKSTEP="0"):
+            assert not lockstep.lockstep_enabled()
+        with _env(REPRO_LOCKSTEP_DECISIONS="off"):
+            assert lockstep._tri_state("REPRO_LOCKSTEP_DECISIONS") is False
+        with _env(REPRO_LOCKSTEP_DECISIONS="on"):
+            assert lockstep._tri_state("REPRO_LOCKSTEP_DECISIONS") is True
+        with _env(REPRO_LOCKSTEP_DECISIONS="auto"):
+            assert lockstep._tri_state("REPRO_LOCKSTEP_DECISIONS") is None
+        with _env(REPRO_LOCKSTEP_DECISIONS=None):  # unset: auto
+            assert lockstep._tri_state("REPRO_LOCKSTEP_DECISIONS") is None
+
+    def test_ineligible_reasons_are_specific(self):
+        assert batch_ineligible_reason(_cell()) is None
+        spec = _cell()
+        params = dict(spec.params)
+        params["trace"] = {"out_dir": "x", "label": "y"}
+        assert batch_ineligible_reason(
+            RunSpec(kind="single", params=params)
+        ) == "traced"
+        params = dict(spec.params)
+        params["scenario"] = {"name": "faults", "rate": 0.1}
+        assert batch_ineligible_reason(
+            RunSpec(kind="single", params=params)
+        ) == "faults"
+        assert batch_ineligible_reason(
+            RunSpec(kind="heat_cluster", params={})
+        ) == "executor:heat_cluster"
+
+
+# ----------------------------------------------------------------------
 # engine integration
 # ----------------------------------------------------------------------
 
@@ -402,11 +562,42 @@ class TestEngineIntegration:
         )
         runner.run_adaptive(specs, policy)
         manifest = json.loads((tmp_path / "manifest.json").read_text())
-        widths = [r.get("batch") for r in manifest["runs"] if r["batched"]]
-        assert widths and all(w == 3 for w in widths)
+        batched = [
+            r for r in manifest["runs"] if r["batched"]["batched"]
+        ]
+        assert batched
+        for r in batched:
+            assert r["batched"]["width"] == 3
+            assert r["batched"]["mode"] in ("lockstep", "scalar")
+            assert r["batch"] == 3  # legacy width field kept
         assert manifest["stats"]["batches"] >= 1
-        scalars = [r for r in manifest["runs"] if not r["batched"]]
-        assert all("batch" not in r for r in scalars)
+        assert manifest["stats"]["lockstep_batches"] >= 1
+        scalars = [
+            r for r in manifest["runs"] if not r["batched"]["batched"]
+        ]
+        for r in scalars:
+            assert "batch" not in r
+            assert r["batched"]["reason"]
+
+    def test_manifest_records_ineligibility_reason(self, tmp_path):
+        spec = _cell()
+        params = dict(spec.params)
+        params["scenario"] = {
+            "name": "faults", "mtbf": 5.0, "mttr": 1.0, "cores": [0],
+        }
+        faulty = RunSpec(
+            kind="single", params=params, seed=0, metrics=("throughput",)
+        )
+        policy = AdaptivePolicy(ci=0.02, min_seeds=2, max_seeds=2)
+        runner = SweepRunner(
+            jobs=1, use_cache=False, manifest_dir=tmp_path,
+            batch_runs="auto",
+        )
+        runner.run_adaptive([faulty], policy)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["runs"]
+        for r in manifest["runs"]:
+            assert r["batched"] == {"batched": False, "reason": "faults"}
 
     def test_batch_harness_failure_falls_back_to_scalar(self, monkeypatch):
         specs = [_cell(scheduler="dam-c")]
