@@ -1,0 +1,82 @@
+"""Message vocabulary of the coordinator/worker conversation.
+
+Every frame on a cluster connection is a JSON object with a ``"type"``
+key.  The full protocol (see ``docs/cluster.md`` for the lifecycle):
+
+Worker → coordinator
+    ``register``   name, capacity, pid, and the worker's execution mode.
+    ``started``    a leased run began executing (arms the lease deadline).
+    ``result``     lease outcome: ``ok`` + metrics payload (or a captured
+                   exception), wall seconds, optional telemetry snapshot.
+    ``heartbeat``  periodic liveness ping with per-lease elapsed times.
+    ``revoked``    acknowledges a revoke; the lease never started here.
+    ``goodbye``    orderly departure (remaining leases reclaim instantly).
+
+Coordinator → worker
+    ``welcome``    registration accepted: sweep config (timeout,
+                   heartbeat interval, telemetry on/off).
+    ``lease``      one cell to execute: lease id, cache key, spec data,
+                   replicate width, per-run timeout.
+    ``revoke``     return an *unstarted* lease (work stealing).
+    ``shutdown``   sweep over; the worker loop exits.
+
+Specs cross the wire as their constructor data — a spec is already
+plain data (that is the whole point of :class:`~repro.sweep.spec.RunSpec`),
+so serialization is lossless and the remote ``spec.key()`` necessarily
+equals the coordinator's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.sweep.spec import RunSpec
+
+MSG_REGISTER = "register"
+MSG_WELCOME = "welcome"
+MSG_LEASE = "lease"
+MSG_REVOKE = "revoke"
+MSG_REVOKED = "revoked"
+MSG_STARTED = "started"
+MSG_RESULT = "result"
+MSG_HEARTBEAT = "heartbeat"
+MSG_SHUTDOWN = "shutdown"
+MSG_GOODBYE = "goodbye"
+
+
+def spec_to_data(spec: RunSpec) -> Dict[str, Any]:
+    """Serialize a spec for the wire (inverse of :func:`spec_from_data`)."""
+    return {
+        "kind": spec.kind,
+        "params": dict(spec.params),
+        "seed": spec.seed,
+        "metrics": list(spec.metrics),
+        "tags": dict(spec.tags),
+    }
+
+
+def spec_from_data(data: Dict[str, Any]) -> RunSpec:
+    """Rebuild a spec from its wire form."""
+    return RunSpec(
+        kind=data["kind"],
+        params=data["params"],
+        seed=data["seed"],
+        metrics=tuple(data["metrics"]),
+        tags=data.get("tags", {}),
+    )
+
+
+__all__ = [
+    "MSG_GOODBYE",
+    "MSG_HEARTBEAT",
+    "MSG_LEASE",
+    "MSG_REGISTER",
+    "MSG_RESULT",
+    "MSG_REVOKE",
+    "MSG_REVOKED",
+    "MSG_SHUTDOWN",
+    "MSG_STARTED",
+    "MSG_WELCOME",
+    "spec_from_data",
+    "spec_to_data",
+]

@@ -208,10 +208,13 @@ class Fabric:
             self._at(retry_at, _fail)
             return
 
-        self.retransmissions += 1
-
         def _retry(_event: Event, message=message, done=done,
                    attempt=attempt) -> None:
+            # The budget is charged here, when the retransmission is
+            # actually attempted — not at scheduling time.  A receiver
+            # whose timeout fires inside the retransmit-delay window
+            # must observe only the transmissions that happened.
+            self.retransmissions += 1
             self._transmit(message, done, attempt + 1)
 
         self._at(retry_at, _retry)

@@ -65,6 +65,13 @@ class ExperimentSettings:
     cells from the per-figure checkpoint instead of recomputing them
     after an interrupted sweep.
 
+    ``cluster`` routes every sweep through the coordinator/worker
+    cluster backend instead of the local pool (see ``docs/cluster.md``):
+    ``"inproc"`` is self-contained, while an ``inproc://name`` or
+    ``tcp://host:port`` address waits for external workers to join.
+    Caching, checkpoints and retry budgets behave identically; results
+    are bit-identical to a local run.
+
     ``batch_runs`` controls batched replicate execution under
     ``adaptive`` (see ``docs/performance.md``): ``"auto"`` packs each
     adaptive round's same-cell replicates into one batched run with no
@@ -94,6 +101,7 @@ class ExperimentSettings:
     run_timeout: Optional[float] = None
     max_attempts: int = 2
     resume: bool = False
+    cluster: Optional[str] = None
     batch_runs: str = "auto"
     watch: bool = False
     report: bool = False
@@ -128,6 +136,13 @@ class ExperimentSettings:
         if self.max_attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.cluster is not None and (
+            self.cluster != "inproc" and "://" not in self.cluster
+        ):
+            raise ConfigurationError(
+                "cluster must be 'inproc' or a connector address like "
+                f"'tcp://host:port', got {self.cluster!r}"
             )
 
     @property
@@ -271,11 +286,15 @@ def sweep(specs, settings: ExperimentSettings, label: str):
         timeout=settings.run_timeout,
         max_attempts=settings.max_attempts,
         resume=settings.resume,
+        cluster=settings.cluster,
         batch_runs=settings.batch_runs,
         telemetry=telemetry,
         watch=settings.watch,
     )
-    results = runner.run_adaptive(specs, settings.adaptive_policy())
+    try:
+        results = runner.run_adaptive(specs, settings.adaptive_policy())
+    finally:
+        runner.close()
     if settings.report and manifest_dir is not None:
         from repro.telemetry.report import write_report
 

@@ -15,10 +15,14 @@ simulation exports a Chrome-trace JSON (open in Perfetto or
 ``manifest.json``.  ``--trace`` does the same for a normal subcommand.
 Traced runs bypass the result cache.  See ``docs/observability.md``.
 
-Exit codes distinguish who is at fault: ``0`` success, ``2`` user error
-(bad arguments or configuration), ``3`` an internal crash worth a bug
-report.  See ``docs/robustness.md`` for ``--resume``, ``--run-timeout``
-and ``--max-attempts``.
+Exit codes distinguish who is at fault: ``0`` success (including runs
+that completed after retries), ``2`` user error (bad arguments or
+configuration), ``3`` an internal crash worth a bug report, ``4`` one
+or more cells exhausted their retry budget on infrastructure failures
+(worker crashes/timeouts/lease expiries) — the results are incomplete
+and a re-run (or ``--resume``) is warranted.  See ``docs/robustness.md``
+for ``--resume``, ``--run-timeout`` and ``--max-attempts``, and
+``docs/cluster.md`` for ``--cluster``.
 """
 
 from __future__ import annotations
@@ -50,6 +54,9 @@ from repro.experiments.verify import run_verify
 EXIT_OK = 0
 EXIT_USER_ERROR = 2
 EXIT_INTERNAL_ERROR = 3
+#: One or more sweep cells exhausted their retry budget (crash/timeout/
+#: lease-expiry): the run finished but its results are incomplete.
+EXIT_EXHAUSTED = 4
 
 _HARNESSES: Dict[str, Callable] = {
     "table1": lambda settings: run_table1(),
@@ -196,6 +203,15 @@ def main(argv=None) -> int:
         "cell is recorded as failed (default 2)",
     )
     parser.add_argument(
+        "--cluster",
+        default=None,
+        metavar="ADDR",
+        help="execute sweeps over the cluster backend instead of the "
+        "local pool: 'inproc' (self-contained), or an 'inproc://name' / "
+        "'tcp://host:port' address where remote workers (python -m "
+        "repro.cluster.worker --connect ADDR) join (see docs/cluster.md)",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="replay cells completed by a previously interrupted sweep "
@@ -266,6 +282,7 @@ def main(argv=None) -> int:
             run_timeout=args.run_timeout,
             max_attempts=args.max_attempts,
             resume=args.resume,
+            cluster=args.cluster,
             batch_runs=args.batch_runs,
             watch=args.watch,
             report=args.report,
@@ -275,6 +292,7 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USER_ERROR
     pop_stats()  # drop anything accumulated before this invocation
+    total_exhausted = 0
     for name in names:
         start = time.perf_counter()
         try:
@@ -324,9 +342,15 @@ def main(argv=None) -> int:
         )
         failures = sum(s.failures for s in stats)
         failure_note = f", {failures} runs FAILED" if failures else ""
+        exhausted = sum(s.exhausted for s in stats)
+        total_exhausted += exhausted
+        exhausted_note = (
+            f" ({exhausted} exhausted their retry budget)" if exhausted
+            else ""
+        )
         print(
             f"[{name} regenerated in {elapsed:.1f}s wall"
-            f"{cache_note}{failure_note}]"
+            f"{cache_note}{failure_note}{exhausted_note}]"
         )
         if trace_out:
             print(
@@ -340,6 +364,14 @@ def main(argv=None) -> int:
                 artifacts += ", report.html"
             print(f"[telemetry under {tele_root}/<sweep>/: {artifacts}]")
         print()
+    if total_exhausted:
+        print(
+            f"error: {total_exhausted} run(s) exhausted their retry "
+            "budget — results are incomplete (re-run, or --resume to "
+            "keep completed cells)",
+            file=sys.stderr,
+        )
+        return EXIT_EXHAUSTED
     return EXIT_OK
 
 

@@ -161,6 +161,13 @@ class SweepStats:
     retries: int = 0
     timeouts: int = 0
     resumed: int = 0
+    #: Checkpoint lines skipped under ``resume`` because their cache key
+    #: no longer matches the recorded identity (stale version or
+    #: tampering) — see ``docs/robustness.md``.
+    resumed_stale: int = 0
+    #: Specs (replicates) that exhausted their retry budget on
+    #: infrastructure failures; the CLI maps any of these to exit code 4.
+    exhausted: int = 0
     #: Batched replication (see :mod:`repro.core.batched`): batch jobs
     #: submitted and replicates executed inside them.  ``seeds_added``
     #: and ``executed`` always count *replicates*, never batches.
@@ -183,11 +190,15 @@ class SweepStats:
         )
         if self.resumed:
             text += f"; {self.resumed} resumed from checkpoint"
+        if self.resumed_stale:
+            text += f"; {self.resumed_stale} stale checkpoint lines skipped"
         if self.failures or self.retries or self.timeouts:
             text += (
                 f"; robustness: {self.failures} failed, "
                 f"{self.retries} retried, {self.timeouts} timed out"
             )
+            if self.exhausted:
+                text += f", {self.exhausted} exhausted retries"
         if self.cells:
             text += (
                 f"; adaptive: {self.cells} cells, "
@@ -221,6 +232,8 @@ class SweepStats:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "resumed": self.resumed,
+            "resumed_stale": self.resumed_stale,
+            "exhausted": self.exhausted,
             "batches": self.batches,
             "batched_runs": self.batched_runs,
             "lockstep_batches": self.lockstep_batches,
@@ -345,6 +358,7 @@ class _BatchStats:
     failures: int = 0
     retries: int = 0
     timeouts: int = 0
+    exhausted: int = 0
     workers: int = 0
     batches: int = 0
     batched_runs: int = 0
@@ -414,6 +428,19 @@ class SweepRunner:
         Render the live terminal dashboard (ANSI, stderr) while the
         sweep runs.  Implies nothing about ``telemetry`` — harnesses
         enable both together.
+    cluster:
+        Route execution through the :mod:`repro.cluster` coordinator
+        instead of the local pool (see ``docs/cluster.md``).  ``"inproc"``
+        listens on an automatic in-process address and spawns ``jobs``
+        worker threads itself; an explicit ``inproc://name`` or
+        ``tcp://host:port`` address listens there and waits for external
+        workers (``python -m repro.cluster.worker --connect ...``) to
+        join.  Caching, checkpointing, ``resume`` and retry budgets work
+        identically; results are bit-identical to a local run.
+    lease_timeout / liveness_timeout:
+        Cluster-only overrides for the coordinator's lease-expiry and
+        worker-silence budgets (see
+        :class:`~repro.cluster.coordinator.ClusterCoordinator`).
     """
 
     def __init__(
@@ -431,6 +458,9 @@ class SweepRunner:
         batch_runs="auto",
         telemetry: Optional[Telemetry] = None,
         watch: bool = False,
+        cluster: Optional[str] = None,
+        lease_timeout: Optional[float] = None,
+        liveness_timeout: Optional[float] = None,
     ) -> None:
         self.jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
         if self.jobs < 1:
@@ -456,6 +486,12 @@ class SweepRunner:
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
         self.resume = resume
+        self.cluster = cluster
+        self.lease_timeout = lease_timeout
+        self.liveness_timeout = liveness_timeout
+        self._coordinator = None
+        self._cluster_workers: List[Any] = []
+        self._resumed_stale = 0
         self.last_stats: Optional[SweepStats] = None
         self.cost_model = CostModel(
             self.cache_dir / COST_MODEL_FILE if use_cache else None
@@ -597,8 +633,22 @@ class SweepRunner:
         return self.cache_dir / "checkpoints" / f"{safe}.jsonl"
 
     def _load_checkpoint(self) -> Dict[str, Dict[str, Any]]:
-        """Parse the label's checkpoint, tolerating a torn final line."""
+        """Parse the label's checkpoint, tolerating a torn final line.
+
+        Every line is *validated* before it is trusted: the recorded
+        identity must hash back to the recorded cache key, and its
+        package version must match the running one.  A line that fails —
+        a stale checkpoint from an older version, or a tampered/corrupted
+        entry — is skipped and logged (counted in
+        ``SweepStats.resumed_stale``) so the cell recomputes instead of
+        silently reusing a result the current code would not produce.
+        """
+        import hashlib
+
+        from repro._version import __version__
+
         entries: Dict[str, Dict[str, Any]] = {}
+        stale = 0
         try:
             fh = open(self._checkpoint_path(), "r", encoding="utf-8")
         except OSError:
@@ -616,8 +666,36 @@ class SweepRunner:
                     continue
                 key = entry.get("key")
                 metrics = entry.get("metrics")
-                if isinstance(key, str) and isinstance(metrics, dict):
-                    entries[key] = metrics
+                if not (isinstance(key, str) and isinstance(metrics, dict)):
+                    continue
+                identity = entry.get("identity")
+                if isinstance(identity, dict):
+                    payload = json.dumps(
+                        identity, sort_keys=True, separators=(",", ":")
+                    )
+                    digest = hashlib.sha256(
+                        payload.encode("utf-8")
+                    ).hexdigest()
+                    if (
+                        digest != key
+                        or identity.get("version") != __version__
+                    ):
+                        stale += 1
+                        self._log(
+                            f"checkpoint line for {key[:12]} is stale "
+                            f"(recorded version "
+                            f"{identity.get('version')!r}); recomputing",
+                            kind="retry",
+                        )
+                        continue
+                entries[key] = metrics
+        if stale:
+            self._log(
+                f"skipped {stale} stale checkpoint line(s); the affected "
+                "cells will recompute",
+                kind="retry",
+            )
+        self._resumed_stale += stale
         return entries
 
     def _checkpoint_append(
@@ -774,7 +852,9 @@ class SweepRunner:
             )
             + (f" on {workers} workers" if workers > 1 else "")
         )
-        if workers > 1 or (workers == 1 and self.timeout is not None):
+        if self.cluster is not None:
+            self._run_cluster(pending, results, walls, batch)
+        elif workers > 1 or (workers == 1 and self.timeout is not None):
             self._run_supervised(pending, results, walls, batch, workers)
         else:
             self._run_inline(pending, results, walls, batch)
@@ -969,6 +1049,158 @@ class SweepRunner:
             kind="fail",
         )
 
+    # -- cluster execution ----------------------------------------------
+    def _ensure_coordinator(self):
+        """Create (once) the cluster coordinator — and, for the plain
+        ``"inproc"`` mode, its in-process auto-workers."""
+        if self._coordinator is not None:
+            return self._coordinator
+        from repro.cluster.coordinator import ClusterCoordinator
+
+        address = self.cluster
+        auto_workers = 0
+        if address == "inproc":
+            # Self-contained mode: the runner is its own cluster.
+            address = f"inproc://sweep-{self.label}-{id(self):x}"
+            auto_workers = self.jobs
+        self._coordinator = ClusterCoordinator(
+            address,
+            telemetry=self.telemetry,
+            max_attempts=self.max_attempts,
+            retry_backoff=self.retry_backoff,
+            run_timeout=self.timeout,
+            lease_timeout=self.lease_timeout,
+            liveness_timeout=self.liveness_timeout,
+            # Generous drain: lingers only while reclaimed-but-alive
+            # leases are outstanding, so their late duplicates are
+            # observed (and suppressed) instead of orphaned.
+            drain_timeout=2.0,
+            cost_model=self.cost_model,
+            log=self._log,
+        )
+        if auto_workers:
+            from repro.cluster.worker import start_worker_thread
+
+            # Auto-workers need subprocess isolation only to *enforce* a
+            # per-run timeout; without one, in-thread execution is
+            # cheaper and behaves identically.
+            for i in range(auto_workers):
+                self._cluster_workers.append(
+                    start_worker_thread(
+                        self._coordinator.address,
+                        name=f"local-{i}",
+                        capacity=1,
+                        isolate=self.timeout is not None,
+                        reconnect_timeout=5.0,
+                    )
+                )
+        self._log(
+            f"cluster: coordinating at {self._coordinator.address}"
+            + (f" with {auto_workers} local workers" if auto_workers else
+               " (waiting for workers to connect)")
+        )
+        return self._coordinator
+
+    def _run_cluster(
+        self,
+        pending: Sequence[Tuple[str, RunSpec]],
+        results: Dict[str, Dict[str, Any]],
+        walls: Dict[str, float],
+        batch: _BatchStats,
+    ) -> None:
+        """Fan pending specs out over the cluster coordinator.
+
+        Each outcome is recorded *as it commits* (streaming, through the
+        coordinator's ``on_resolved`` hook), so caching, checkpointing
+        and ``--resume`` behave exactly as under the local pool: a sweep
+        killed mid-flight resumes past every committed cell.  A batch
+        pseudo-run whose harness fails deterministically falls back to
+        scalar runs of its members, mirroring the local paths.
+        """
+        coord = self._ensure_coordinator()
+        tele = self.telemetry
+        specs_by_key: Dict[str, RunSpec] = dict(pending)
+        jobs = [
+            (key, spec, self._job_width(_Job(key, spec)))
+            for key, spec in pending
+        ]
+
+        def on_resolved(key, out):
+            spec = specs_by_key[key]
+            job = _Job(key, spec, attempts=max(out.attempts - 1, 0))
+            tele.registry.merge(out.snap)
+            if out.status == "ok":
+                self._record_success(
+                    job, out.payload, out.wall, results, walls, batch
+                )
+                return None
+            payload = out.payload or {}
+            members = self._batch_members.pop(key, None)
+            if out.status == "exception" and members is not None:
+                # The batch harness itself failed (per-replicate errors
+                # come back inside a successful payload): fall back to
+                # scalar runs of every member.
+                self._log(
+                    f"batch {key[:12]} failed ({payload.get('type')}); "
+                    f"falling back to {len(members)} scalar runs"
+                )
+                self._m_batch_fallback.inc()
+                extras = []
+                for member_key, member_spec in members:
+                    self._batch_reason[member_key] = "batch-failed"
+                    specs_by_key[member_key] = member_spec
+                    extras.append((member_key, member_spec, 1))
+                return extras
+            if out.status == "exception":
+                self._record_exception(
+                    job, payload, results, batch, wall=out.wall
+                )
+                return None
+            # Exhausted retry budget: every member resolves to an error
+            # result, like the supervised pool's give-up path.
+            width = len(members) if members else 1
+            for rep_key, _rep_spec in members or [(key, spec)]:
+                results[rep_key] = _error_result(
+                    str(payload.get("type") or "SweepWorkerError"),
+                    str(payload.get("message") or "cluster failure"),
+                    out.attempts,
+                    out.kind,
+                )
+                self._sources[rep_key] = "failed"
+                self._attempts[rep_key] = out.attempts
+                self._history.setdefault(rep_key, []).append(
+                    {"attempt": out.attempts, "outcome": out.kind,
+                     "wall": None}
+                )
+                batch.failures += 1
+                batch.exhausted += 1
+            self._m_failures.inc(width)
+            tele.done += width
+            return None
+
+        def tick(queue_depth, busy, live):
+            self._tick(queue_depth, busy, live)
+
+        report = coord.execute(
+            jobs,
+            on_resolved=on_resolved,
+            tick=tick if (tele.enabled or self._dashboard) else None,
+        )
+        batch.retries += report.retries
+        batch.timeouts += report.timeouts
+        batch.workers = max(report.peak_workers, 1)
+        self._m_timeouts.inc(report.timeouts)
+        self._m_retries.inc(report.retries)
+
+    def close(self) -> None:
+        """Release cluster resources (idempotent; local-pool no-op)."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+        for worker in self._cluster_workers:
+            worker.stop()
+        self._cluster_workers = []
+
     def _run_inline(
         self,
         pending: Sequence[Tuple[str, RunSpec]],
@@ -1127,6 +1359,7 @@ class SweepRunner:
                     self._sources[rep_key] = "failed"
                     self._attempts[rep_key] = job.attempts
                     batch.failures += 1
+                    batch.exhausted += 1
                 width = len(members) if members else 1
                 self._m_failures.inc(width)
                 tele.done += width
@@ -1376,6 +1609,8 @@ class SweepRunner:
             retries=batch.retries,
             timeouts=batch.timeouts,
             resumed=batch.resumed,
+            resumed_stale=self._resumed_stale,
+            exhausted=batch.exhausted,
             batches=batch.batches,
             batched_runs=batch.batched_runs,
             lockstep_batches=batch.lockstep_batches,
@@ -1448,6 +1683,7 @@ class SweepRunner:
         counts: Dict[str, int] = {key: 0 for key in cells}
         total_hits = total_executed = total_unique = 0
         total_failures = total_retries = total_timeouts = total_resumed = 0
+        total_exhausted = 0
         total_batches = total_batched_runs = total_lockstep = 0
         max_workers = 0
 
@@ -1490,6 +1726,7 @@ class SweepRunner:
             total_retries += batch.retries
             total_timeouts += batch.timeouts
             total_resumed += batch.resumed
+            total_exhausted += batch.exhausted
             total_batches += batch.batches
             total_batched_runs += batch.batched_runs
             total_lockstep += batch.lockstep_batches
@@ -1567,6 +1804,8 @@ class SweepRunner:
             retries=total_retries,
             timeouts=total_timeouts,
             resumed=total_resumed,
+            resumed_stale=self._resumed_stale,
+            exhausted=total_exhausted,
             batches=total_batches,
             batched_runs=total_batched_runs,
             lockstep_batches=total_lockstep,

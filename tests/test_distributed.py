@@ -396,6 +396,45 @@ class TestMessageFaults:
         assert fabric.retransmissions == 1
         assert fabric.messages_delivered == 1
 
+    def test_recv_timeout_inside_retransmit_window_sees_no_retries(self):
+        # seed=1 drops the first attempt (wire=2e-3, lost at 2e-3); the
+        # retransmission is due at 12e-3.  The budget must be charged
+        # when the retransmission is *attempted*, not when it is
+        # scheduled: a receiver timing out at 5e-3 — inside the
+        # retransmit-delay window — observes one drop and zero
+        # retransmissions.
+        env = Environment()
+        fabric = Fabric(env, 2, self.IC,
+                        faults=MessageFaultModel(drop_prob=0.9,
+                                                 max_retransmits=3,
+                                                 retransmit_delay=10e-3,
+                                                 seed=1))
+        observed = []
+
+        def receiver():
+            try:
+                yield fabric.recv(1, src=0, tag=7, timeout=5e-3)
+            except CommunicationTimeout:
+                observed.append(
+                    (env.now, fabric.messages_dropped,
+                     fabric.retransmissions)
+                )
+            # The retried receive picks the message up once the (now
+            # charged) retransmission lands at 14e-3.
+            yield fabric.recv(1, src=0, tag=7)
+            observed.append(
+                (env.now, fabric.messages_dropped, fabric.retransmissions)
+            )
+
+        env.process(receiver())
+        fabric.send(Message(0, 1, 7, size_bytes=1e3))
+        env.run()
+        assert observed == [
+            (pytest.approx(5e-3), 1, 0),
+            (pytest.approx(14e-3), 1, 1),
+        ]
+        assert fabric.messages_delivered == 1
+
     def test_delay_fault_postpones_delivery(self):
         env = Environment()
         fabric = Fabric(env, 2, self.IC,

@@ -242,6 +242,98 @@ class TestStragglers:
         snap = tele.registry.snapshot()
         assert snap["sweep_heartbeats_total"]["value"] == 0
 
+    # -- the same contract for remote (cluster) workers -----------------
+
+    def test_cluster_slow_run_is_flagged_but_never_killed(self, tmp_path):
+        # The lease yardstick (lease_timeout/2 = 1.25s) flags the 1.6s
+        # run as a straggler, but only lease expiry (2.5s) ever reclaims
+        # — the flagged run completes untouched.
+        pop_stats()
+        tele = self._telemetry()
+        runner = _runner(
+            tmp_path, jobs=1, cluster="inproc", lease_timeout=2.5,
+            telemetry=tele,
+        )
+        try:
+            (row,) = runner.run([_spec("chaos_hang", sleep=1.6)])
+        finally:
+            runner.close()
+        assert row == {"value": 0.0}  # completed, not killed
+        (stats,) = pop_stats()
+        assert stats.timeouts == 0 and stats.failures == 0
+        snap = tele.registry.snapshot()
+        assert snap["cluster_stragglers_total"]["value"] >= 1
+        assert snap["cluster_leases_expired_total"]["value"] == 0
+        assert snap["cluster_leases_reclaimed_total"]["value"] == 0
+
+    def test_cluster_heartbeating_slow_worker_is_not_lost(self):
+        # A run three times the liveness budget, but heartbeats keep
+        # flowing: proof of life must keep the worker registered —
+        # silence, not slowness, is the only death sentence.
+        from repro.cluster.coordinator import ClusterCoordinator
+        from repro.cluster.worker import start_worker_thread
+        from repro.telemetry import Telemetry
+
+        tele = Telemetry(enabled=True)
+        coord = ClusterCoordinator(
+            "inproc://strag-alive", telemetry=tele,
+            liveness_timeout=0.4, retry_backoff=0.05,
+        )
+        worker = start_worker_thread(
+            coord.address, name="slowpoke", heartbeat_interval=0.1
+        )
+        spec = _spec("chaos_hang", sleep=1.2)
+        try:
+            report = coord.execute([(spec.key(), spec, 1)])
+        finally:
+            coord.close()
+            worker.stop()
+        (outcome,) = report.outcomes.values()
+        assert outcome.status == "ok"
+        assert outcome.payload == {"value": 0.0}
+        snap = tele.registry.snapshot()
+        assert snap["cluster_workers_lost_total"]["value"] == 0
+        assert snap["cluster_heartbeats_total"]["value"] >= 3
+
+    def test_cluster_silent_worker_is_reclaimed_exactly_once(self, tmp_path):
+        # The mirror image: a paused main loop stops the heartbeats, so
+        # the worker is lost after the liveness budget, its leases are
+        # reclaimed, and a healthy worker finishes the sweep — with
+        # every cell still committed exactly once.
+        from repro.cluster.chaos import ChaosEvent, WorkerChaos
+        from repro.cluster.coordinator import ClusterCoordinator
+        from repro.cluster.worker import start_worker_thread
+        from repro.telemetry import Telemetry
+
+        tele = Telemetry(enabled=True)
+        coord = ClusterCoordinator(
+            "inproc://strag-silent", telemetry=tele,
+            liveness_timeout=0.4, retry_backoff=0.05, max_attempts=3,
+        )
+        specs = [
+            _spec("chaos_count", counter=str(tmp_path / f"c{v}"), value=v)
+            for v in range(4)
+        ]
+        silent = start_worker_thread(
+            coord.address, name="silent", heartbeat_interval=0.1,
+            chaos=WorkerChaos(events=[
+                ChaosEvent(kind="pause", after_results=0, duration=1.0)
+            ]),
+        )
+        healthy = start_worker_thread(
+            coord.address, name="healthy", heartbeat_interval=0.1
+        )
+        try:
+            report = coord.execute([(s.key(), s, 1) for s in specs])
+        finally:
+            coord.close()
+            silent.stop()
+            healthy.stop()
+        assert all(o.status == "ok" for o in report.outcomes.values())
+        assert len(report.outcomes) == 4
+        snap = tele.registry.snapshot()
+        assert snap["cluster_workers_lost_total"]["value"] >= 1
+
 
 class TestDeterministicExceptions:
     def test_exception_captured_inline(self, tmp_path):
@@ -338,6 +430,34 @@ class TestCheckpointResume:
             lines = [line for line in fh if line.strip()]
         assert len(lines) == 1  # the old 3 entries are gone
 
+    def test_stale_checkpoint_lines_are_skipped_and_counted(self, tmp_path):
+        # A line whose recorded identity no longer hashes back to its
+        # key (here: a tampered version, as after an engine upgrade) is
+        # skipped with a log, counted in ``resumed_stale``, and its cell
+        # recomputed; fresh lines still replay.
+        counter = tmp_path / "c"
+        first = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        first.run(self._specs(counter))
+        assert _executions(counter) == 3
+        path = tmp_path / "cache" / "checkpoints" / "fig.jsonl"
+        entries = [
+            json.loads(line) for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        entries[1]["identity"]["version"] = "0.0.0-stale"
+        with open(path, "w") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry) + "\n")
+        pop_stats()
+        second = _runner(tmp_path, jobs=1, resume=True, label="fig")
+        rows = second.run(self._specs(counter))
+        assert rows == [{"value": 0.0}, {"value": 1.0}, {"value": 2.0}]
+        assert _executions(counter) == 4  # exactly the stale cell re-ran
+        (stats,) = pop_stats()
+        assert stats.resumed_stale == 1
+        assert stats.resumed == 2
+        assert stats.executed == 1
+
     def test_errors_never_enter_the_checkpoint(self, tmp_path):
         first = _runner(tmp_path, jobs=1, resume=True, label="fig")
         (row,) = first.run([_spec("chaos_raise", value=1)])
@@ -429,3 +549,37 @@ class TestCliExitCodes:
         monkeypatch.setitem(cli._HARNESSES, "fig4", reject)
         assert cli.main(["fig4", "--no-cache"]) == cli.EXIT_USER_ERROR
         assert "flag combination unsupported" in capsys.readouterr().err
+
+    def test_bad_cluster_address_exits_2(self, capsys):
+        assert (
+            cli.main(["fig4", "--cluster", "bogus"]) == cli.EXIT_USER_ERROR
+        )
+        assert "cluster" in capsys.readouterr().err
+
+    def test_exhausted_retry_budget_exits_4(self, capsys, monkeypatch,
+                                            tmp_path):
+        class _Result:
+            def report(self):
+                return "[fake harness]"
+
+        def harness(settings):
+            runner = SweepRunner(
+                jobs=2, use_cache=False, progress=False,
+                max_attempts=1, retry_backoff=0.01,
+                cache_dir=tmp_path / "cache",
+            )
+            # Two specs so the supervised pool engages (a lone spec runs
+            # inline, where a crash executor would take the tests down).
+            runner.run([
+                _spec("chaos_crash_always", value=0),
+                _spec("chaos_count", counter=str(tmp_path / "c"), value=1),
+            ])
+            return _Result()
+
+        monkeypatch.setitem(cli._HARNESSES, "fig4", harness)
+        assert cli.main(["fig4", "--no-cache"]) == cli.EXIT_EXHAUSTED == 4
+        captured = capsys.readouterr()
+        assert "exhausted their retry budget" in captured.err
+        assert "results are incomplete" in captured.err
+        # The per-harness summary line names the count too.
+        assert "1 exhausted their retry budget" in captured.out
