@@ -32,6 +32,24 @@ Stragglers keep PR 7's contract: a slow-but-heartbeating run is flagged
 (``cluster_stragglers_total``) and *never* reclaimed early — only the
 lease deadline (the distributed analog of the per-run timeout) or
 worker death takes work away.  See ``docs/cluster.md``.
+
+The **dispatch fast lane** (default on; ``REPRO_DISPATCH_FAST=0``
+restores the PR 9 wire behavior for apples-to-apples benchmarking)
+layers three throughput optimisations over that machinery without
+touching any of its invariants:
+
+* leases are granted in **batches** (up to ``prefetch`` per frame, as
+  ``lease_batch``) so a worker's backlog refills in one round-trip;
+* specs are **delta-encoded** against interned base specs
+  (:mod:`repro.sweep.wire`): the base ships once per connection, each
+  cell as a compact diff, with a full-spec fallback whenever the diff
+  would not be smaller;
+* placement is **spec-aware**: per-worker throughput EWMAs — the cost
+  model's wall-time predictions scored against observed walls, with a
+  completion-rate fallback — rank workers fastest-first, and since the
+  engine submits cells longest-first, the head of the queue (the
+  longest work) lands on the fastest host.  Work stealing stays as the
+  escape hatch when the ranking is wrong.
 """
 
 from __future__ import annotations
@@ -41,10 +59,11 @@ import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster import comm, protocol
 from repro.errors import ConfigurationError
+from repro.sweep import wire
 from repro.sweep.spec import RunSpec
 from repro.telemetry import Telemetry
 from repro.telemetry.heartbeat import straggler_after
@@ -52,6 +71,23 @@ from repro.telemetry.heartbeat import straggler_after
 #: How many leases a worker may hold per capacity slot (the extra is
 #: the prefetch backlog that work stealing later raids).
 BACKLOG_FACTOR = 2
+
+#: Default cap on leases granted per frame by the fast lane's batched
+#: grant (``lease_batch``); the per-worker backlog bound stays
+#: ``capacity * BACKLOG_FACTOR`` regardless.
+PREFETCH = 8
+
+#: EWMA weight of the newest per-worker speed observation.
+SPEED_ALPHA = 0.3
+
+#: Throughput-factor clamp: one wild outlier (cold import, page cache)
+#: must not park a worker at the back of the placement order forever.
+SPEED_CLAMP = (0.05, 20.0)
+
+
+def dispatch_fast_default() -> bool:
+    """The fast-lane default: on unless ``REPRO_DISPATCH_FAST=0``."""
+    return wire.dispatch_fast_default()
 
 #: Default multiple of the per-run timeout after which a *started*
 #: lease expires (the run timeout is the worker's kill budget; the
@@ -133,6 +169,16 @@ class _Remote:
     last_seen: float = 0.0
     leases: Dict[str, _Lease] = field(default_factory=dict)
     results_done: int = 0
+    #: Base-spec ids already shipped over *this* connection (a
+    #: reconnect makes a fresh ``_Remote``, so bases re-ship).
+    bases_sent: Set[str] = field(default_factory=set)
+    #: Throughput factor EWMA: cost-model expectation / observed wall
+    #: (>1 = faster than the model; placement ranks by it).
+    speed: float = 1.0
+    speed_samples: int = 0
+    #: Observed per-replicate wall EWMA — the completion-rate fallback
+    #: signal when the cost model has no expectation yet.
+    wall_ewma: Optional[float] = None
 
     def unstarted(self) -> List[_Lease]:
         return [l for l in self.leases.values() if not l.started]
@@ -172,9 +218,14 @@ class ClusterCoordinator:
         they are counted (and suppressed) rather than orphaned.
     cost_model:
         Optional :class:`~repro.sweep.cost.CostModel` for straggler
-        yardsticks.
+        yardsticks and spec-aware placement.
     seed:
         Seeds the backoff jitter — scheduling only, never results.
+    prefetch:
+        Fast-lane cap on leases granted per ``lease_batch`` frame.
+    dispatch_fast:
+        Force the dispatch fast lane on/off; ``None`` (default) reads
+        ``REPRO_DISPATCH_FAST`` (on unless ``"0"``).
     """
 
     def __init__(
@@ -191,6 +242,8 @@ class ClusterCoordinator:
         cost_model=None,
         seed: int = 0,
         log: Optional[Callable[..., None]] = None,
+        prefetch: int = PREFETCH,
+        dispatch_fast: Optional[bool] = None,
     ) -> None:
         if max_attempts < 1:
             raise ConfigurationError(
@@ -200,6 +253,8 @@ class ClusterCoordinator:
             raise ConfigurationError(
                 f"retry_backoff must be >= 0, got {retry_backoff}"
             )
+        if prefetch < 1:
+            raise ConfigurationError(f"prefetch must be >= 1, got {prefetch}")
         self.listener = comm.listen(address)
         self.address = self.listener.address
         self.telemetry = telemetry or Telemetry(enabled=False)
@@ -217,10 +272,27 @@ class ClusterCoordinator:
         self.liveness_timeout = liveness_timeout
         self.drain_timeout = drain_timeout
         self.cost_model = cost_model
+        self.prefetch = int(prefetch)
+        self.dispatch_fast = (
+            dispatch_fast_default() if dispatch_fast is None
+            else bool(dispatch_fast)
+        )
         self._rng = random.Random(seed)
         self._log = log or (lambda message, kind="info": None)
         self._lease_ids = itertools.count(1)
         self._workers: Dict[str, _Remote] = {}
+        #: Sender-side base-spec table for delta encoding.
+        self._interner = wire.SpecInterner()
+        #: Cell key -> count of leases currently granted for it,
+        #: maintained incrementally so `_next_ready` never rebuilds it.
+        self._inflight: Dict[str, int] = {}
+        #: Names of workers holding >= 1 lease — the expiry/straggler
+        #: rescans iterate this instead of the whole worker table.
+        self._leased: Set[str] = set()
+        self._held_count = 0
+        #: Fleet-wide per-replicate wall EWMA (the yardstick of the
+        #: completion-rate placement fallback).
+        self._wall_ewma: Optional[float] = None
         #: Connections accepted but not yet registered.
         self._pending_conns: List[comm.Connection] = []
         #: Connections of lost-but-possibly-returning workers, still
@@ -283,6 +355,36 @@ class ClusterCoordinator:
         self._m_parked = reg.counter(
             "cluster_parked_total",
             "Dispatch-loop intervals spent parked with zero live workers",
+        )
+        self._m_frames = reg.counter(
+            "dispatch_frames_total",
+            "Messages sent on the dispatch path (lease, lease_batch and "
+            "spec_base frames; pool assignments on the local path)",
+        )
+        self._m_spec_bytes = reg.counter(
+            "dispatch_spec_bytes_total",
+            "Encoded spec payload bytes actually shipped",
+        )
+        self._m_bytes_saved = reg.counter(
+            "dispatch_bytes_saved_total",
+            "Spec payload bytes avoided by delta encoding",
+        )
+        self._m_deltas = reg.counter(
+            "dispatch_deltas_total",
+            "Specs shipped as deltas against an interned base",
+        )
+        self._m_roundtrips_saved = reg.counter(
+            "dispatch_roundtrips_saved_total",
+            "Extra leases piggybacked on batched grant frames "
+            "(grants minus grant messages)",
+        )
+        self._m_placements = reg.counter(
+            "dispatch_placements_total",
+            "Leases placed by the dispatch path",
+        )
+        self._m_placement_informed = reg.counter(
+            "dispatch_placement_informed_total",
+            "Leases placed with a per-worker throughput estimate in hand",
         )
 
     # -- worker bookkeeping ---------------------------------------------
@@ -354,6 +456,7 @@ class ClusterCoordinator:
         leases = list(worker.leases.values())
         worker.leases.clear()
         for lease in leases:
+            self._lease_removed(worker, lease)
             self._m_reclaimed.inc()
             self._report.reclaimed += 1
             if lease.started:
@@ -388,9 +491,28 @@ class ClusterCoordinator:
             self._lost_conns[worker.name] = worker.conn
 
     def _update_held(self) -> None:
-        self._m_held.set(
-            sum(len(w.leases) for w in self._workers.values())
-        )
+        self._m_held.set(self._held_count)
+
+    def _lease_added(self, worker: _Remote, lease: _Lease) -> None:
+        """Record a grant: worker table, inflight index, leased index."""
+        worker.leases[lease.lease_id] = lease
+        self._held_count += 1
+        self._leased.add(worker.name)
+        key = lease.cell.key
+        self._inflight[key] = self._inflight.get(key, 0) + 1
+
+    def _lease_removed(self, worker: Optional[_Remote], lease: _Lease) -> None:
+        """Undo :meth:`_lease_added` after a lease left a worker table
+        (result, expiry, revoke, reclaim) — call *after* the removal."""
+        self._held_count -= 1
+        if worker is not None and not worker.leases:
+            self._leased.discard(worker.name)
+        key = lease.cell.key
+        remaining = self._inflight.get(key, 0) - 1
+        if remaining > 0:
+            self._inflight[key] = remaining
+        else:
+            self._inflight.pop(key, None)
 
     # -- cell resolution -------------------------------------------------
     def _resolve(self, cell_key: str, outcome: LeaseOutcome) -> None:
@@ -410,6 +532,7 @@ class ClusterCoordinator:
             for lease in list(worker.leases.values()):
                 if lease.cell.key == cell_key and not lease.started:
                     del worker.leases[lease.lease_id]
+                    self._lease_removed(worker, lease)
                     self._m_suppressed.inc()
                     self._report.suppressed += 1
                     try:
@@ -482,11 +605,20 @@ class ClusterCoordinator:
         cell_key = message.get("key")
         self._m_results.inc()
         lease = self._zombies.pop(lease_id, None)
+        wall = float(message.get("wall") or 0.0)
         if worker is not None:
             found = worker.leases.pop(lease_id, None)
             if found is not None:
                 lease = found
                 worker.results_done += 1
+                self._lease_removed(worker, found)
+                if message.get("ok") and wall > 0:
+                    self._observe_speed(worker, found, wall)
+        if str(message.get("kind") or "") == "decode" and worker is not None:
+            # The worker could not decode the spec (e.g. a base that
+            # never arrived on a torn connection): re-ship every base on
+            # the retry rather than trusting the send-side bookkeeping.
+            worker.bases_sent.clear()
         self._update_held()
         if cell_key not in self._unresolved:
             # Late duplicate of an already-committed cell (the reclaim
@@ -500,7 +632,6 @@ class ClusterCoordinator:
             return
         cell = lease.cell if lease is not None else None
         attempts = (cell.attempts if cell is not None else 0) + 1
-        wall = float(message.get("wall") or 0.0)
         snap = message.get("snap")
         if message.get("ok"):
             self._resolve(
@@ -539,6 +670,58 @@ class ClusterCoordinator:
                 etype=str(payload.get("type") or "SweepWorkerError"),
                 message=str(payload.get("message") or "remote failure"),
             )
+
+    def _observe_speed(
+        self, worker: _Remote, lease: _Lease, wall: float
+    ) -> None:
+        """Fold one completed lease into the worker's throughput EWMAs.
+
+        Two signals, per the placement design: the cost model's wall-time
+        expectation scored against the observed wall (the primary
+        throughput factor), and the raw per-replicate wall (the
+        completion-rate fallback used before the model knows the spec).
+        Scheduling-only state — it can never change what is computed.
+        """
+        width = max(lease.cell.width, 1)
+        per_rep = wall / width
+        if worker.wall_ewma is None:
+            worker.wall_ewma = per_rep
+        else:
+            worker.wall_ewma = (
+                (1.0 - SPEED_ALPHA) * worker.wall_ewma + SPEED_ALPHA * per_rep
+            )
+        if self._wall_ewma is None:
+            self._wall_ewma = per_rep
+        else:
+            self._wall_ewma = (
+                (1.0 - SPEED_ALPHA) * self._wall_ewma + SPEED_ALPHA * per_rep
+            )
+        expected = (
+            self.cost_model.predict(lease.cell.spec)
+            if self.cost_model is not None
+            else None
+        )
+        if expected is None or expected <= 0:
+            return
+        lo, hi = SPEED_CLAMP
+        ratio = min(max(expected / wall, lo), hi)
+        if worker.speed_samples == 0:
+            worker.speed = ratio
+        else:
+            worker.speed = (
+                (1.0 - SPEED_ALPHA) * worker.speed + SPEED_ALPHA * ratio
+            )
+        worker.speed_samples += 1
+
+    def _worker_speed(self, worker: _Remote) -> float:
+        """Placement rank: model-scored EWMA, else completion-rate
+        fallback against the fleet-wide wall EWMA, else neutral 1.0."""
+        if worker.speed_samples:
+            return worker.speed
+        if worker.wall_ewma and self._wall_ewma:
+            lo, hi = SPEED_CLAMP
+            return min(max(self._wall_ewma / worker.wall_ewma, lo), hi)
+        return 1.0
 
     def _find_cell(self, cell_key: str) -> Optional[_Cell]:
         for cell in self._queue:
@@ -599,6 +782,7 @@ class ClusterCoordinator:
                 # Confirmed unstarted: the steal completes and the cell
                 # is free for the next idle worker.
                 del worker.leases[lease.lease_id]
+                self._lease_removed(worker, lease)
                 self._m_steals.inc()
                 self._report.steals += 1
                 self._m_reclaimed.inc()
@@ -691,11 +875,21 @@ class ClusterCoordinator:
                 )
 
     def _check_expiry(self, now: float) -> None:
-        for worker in self._workers.values():
+        # Only workers holding leases can have one expire — the rescan
+        # walks the leased index, not the whole worker table, so an idle
+        # fleet costs nothing per tick.
+        if not self._leased:
+            return
+        for name in list(self._leased):
+            worker = self._workers.get(name)
+            if worker is None or not worker.leases:
+                self._leased.discard(name)
+                continue
             for lease in list(worker.leases.values()):
                 if lease.deadline is None or now < lease.deadline:
                     continue
                 del worker.leases[lease.lease_id]
+                self._lease_removed(worker, lease)
                 self._m_expired.inc()
                 self._report.expired += 1
                 self._m_reclaimed.inc()
@@ -724,7 +918,12 @@ class ClusterCoordinator:
         self._update_held()
 
     def _check_stragglers(self, now: float) -> None:
-        for worker in self._workers.values():
+        # Same leased-index walk as `_check_expiry`: lease-free workers
+        # cannot straggle.
+        for name in self._leased:
+            worker = self._workers.get(name)
+            if worker is None:
+                continue
             for lease in worker.leases.values():
                 if not lease.started or lease.straggler:
                     continue
@@ -748,56 +947,131 @@ class ClusterCoordinator:
                     )
 
     def _grant(self, now: float) -> None:
-        """Hand queued cells to the emptiest workers first."""
+        """Hand queued cells to workers, fastest host first.
+
+        The engine submits cells cost-ordered longest-first, so ranking
+        workers by throughput makes the head of the queue (the longest
+        outstanding work) land on the fastest host — the longest-cell-to-
+        fastest-host placement — without any per-cell scan.  With the
+        fast lane off, the pre-fast-lane emptiest-first order is kept.
+        """
         if not self._queue or not self._workers:
             return
-        workers = sorted(
-            self._workers.values(), key=lambda w: (len(w.leases), w.name)
-        )
+        fast = self.dispatch_fast
+        if fast:
+            workers = sorted(
+                self._workers.values(),
+                key=lambda w: (-self._worker_speed(w), len(w.leases), w.name),
+            )
+        else:
+            workers = sorted(
+                self._workers.values(), key=lambda w: (len(w.leases), w.name)
+            )
+        drained = False
         for worker in workers:
+            if drained:
+                break
             room = worker.capacity * BACKLOG_FACTOR - len(worker.leases)
-            while room > 0:
-                cell = self._next_ready(now)
-                if cell is None:
-                    return
-                lease = _Lease(
-                    lease_id=f"L{next(self._lease_ids)}",
-                    cell=cell,
-                    worker=worker.name,
-                    granted=now,
-                )
-                try:
-                    worker.conn.send(
-                        {
-                            "type": protocol.MSG_LEASE,
-                            "lease": lease.lease_id,
-                            "key": cell.key,
-                            "spec": protocol.spec_to_data(cell.spec),
-                            "width": cell.width,
-                            "timeout": self.run_timeout,
-                        }
-                    )
-                except comm.ClusterError:
-                    self._queue.appendleft(cell)
+            while room > 0 and not drained:
+                batch_cap = min(room, self.prefetch) if fast else 1
+                cells: List[_Cell] = []
+                while len(cells) < batch_cap:
+                    cell = self._next_ready(now)
+                    if cell is None:
+                        drained = True
+                        break
+                    cells.append(cell)
+                if not cells:
+                    break
+                granted = self._send_grants(worker, cells, now)
+                room -= granted
+                if granted < len(cells):
                     break  # dead conn; liveness check reaps it
-                worker.leases[lease.lease_id] = lease
-                self._m_granted.inc()
-                room -= 1
         self._update_held()
+
+    def _send_grants(
+        self, worker: _Remote, cells: List[_Cell], now: float
+    ) -> int:
+        """Ship one grant frame (plus any base frames) carrying
+        ``cells`` to ``worker``; returns how many leases stuck.  On a
+        send failure every cell goes back to the queue head and the
+        answer is 0 — the liveness check reaps the dead connection."""
+        fast = self.dispatch_fast
+        frames: List[Dict[str, Any]] = []
+        bodies: List[Dict[str, Any]] = []
+        leases: List[_Lease] = []
+        informed = fast and worker.speed_samples > 0
+        for cell in cells:
+            lease = _Lease(
+                lease_id=f"L{next(self._lease_ids)}",
+                cell=cell,
+                worker=worker.name,
+                granted=now,
+            )
+            body: Dict[str, Any] = {
+                "lease": lease.lease_id,
+                "key": cell.key,
+                "width": cell.width,
+                "timeout": self.run_timeout,
+            }
+            if fast:
+                enc = self._interner.encode(cell.spec)
+                if enc.delta is not None:
+                    if enc.base_id not in worker.bases_sent:
+                        base = self._interner.bases[enc.base_id]
+                        frames.append(
+                            {
+                                "type": protocol.MSG_SPEC_BASE,
+                                "base": enc.base_id,
+                                "spec": wire.spec_to_wire(base),
+                            }
+                        )
+                        worker.bases_sent.add(enc.base_id)
+                    body["base"] = enc.base_id
+                    body["delta"] = enc.delta
+                    self._m_deltas.inc()
+                else:
+                    body["spec"] = enc.full
+                self._m_spec_bytes.inc(enc.wire_bytes)
+                self._m_bytes_saved.inc(enc.saved_bytes)
+            else:
+                body["spec"] = protocol.spec_to_data(cell.spec)
+            bodies.append(body)
+            leases.append(lease)
+        if len(bodies) == 1:
+            frames.append({"type": protocol.MSG_LEASE, **bodies[0]})
+        else:
+            frames.append(
+                {"type": protocol.MSG_LEASE_BATCH, "leases": bodies}
+            )
+            self._m_roundtrips_saved.inc(len(bodies) - 1)
+        try:
+            for frame in frames:
+                worker.conn.send(frame)
+                self._m_frames.inc()
+        except comm.ClusterError:
+            # Nothing was leased: the worker-side effect of any frame
+            # that did land is recovered by the decode-failure retry
+            # path (bases re-ship) or duplicate-lease suppression.
+            for cell in reversed(cells):
+                self._queue.appendleft(cell)
+            return 0
+        for lease in leases:
+            self._lease_added(worker, lease)
+            self._m_granted.inc()
+        self._m_placements.inc(len(leases))
+        if informed:
+            self._m_placement_informed.inc(len(leases))
+        return len(leases)
 
     def _next_ready(self, now: float) -> Optional[_Cell]:
         """Pop the first queued cell whose backoff has elapsed; leaves
         cells that (a) are still backing off or (b) already have an
         in-flight lease (no point racing ourselves while the original
         might still land)."""
-        inflight = {
-            lease.cell.key
-            for w in self._workers.values()
-            for lease in w.leases.values()
-        }
         for _ in range(len(self._queue)):
             cell = self._queue.popleft()
-            if cell.not_before <= now and cell.key not in inflight:
+            if cell.not_before <= now and cell.key not in self._inflight:
                 return cell
             self._queue.append(cell)
         return None
@@ -869,6 +1143,15 @@ class ClusterCoordinator:
         self._queue: deque = deque()
         self._unresolved: set = set()
         self._cells: Dict[str, _Cell] = {}
+        # Rebuild the lease indexes from the worker tables: leases can
+        # survive between execute() calls (e.g. a started sibling whose
+        # cell committed), and the indexes must agree with the tables.
+        self._inflight = {}
+        self._leased = set()
+        self._held_count = 0
+        for worker in self._workers.values():
+            for lease in list(worker.leases.values()):
+                self._lease_added(worker, lease)  # re-keying is a no-op
         for key, spec, width in jobs:
             self._add_cell(key, spec, width)
         parked_since: Optional[float] = None
@@ -911,7 +1194,14 @@ class ClusterCoordinator:
                 )
                 parked_since = None
             if not activity:
-                time.sleep(0.01)
+                # Fast lane: while leases are outstanding, results can
+                # land any millisecond — a 10ms nap would dominate tiny
+                # cells' round-trip time.
+                time.sleep(
+                    0.001
+                    if (self.dispatch_fast and self._held_count)
+                    else 0.01
+                )
         # Linger briefly for duplicate results from reclaimed-but-alive
         # leases so they are observed (and suppressed) rather than left
         # to hit a closed socket.
@@ -948,4 +1238,6 @@ __all__ = [
     "ClusterCoordinator",
     "ExecuteReport",
     "LeaseOutcome",
+    "PREFETCH",
+    "dispatch_fast_default",
 ]

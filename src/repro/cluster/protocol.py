@@ -15,15 +15,25 @@ Worker → coordinator
 Coordinator → worker
     ``welcome``    registration accepted: sweep config (timeout,
                    heartbeat interval, telemetry on/off).
-    ``lease``      one cell to execute: lease id, cache key, spec data,
-                   replicate width, per-run timeout.
+    ``spec_base``  interned base spec: content id + full spec data.
+                   Sent once per connection before the first lease that
+                   delta-encodes against it (see
+                   :mod:`repro.sweep.wire`).
+    ``lease``      one cell to execute: lease id, cache key, replicate
+                   width, per-run timeout, and the spec — either whole
+                   (``"spec"``) or as ``"base"`` + ``"delta"``.
+    ``lease_batch``  several leases in one frame (the dispatch fast
+                   lane's batched grant); each entry is one ``lease``
+                   body.
     ``revoke``     return an *unstarted* lease (work stealing).
     ``shutdown``   sweep over; the worker loop exits.
 
 Specs cross the wire as their constructor data — a spec is already
 plain data (that is the whole point of :class:`~repro.sweep.spec.RunSpec`),
 so serialization is lossless and the remote ``spec.key()`` necessarily
-equals the coordinator's.
+equals the coordinator's.  Delta-encoded specs keep that property: the
+receiver rebuilds the full constructor data before hashing anything,
+and base registration is content-checked (see ``docs/cluster.md``).
 """
 
 from __future__ import annotations
@@ -35,6 +45,8 @@ from repro.sweep.spec import RunSpec
 MSG_REGISTER = "register"
 MSG_WELCOME = "welcome"
 MSG_LEASE = "lease"
+MSG_LEASE_BATCH = "lease_batch"
+MSG_SPEC_BASE = "spec_base"
 MSG_REVOKE = "revoke"
 MSG_REVOKED = "revoked"
 MSG_STARTED = "started"
@@ -70,11 +82,13 @@ __all__ = [
     "MSG_GOODBYE",
     "MSG_HEARTBEAT",
     "MSG_LEASE",
+    "MSG_LEASE_BATCH",
     "MSG_REGISTER",
     "MSG_RESULT",
     "MSG_REVOKE",
     "MSG_REVOKED",
     "MSG_SHUTDOWN",
+    "MSG_SPEC_BASE",
     "MSG_STARTED",
     "MSG_WELCOME",
     "spec_from_data",

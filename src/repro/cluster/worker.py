@@ -40,6 +40,7 @@ from collections import deque
 from typing import Any, Dict, List, Optional
 
 from repro.cluster import comm, protocol
+from repro.sweep import wire
 
 #: Serializes per-run telemetry-registry installs across executor
 #: threads (the registry hook is process-global).
@@ -102,6 +103,12 @@ class ClusterWorker:
         self._running = False
         self._killed = False
         self._lock = threading.Lock()
+        #: Wakes executor threads the moment a lease lands (fast lane);
+        #: shares ``_lock`` so intake and revoke stay serialized.
+        self._lease_cv = threading.Condition(self._lock)
+        #: Receiver-side base-spec table for delta-encoded leases.
+        self._decoder = wire.SpecDecoder()
+        self._fast = wire.dispatch_fast_default()
         self._leases: deque = deque()  # granted, not yet picked up
         self._active: Dict[str, _ActiveRun] = {}
         self._outbox: deque = deque()  # messages awaiting a live conn
@@ -175,9 +182,25 @@ class ClusterWorker:
         mtype = message.get("type")
         if mtype == protocol.MSG_WELCOME:
             self.telemetry_on = bool(message.get("telemetry"))
+        elif mtype == protocol.MSG_SPEC_BASE:
+            try:
+                self._decoder.add_base(
+                    message.get("base"), message.get("spec")
+                )
+            except wire.SpecDeltaError:
+                # A corrupt base registration is unreportable here (no
+                # lease to answer on); any lease referencing it fails
+                # decode, which the coordinator retries with a re-ship.
+                pass
         elif mtype == protocol.MSG_LEASE:
             with self._lock:
                 self._leases.append(message)
+                self._lease_cv.notify()
+        elif mtype == protocol.MSG_LEASE_BATCH:
+            bodies = message.get("leases") or []
+            with self._lock:
+                self._leases.extend(bodies)
+                self._lease_cv.notify_all()
         elif mtype == protocol.MSG_REVOKE:
             lease_id = message.get("lease")
             with self._lock:
@@ -196,8 +219,10 @@ class ClusterWorker:
         elif mtype == protocol.MSG_SHUTDOWN:
             self._running = False
 
-    def _take_lease(self) -> Optional[Dict[str, Any]]:
-        with self._lock:
+    def _take_lease(self, wait: float = 0.0) -> Optional[Dict[str, Any]]:
+        with self._lease_cv:
+            if not self._leases and wait > 0:
+                self._lease_cv.wait(wait)
             if self._leases:
                 return self._leases.popleft()
         return None
@@ -330,13 +355,37 @@ class ClusterWorker:
         state: Dict[str, Any] = {"proc": None, "pipe": None}
         try:
             while self._running:
-                lease = self._take_lease()
+                # Fast lane: block on the lease condvar (wakes the
+                # instant a grant lands) instead of the legacy 10ms poll.
+                lease = self._take_lease(wait=0.05 if self._fast else 0.0)
                 if lease is None:
-                    time.sleep(0.01)
+                    if not self._fast:
+                        time.sleep(0.01)
                     continue
                 lease_id = lease["lease"]
                 key = lease["key"]
-                spec = protocol.spec_from_data(lease["spec"])
+                try:
+                    spec = self._decoder.decode(lease)
+                except wire.SpecDeltaError as exc:
+                    # No MSG_STARTED: the run never began.  A "decode"
+                    # kind routes through the coordinator's retry path,
+                    # which re-ships every base before the re-grant.
+                    self._post(
+                        {
+                            "type": protocol.MSG_RESULT,
+                            "lease": lease_id,
+                            "key": key,
+                            "ok": False,
+                            "payload": {
+                                "type": type(exc).__name__,
+                                "message": str(exc),
+                            },
+                            "kind": "decode",
+                            "wall": 0.0,
+                            "snap": None,
+                        }
+                    )
+                    continue
                 width = int(lease.get("width") or 1)
                 timeout = lease.get("timeout")
                 run_index = next(self._run_counter)
@@ -439,13 +488,27 @@ class ClusterWorker:
                 if self._conn is None:
                     if not self._connect():
                         break
+                if self._fast:
+                    # Short poll while anything is in flight (results
+                    # must flush promptly for tiny cells), long poll
+                    # when idle so an idle worker stays cheap.
+                    with self._lock:
+                        busy = bool(
+                            self._active or self._leases or self._outbox
+                        )
+                    recv_timeout = 0.002 if busy else 0.02
+                else:
+                    recv_timeout = 0.02
                 try:
-                    message = self._conn.recv(timeout=0.02)
+                    message = self._conn.recv(timeout=recv_timeout)
+                    while message is not None:
+                        self._handle(message)
+                        if not self._running or not self._fast:
+                            break
+                        message = self._conn.recv(timeout=0)
                 except comm.ConnectionClosed:
                     self._drop_conn()
                     continue
-                if message is not None:
-                    self._handle(message)
                 if not self._running:
                     break
                 if not self._flush():

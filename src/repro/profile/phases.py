@@ -29,6 +29,7 @@ PHASES = (
     "policy-search",
     "speed-retime",
     "metrics",
+    "dispatch",
 )
 
 

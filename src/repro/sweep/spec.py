@@ -111,10 +111,17 @@ class RunSpec:
         """Content hash of the spec — the result-cache key.
 
         Includes the package version, so upgrading the package invalidates
-        every cached result.
+        every cached result.  Memoized per spec object: the dispatch path
+        touches the key once per lease, cache probe, checkpoint line and
+        commit, and a frozen spec can never hash differently twice.
         """
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
         payload = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_key", digest)
+        return digest
 
     def features(self) -> Dict[str, Any]:
         """Structural features determining the run's *cost* (not outcome).
@@ -127,11 +134,20 @@ class RunSpec:
         return {"kind": self.kind, "params": params}
 
     def cost_key(self) -> str:
-        """Content hash of :meth:`features` — the cost-model key."""
+        """Content hash of :meth:`features` — the cost-model key.
+
+        Memoized like :meth:`key`: straggler checks and ETA estimation
+        call this every dispatch-loop tick.
+        """
+        cached = self.__dict__.get("_cost_key")
+        if cached is not None:
+            return cached
         payload = json.dumps(
             canonical(self.features()), sort_keys=True, separators=(",", ":")
         )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_cost_key", digest)
+        return digest
 
 
 def place_to_data(place) -> Tuple[int, int]:

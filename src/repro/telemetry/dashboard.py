@@ -153,9 +153,25 @@ class Dashboard:
                 + _counter(metrics, "sweep_resumed_total"),
                 strag=snap["stragglers"],
             ),
-            f"{'id':>3} {'pid':>7} {'state':<6} {'run':<12} "
-            f"{'att':>3} {'w':>3} {'elapsed':>8} {'hb age':>7}  flag",
         ]
+        if _counter(metrics, "dispatch_frames_total"):
+            lines.append(
+                "dispatch: frames {frames:.0f}  deltas {deltas:.0f}  "
+                "spec B {bytes:.0f} (saved {saved:.0f})  "
+                "batched {batched:.0f}".format(
+                    frames=_counter(metrics, "dispatch_frames_total"),
+                    deltas=_counter(metrics, "dispatch_deltas_total"),
+                    bytes=_counter(metrics, "dispatch_spec_bytes_total"),
+                    saved=_counter(metrics, "dispatch_bytes_saved_total"),
+                    batched=_counter(
+                        metrics, "dispatch_roundtrips_saved_total"
+                    ),
+                )
+            )
+        lines.append(
+            f"{'id':>3} {'pid':>7} {'state':<6} {'run':<12} "
+            f"{'att':>3} {'w':>3} {'elapsed':>8} {'hb age':>7}  flag"
+        )
         for worker in snap["workers"]:
             key = (worker["key"] or "")[:12]
             age = worker["heartbeat_age"]
